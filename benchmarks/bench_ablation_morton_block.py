@@ -1,0 +1,34 @@
+"""Ablation 4 (DESIGN.md): HiCOO kernel (block) size for the z-Morton sort.
+
+Table 4's gap comes from HiCOO sorting short keys inside blocks instead of
+full-width keys over the whole tensor.  Sweeping the block size shows the
+trade-off (too-small blocks pay bucketing overhead; whole-tensor sorting
+pays big-integer key costs) and includes the synthesized reorder and the
+plain whole-tensor sort as endpoints.
+"""
+
+import pytest
+
+from repro.baselines.hicoo import blocked_morton_sort, whole_tensor_morton_sort
+
+from conftest import inspector_inputs, synthesized
+
+TENSOR = "darpa"
+
+
+@pytest.mark.parametrize("bits", [2, 4, 6, 8])
+def test_blocked_sort(benchmark, tensors, bits):
+    benchmark.group = f"ablation: Morton block size ({TENSOR})"
+    benchmark(blocked_morton_sort, tensors[TENSOR], block_bits=bits)
+
+
+def test_whole_tensor_sort(benchmark, tensors):
+    benchmark.group = f"ablation: Morton block size ({TENSOR})"
+    benchmark(whole_tensor_morton_sort, tensors[TENSOR])
+
+
+def test_synthesized_reorder(benchmark, tensors):
+    conv = synthesized("SCOO3D", "MCOO3")
+    inputs = inspector_inputs(conv, tensors[TENSOR])
+    benchmark.group = f"ablation: Morton block size ({TENSOR})"
+    benchmark(lambda: conv(**inputs))

@@ -1,0 +1,32 @@
+"""Ablation 3 (DESIGN.md): the Section 3.3 optimization pipeline.
+
+Compares the initial "correct but slow" loop chain (no dedup/DCE/fusion/
+strengthening — the paper: "The initial, complete sparse loop chain, while
+correct, will often perform poorly") against the fully optimized inspector,
+for a conversion of each kind.
+"""
+
+import pytest
+
+from conftest import inspector_inputs, synthesized
+
+MATRIX = "majorbasis"
+PAIRS = [("SCOO", "CSR"), ("SCOO", "CSC"), ("SCOO", "MCOO")]
+
+
+@pytest.mark.parametrize("pair", [f"{s}:{d}" for s, d in PAIRS])
+def test_optimized(benchmark, coo_matrices, pair):
+    src, dst = pair.split(":")
+    conv = synthesized(src, dst, optimize=True)
+    inputs = inspector_inputs(conv, coo_matrices[MATRIX])
+    benchmark.group = f"ablation: SPF optimizations {pair}"
+    benchmark(lambda: conv(**inputs))
+
+
+@pytest.mark.parametrize("pair", [f"{s}:{d}" for s, d in PAIRS])
+def test_unoptimized_loop_chain(benchmark, coo_matrices, pair):
+    src, dst = pair.split(":")
+    conv = synthesized(src, dst, optimize=False)
+    inputs = inspector_inputs(conv, coo_matrices[MATRIX])
+    benchmark.group = f"ablation: SPF optimizations {pair}"
+    benchmark(lambda: conv(**inputs))

@@ -1,0 +1,41 @@
+"""Ablation 1 (DESIGN.md): permutation dead-code elimination.
+
+COO→CSR with a lexicographically sorted source needs no permutation; DCE
+removes it (the paper's explanation for Figure 2c's 2.85x).  Disabling the
+optimization pipeline keeps the dead OrderedList population, quantifying
+exactly what the paper's "no permute function is generated" is worth.
+The genuinely-unsorted source is included as the case where the permutation
+is load-bearing and cannot be removed.
+"""
+
+import pytest
+
+from repro.datagen import shuffled
+
+from conftest import inspector_inputs, synthesized
+
+MATRIX = "majorbasis"
+
+
+def test_optimized_permutation_eliminated(benchmark, coo_matrices):
+    conv = synthesized("SCOO", "CSR", optimize=True)
+    assert "OrderedList" not in conv.source
+    inputs = inspector_inputs(conv, coo_matrices[MATRIX])
+    benchmark.group = "ablation: permutation DCE (sorted source)"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_unoptimized_dead_permutation_kept(benchmark, coo_matrices):
+    conv = synthesized("SCOO", "CSR", optimize=False)
+    assert "OrderedList" in conv.source
+    inputs = inspector_inputs(conv, coo_matrices[MATRIX])
+    benchmark.group = "ablation: permutation DCE (sorted source)"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_unsorted_source_needs_permutation(benchmark, coo_matrices):
+    conv = synthesized("COO", "CSR", optimize=True)
+    shuffled_coo = shuffled(coo_matrices[MATRIX], seed=3)
+    inputs = inspector_inputs(conv, shuffled_coo)
+    benchmark.group = "ablation: permutation DCE (unsorted source)"
+    benchmark(lambda: conv(**inputs))

@@ -1,0 +1,67 @@
+"""Extension formats: conversions beyond the paper's evaluated set.
+
+Times the synthesized converters for the expressiveness extensions —
+BCSR as a *destination* (the Case 6 block decomposition), ELL and CSF as
+sources — against hand-written reference assembly where one exists
+(`BCSRMatrix.from_dense` is dense-input and thus not comparable; the
+reference here is the synthesized COO→CSR fast path, the cheapest
+conversion of comparable volume).
+"""
+
+import pytest
+
+from repro.datagen import load, synthetic_tensor3d
+from repro.formats import container_to_env
+from repro.runtime import CSFTensor, ELLMatrix
+
+from conftest import SCALE, inspector_inputs, synthesized
+
+MATRIX = "majorbasis"
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return load(MATRIX, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return synthetic_tensor3d((48, 48, 32), 2000, seed=7)
+
+
+def test_coo_to_bcsr(benchmark, coo):
+    conv = synthesized("SCOO", "BCSR")
+    inputs = inspector_inputs(conv, coo)
+    benchmark.group = "extension: blocked/padded/fiber conversions"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_coo_to_csr_reference(benchmark, coo):
+    conv = synthesized("SCOO", "CSR")
+    inputs = inspector_inputs(conv, coo)
+    benchmark.group = "extension: blocked/padded/fiber conversions"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_ell_to_csr(benchmark, coo):
+    ell = ELLMatrix.from_dense(coo.to_dense())
+    conv = synthesized("ELL", "CSR")
+    inputs = inspector_inputs(conv, ell)
+    benchmark.group = "extension: blocked/padded/fiber conversions"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_csf_to_scoo3d(benchmark, tensor):
+    csf = CSFTensor.from_coo(tensor)
+    conv = synthesized("CSF", "SCOO3D")
+    inputs = inspector_inputs(conv, csf)
+    benchmark.group = "extension: CSF source"
+    benchmark(lambda: conv(**inputs))
+
+
+def test_csf_to_mcoo3(benchmark, tensor):
+    csf = CSFTensor.from_coo(tensor)
+    conv = synthesized("CSF", "MCOO3")
+    inputs = inspector_inputs(conv, csf)
+    benchmark.group = "extension: CSF source"
+    benchmark(lambda: conv(**inputs))

@@ -1,0 +1,29 @@
+"""Figure 2b: CSR→CSC conversion, synthesized vs TACO/SPARSKIT/MKL.
+
+Paper result: ≈1.5x faster than TACO (geomean).  Expected shape: ours is
+competitive with the two-pass transposes (TACO/SPARSKIT) and clearly ahead
+of the sort-based MKL path.
+"""
+
+import pytest
+
+from repro.baselines import REGISTRY
+
+from conftest import MATRICES, inspector_inputs, synthesized
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+def test_ours(benchmark, csr_matrices, matrix):
+    conv = synthesized("CSR", "CSC")
+    inputs = inspector_inputs(conv, csr_matrices[matrix])
+    benchmark.group = f"fig2b CSR_CSC {matrix}"
+    benchmark(lambda: conv(**inputs))
+
+
+@pytest.mark.parametrize("matrix", MATRICES)
+@pytest.mark.parametrize("lib", ["taco", "sparskit", "mkl"])
+def test_baseline(benchmark, csr_matrices, matrix, lib):
+    fn = REGISTRY[("CSR_CSC", lib)]
+    csr = csr_matrices[matrix]
+    benchmark.group = f"fig2b CSR_CSC {matrix}"
+    benchmark(fn, csr)

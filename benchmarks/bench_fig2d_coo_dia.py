@@ -1,0 +1,30 @@
+"""Figure 2d: COO→DIA with the naive linear-search copy.
+
+Paper result: ~5x slower than TACO on average, degrading with the number of
+diagonals — majorbasis (22 diagonals) is the worst case, ecology1 (5
+diagonals) the best.  The synthesized copy scans every diagonal ``d``
+looking for ``off(d) + i == j``, exactly as the paper describes.
+"""
+
+import pytest
+
+from repro.baselines import REGISTRY
+
+from conftest import DIA_MATRICES, inspector_inputs, synthesized
+
+
+@pytest.mark.parametrize("matrix", DIA_MATRICES)
+def test_ours_linear_search(benchmark, dia_matrices, matrix):
+    conv = synthesized("SCOO", "DIA")
+    inputs = inspector_inputs(conv, dia_matrices[matrix])
+    benchmark.group = f"fig2d COO_DIA {matrix}"
+    benchmark(lambda: conv(**inputs))
+
+
+@pytest.mark.parametrize("matrix", DIA_MATRICES)
+@pytest.mark.parametrize("lib", ["taco", "sparskit", "mkl"])
+def test_baseline(benchmark, dia_matrices, matrix, lib):
+    fn = REGISTRY[("COO_DIA", lib)]
+    coo = dia_matrices[matrix]
+    benchmark.group = f"fig2d COO_DIA {matrix}"
+    benchmark(fn, coo)

@@ -1,0 +1,36 @@
+"""Table 1 companion: cost of building and using the format descriptors.
+
+Table 1 itself is a specification table (regenerate its content with
+``examples/show_descriptors.py``); this module benchmarks the "compile
+time" of the approach — parsing the descriptors and synthesizing each
+conversion in Figure 2 — to document that synthesis cost is negligible
+next to conversion cost on real inputs.
+"""
+
+import pytest
+
+from repro.formats import all_formats, get_format
+from repro.synthesis import synthesize
+
+
+def test_build_all_descriptors(benchmark):
+    benchmark.group = "table1 descriptor construction"
+    benchmark(all_formats)
+
+
+def test_display_all_descriptors(benchmark):
+    formats = all_formats()
+    benchmark.group = "table1 descriptor construction"
+    benchmark(lambda: [f.display() for f in formats])
+
+
+@pytest.mark.parametrize(
+    "pair",
+    ["SCOO:CSR", "SCOO:CSC", "CSR:CSC", "SCOO:DIA", "SCOO:MCOO",
+     "SCOO3D:MCOO3"],
+)
+def test_synthesis_time(benchmark, pair):
+    src_name, dst_name = pair.split(":")
+    src, dst = get_format(src_name), get_format(dst_name)
+    benchmark.group = "table1 synthesis time"
+    benchmark(synthesize, src, dst)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload sizes are controlled by ``REPRO_BENCH_SCALE`` (default 0.002, the
+fraction of each Table 3 matrix's published dimensions).  The default keeps
+the full suite tractable for interpreted converters; raise it to stress the
+same shapes at larger sizes.
+"""
+
+import os
+
+import pytest
+
+from repro import CSRMatrix, get_conversion
+from repro.datagen import load, load_tensor
+from repro.formats import container_to_env
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+TENSOR_SCALE = float(os.environ.get("REPRO_BENCH_TENSOR_SCALE", "0.00001"))
+
+#: Representative Table 3 matrices: one per structural family plus the two
+#: matrices the paper's DIA discussion names (22 vs 5 diagonals).
+MATRICES = ["jnlbrng1", "majorbasis", "ecology1", "cant", "scircuit"]
+DIA_MATRICES = ["jnlbrng1", "majorbasis", "ecology1"]
+TENSORS = ["darpa", "fb-m", "fb-s"]
+
+
+@pytest.fixture(scope="session")
+def coo_matrices():
+    return {name: load(name, scale=SCALE) for name in MATRICES}
+
+
+@pytest.fixture(scope="session")
+def dia_matrices():
+    return {name: load(name, scale=SCALE) for name in DIA_MATRICES}
+
+
+@pytest.fixture(scope="session")
+def csr_matrices(coo_matrices):
+    return {
+        name: CSRMatrix.from_dense(coo.to_dense())
+        for name, coo in coo_matrices.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def tensors():
+    return {name: load_tensor(name, scale=TENSOR_SCALE) for name in TENSORS}
+
+
+def inspector_inputs(conversion, container):
+    """The positional-input dict for a synthesized conversion."""
+    env = container_to_env(container)
+    return {p: env[p] for p in conversion.params}
+
+
+def synthesized(src, dst, **kwargs):
+    conv = get_conversion(src, dst, **kwargs)
+    conv.compile()
+    return conv

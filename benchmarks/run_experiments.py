@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper's evaluation section.
+
+Runs the full Table 3 matrix sweep for Figures 2a-2d and Figure 3, the
+Table 4 tensor comparison, and prints Table 1 (format descriptors), Table 2
+(per-UF constraints for the COO→MCOO running example), and Table 5 (feature
+support).  Output is the plain-text analogue of the paper's plots: one row
+per matrix/tensor plus geometric-mean speedups.
+
+Usage::
+
+    python benchmarks/run_experiments.py [--scale 0.002] [--repeats 3]
+    python benchmarks/run_experiments.py --experiment fig2c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evalharness import (
+    render_table5,
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+    run_fig2d,
+    run_fig3,
+    run_table4,
+)
+from repro.formats import all_formats, mcoo, scoo
+from repro.synthesis import synthesize
+
+PAPER_CLAIMS = {
+    "fig2a": "paper: COO→CSC ≈1.3x faster than baselines (geomean)",
+    "fig2b": "paper: CSR→CSC ≈1.5x faster than baselines (geomean)",
+    "fig2c": "paper: COO→CSR 2.85x faster than TACO (geomean)",
+    "fig2d": "paper: COO→DIA ≈5x slower than TACO; worst with many diagonals",
+    "fig3": "paper: with binary search 3.1x/3.54x faster than SPARSKIT/MKL, "
+            "1.4x slower than TACO",
+    "table4": "paper: whole-tensor Morton reorder 1.64x slower than HiCOO",
+}
+
+
+def show_table1() -> None:
+    print("=" * 72)
+    print("Table 1: format descriptors")
+    print("=" * 72)
+    for fmt in all_formats():
+        print(fmt.display())
+        print()
+
+
+def show_table2() -> None:
+    from repro.synthesis import render_table2
+
+    print("=" * 72)
+    print("Table 2: constraints per unknown UF (COO -> MCOO running example)")
+    print("=" * 72)
+    print(render_table2(scoo(), mcoo()))
+    print()
+    conv = synthesize(scoo(), mcoo())
+    print("Synthesis decisions:")
+    for note in conv.notes:
+        print(" -", note)
+    print()
+    print("Generated inspector:")
+    print(conv.source)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="fraction of each Table 3 matrix's true size")
+    parser.add_argument("--tensor-scale", type=float, default=0.00001)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write machine-readable results to this JSON file")
+    parser.add_argument(
+        "--experiment",
+        choices=["all", "table1", "table2", "fig2a", "fig2b", "fig2c",
+                 "fig2d", "fig3", "table4", "table5"],
+        default="all",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = args.experiment
+    collected: dict[str, dict] = {}
+    runners = {
+        "fig2a": run_fig2a,
+        "fig2b": run_fig2b,
+        "fig2c": run_fig2c,
+        "fig2d": run_fig2d,
+        "fig3": run_fig3,
+    }
+
+    if wanted in ("all", "table1"):
+        show_table1()
+    if wanted in ("all", "table2"):
+        show_table2()
+    for key, runner in runners.items():
+        if wanted not in ("all", key):
+            continue
+        print("=" * 72)
+        print(f"{key}  ({PAPER_CLAIMS[key]})")
+        print("=" * 72)
+        result = runner(scale=args.scale, repeats=args.repeats)
+        collected[key] = result.to_dict()
+        print(result.report())
+        print()
+    if wanted in ("all", "table4"):
+        print("=" * 72)
+        print(f"table4  ({PAPER_CLAIMS['table4']})")
+        print("=" * 72)
+        result = run_table4(scale=args.tensor_scale, repeats=args.repeats)
+        collected["table4"] = result.to_dict()
+        print(result.report())
+        print()
+    if wanted in ("all", "table5"):
+        print(render_table5())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(collected, handle, indent=2)
+        print(f"(wrote machine-readable results to {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: convert a sparse matrix between formats with synthesized code.
+
+Builds a small sparse matrix, converts it COO → CSR → CSC → DIA through
+inspectors synthesized from the formal format descriptors, and shows the
+generated code for one conversion.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import COOMatrix, convert, dense_equal, get_conversion
+
+DENSE = [
+    [4.0, 0.0, 9.0, 0.0],
+    [0.0, 7.0, 0.0, 0.0],
+    [0.0, 0.0, 3.0, 8.0],
+    [5.0, 0.0, 0.0, 2.0],
+]
+
+
+def main() -> None:
+    coo = COOMatrix.from_dense(DENSE)
+    print(f"source: {coo}")
+
+    # One call converts through a synthesized (and cached) inspector.
+    csr = convert(coo, "CSR")
+    print(f"CSR rowptr: {csr.rowptr}")
+    print(f"CSR col:    {csr.col}")
+
+    csc = convert(csr, "CSC")
+    print(f"CSC colptr: {csc.colptr}")
+
+    dia = convert(coo, "DIA")
+    print(f"DIA offsets: {dia.off}")
+
+    for name, matrix in [("CSR", csr), ("CSC", csc), ("DIA", dia)]:
+        matrix.check()
+        assert dense_equal(matrix.to_dense(), DENSE), name
+    print("all conversions verified against the dense reference\n")
+
+    # The synthesized inspector is ordinary Python you can read.
+    conversion = get_conversion("SCOO", "CSR")
+    print("synthesized COO->CSR inspector:")
+    print(conversion.source)
+    print("synthesis decisions:")
+    for note in conversion.notes:
+        print("  -", note)
+
+
+if __name__ == "__main__":
+    main()

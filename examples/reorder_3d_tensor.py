@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Mode-agnostic 3-D tensor reordering: COO3D → Morton-ordered COO3D.
+
+The ALTO/HiCOO-style scenario from the paper's Table 4: a 3-D tensor is
+reordered along the Z-order (Morton) curve so mode-agnostic computations
+get locality in every mode.  Compares the synthesized whole-tensor reorder
+against HiCOO's hand-written blocked sort (the Table 4 comparison), checks
+they produce the same ordering, and reports the locality improvement.
+
+Run:  python examples/reorder_3d_tensor.py
+"""
+
+import time
+
+from repro import convert
+from repro.baselines.hicoo import blocked_morton_sort
+from repro.datagen import synthetic_tensor3d
+
+
+def mean_jump(tensor) -> float:
+    """Average coordinate-space jump between consecutive stored entries.
+
+    A proxy for cache behavior of mode-agnostic streaming: lower is better.
+    """
+    total = 0
+    for n in range(1, tensor.nnz):
+        total += (
+            abs(tensor.row[n] - tensor.row[n - 1])
+            + abs(tensor.col[n] - tensor.col[n - 1])
+            + abs(tensor.z[n] - tensor.z[n - 1])
+        )
+    return total / max(1, tensor.nnz - 1)
+
+
+def main() -> None:
+    tensor = synthetic_tensor3d((64, 64, 64), 4000, seed=3)
+    print(f"tensor: {tensor}")
+    print(f"lexicographic order: mean coordinate jump = "
+          f"{mean_jump(tensor):.2f}")
+
+    start = time.perf_counter()
+    ours = convert(tensor, "MCOO3")
+    ours_time = time.perf_counter() - start
+    ours.check()
+
+    start = time.perf_counter()
+    hicoo = blocked_morton_sort(tensor, block_bits=4)
+    hicoo_time = time.perf_counter() - start
+    hicoo.check()
+
+    assert (ours.row, ours.col, ours.z) == (hicoo.row, hicoo.col, hicoo.z)
+    print(f"Morton order:        mean coordinate jump = "
+          f"{mean_jump(ours):.2f}")
+    print()
+    print(f"synthesized whole-tensor reorder: {ours_time * 1e3:8.2f} ms")
+    print(f"HiCOO blocked z-Morton sort:      {hicoo_time * 1e3:8.2f} ms")
+    print(f"ratio (ours / HiCOO):             "
+          f"{ours_time / hicoo_time:8.2f}x  (paper's Table 4: 1.64x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Regenerate Table 1: the formal descriptor of every supported format.
+
+Each descriptor shows the sparse-to-dense map, the data access relation,
+every uninterpreted function's domain and range, and the universal
+quantifiers (monotonic and reordering) — the same information the paper's
+Table 1 tabulates.
+
+Run:  python examples/show_descriptors.py [FORMAT ...]
+"""
+
+import sys
+
+from repro import all_formats, get_format
+
+
+def main() -> None:
+    names = sys.argv[1:]
+    formats = [get_format(n) for n in names] if names else all_formats()
+    for fmt in formats:
+        print(fmt.display())
+        print("-" * 72)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Generated executors: compute kernels synthesized from format descriptors.
+
+The paper expresses both the inspector (conversion) and the executor (the
+computation) in SPF "so both can be optimized in tandem".  This example
+shows the executor side: the same polyhedra-scanning code generator that
+emits conversion inspectors emits SpMV for every format in the library —
+no hand-written per-format loops — and the results agree with a dense
+reference across a conversion chain.
+
+Run:  python examples/spmv_executor.py
+"""
+
+import time
+
+from repro import COOMatrix, convert
+from repro.datagen import banded, stencil_offsets
+from repro.formats import get_format
+from repro.kernels import dense_spmv, run_kernel, synthesize_kernel
+
+
+def main() -> None:
+    print("GENERATED KERNELS (from the format descriptors)\n")
+    for fmt_name in ("CSR", "DIA", "SCOO"):
+        kernel = synthesize_kernel(get_format(fmt_name), "spmv")
+        print(f"--- {fmt_name} SpMV ---")
+        print(kernel.source)
+
+    n = 300
+    coo = banded(n, n, stencil_offsets(5, spread=17), seed=9)
+    dense = coo.to_dense()
+    x = [((i * 13) % 7) / 7.0 + 0.25 for i in range(n)]
+    reference = dense_spmv(dense, x)
+
+    print(f"workload: {coo}, nnz={coo.nnz}")
+    print(f"{'format':8s} {'spmv_ms':>9s}  matches dense")
+    containers = {
+        "SCOO": coo,
+        "CSR": convert(coo, "CSR"),
+        "CSC": convert(coo, "CSC"),
+        "DIA": convert(coo, "DIA"),
+        "MCOO": convert(coo, "MCOO"),
+    }
+    for name, container in containers.items():
+        start = time.perf_counter()
+        y = run_kernel(container, "spmv", x=x)
+        elapsed = (time.perf_counter() - start) * 1e3
+        ok = all(abs(a - b) < 1e-9 for a, b in zip(y, reference))
+        print(f"{name:8s} {elapsed:9.3f}  {ok}")
+        assert ok, name
+
+    total = run_kernel(containers["CSR"], "value_sum")
+    print(f"\nvalue_sum across formats agree: "
+          f"{all(abs(run_kernel(c, 'value_sum') - total) < 1e-9 for c in containers.values())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Optimizing conversion and computation in tandem + amortization analysis.
+
+The paper's key architectural argument: synthesizing the conversion *into
+SPF* lets the inspector and the downstream executor be "optimized in
+tandem".  This example shows both halves of that story:
+
+1. **Tandem collapse** — for a single SpMV after a COO→CSR conversion, the
+   framework retargets the executor through the composed maps and dead-code
+   eliminates the entire conversion: the destination format never
+   materializes, and the optimized pipeline is measurably faster.
+
+2. **Amortization** — when the kernel repeats, conversion pays for itself;
+   the breakeven count is measured per destination format (the intro's
+   "depending on the number of times the operations are executed").
+
+Run:  python examples/tandem_optimization.py
+"""
+
+import time
+
+from repro.datagen import banded, stencil_offsets
+from repro.evalharness import amortization_report
+from repro.formats import container_to_env, csr, scoo
+from repro.synthesis import tandem
+
+
+def main() -> None:
+    n = 400
+    coo = banded(n, n, stencil_offsets(5, spread=21), seed=11)
+    x = [((i * 29) % 13) / 13.0 + 0.1 for i in range(n)]
+    env = container_to_env(coo)
+    inputs = {**{k: env[k] for k in ("row1", "col1", "Asrc", "NR", "NC",
+                                     "NNZ")}, "x": x}
+
+    print("PART 1: tandem optimization (single SpMV after COO->CSR)\n")
+    result = tandem(scoo(), csr(), "spmv")
+    for note in result.notes:
+        print(" -", note)
+    print("\noptimized pipeline:")
+    print(result.optimized_source)
+
+    start = time.perf_counter()
+    naive = result.run_naive(**inputs)["y"]
+    naive_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    optimized = result.run_optimized(**inputs)["y"]
+    optimized_ms = (time.perf_counter() - start) * 1e3
+    assert all(abs(a - b) < 1e-9 for a, b in zip(naive, optimized))
+    print(f"naive (convert + CSR SpMV): {naive_ms:8.3f} ms")
+    print(f"tandem-optimized:           {optimized_ms:8.3f} ms")
+    print(f"speedup:                    {naive_ms / optimized_ms:8.2f}x")
+
+    print("\nPART 2: when does converting pay off?\n")
+    print(amortization_report(coo, destinations=("CSR", "CSC", "DIA")))
+    print(
+        "\nreading: converting to CSR/CSC amortizes after a handful of"
+        "\nSpMVs.  For DIA the breakeven is much larger or absent: its"
+        "\nconversion is the expensive Figure 2d one, and interpreted DIA"
+        "\nSpMV does not beat COO SpMV until diagonal regularity can be"
+        "\nexploited (e.g. by vectorization), so staying put wins here."
+    )
+
+
+if __name__ == "__main__":
+    main()

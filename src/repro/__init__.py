@@ -1,0 +1,127 @@
+"""repro — reproduction of "Code Synthesis for Sparse Tensor Format
+Conversion and Optimization" (Popoola et al., CGO 2023).
+
+The package synthesizes sparse-format conversion inspectors from formal
+format descriptors expressed in the sparse polyhedral framework:
+
+>>> from repro import convert, COOMatrix
+>>> coo = COOMatrix.from_dense([[0.0, 1.0], [2.0, 0.0]])
+>>> csr = convert(coo, "CSR")
+>>> csr.rowptr, csr.col
+([0, 1, 2], [1, 0])
+
+Layers (bottom-up): :mod:`repro.ir` (sets/relations with uninterpreted
+functions), :mod:`repro.spf` (the SPF-IR and code generation),
+:mod:`repro.formats` (Table 1 descriptors), :mod:`repro.synthesis` (the
+Section 3.2 algorithm), :mod:`repro.runtime` (containers and the executor),
+:mod:`repro.baselines` (TACO/SPARSKIT/MKL/HiCOO-style comparators),
+:mod:`repro.datagen` and :mod:`repro.evalharness` (the evaluation).
+"""
+
+from .formats import (
+    FormatDescriptor,
+    all_formats,
+    container_format,
+    container_to_env,
+    get_format,
+    outputs_to_container,
+)
+from .runtime import (
+    BCSRMatrix,
+    COOMatrix,
+    COOTensor3D,
+    CSCMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    MortonCOOMatrix,
+    MortonCOOTensor3D,
+    dense_equal,
+)
+from .synthesis import SynthesisError, SynthesizedConversion, synthesize
+from .planner import (
+    ConversionPlan,
+    ConversionPlanner,
+    convert_via_plan,
+    default_planner,
+)
+
+__version__ = "1.0.0"
+
+_CONVERSION_CACHE: dict = {}
+
+
+def get_conversion(
+    src_name: str,
+    dst_name: str,
+    *,
+    optimize: bool = True,
+    binary_search: bool = False,
+) -> SynthesizedConversion:
+    """Synthesize (and cache) the inspector converting between two formats."""
+    key = (src_name.upper(), dst_name.upper(), optimize, binary_search)
+    cached = _CONVERSION_CACHE.get(key)
+    if cached is None:
+        cached = synthesize(
+            get_format(src_name),
+            get_format(dst_name),
+            optimize=optimize,
+            binary_search=binary_search,
+        )
+        _CONVERSION_CACHE[key] = cached
+    return cached
+
+
+def convert(
+    container,
+    dst_name: str,
+    *,
+    optimize: bool = True,
+    binary_search: bool = False,
+    assume_sorted: bool = True,
+):
+    """Convert a runtime container to another format via synthesized code.
+
+    The source descriptor is inferred from the container (sorted COO maps to
+    SCOO unless ``assume_sorted=False``), the inspector is synthesized once
+    and cached, and the outputs are packed back into the right container.
+    """
+    src_name = container_format(container, assume_sorted=assume_sorted)
+    conversion = get_conversion(
+        src_name, dst_name, optimize=optimize, binary_search=binary_search
+    )
+    env = container_to_env(container)
+    inputs = {p: env[p] for p in conversion.params}
+    outputs = conversion(**inputs)
+    return outputs_to_container(
+        dst_name, outputs, conversion.uf_output_map, env
+    )
+
+
+__all__ = [
+    "BCSRMatrix",
+    "COOMatrix",
+    "COOTensor3D",
+    "CSCMatrix",
+    "CSRMatrix",
+    "ConversionPlan",
+    "ConversionPlanner",
+    "DIAMatrix",
+    "ELLMatrix",
+    "FormatDescriptor",
+    "MortonCOOMatrix",
+    "MortonCOOTensor3D",
+    "SynthesisError",
+    "SynthesizedConversion",
+    "all_formats",
+    "container_format",
+    "container_to_env",
+    "convert",
+    "convert_via_plan",
+    "default_planner",
+    "dense_equal",
+    "get_conversion",
+    "get_format",
+    "outputs_to_container",
+    "synthesize",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``formats`` — list the format library (Table 1 descriptors),
+* ``show FORMAT`` — print one descriptor in Table 1 notation,
+* ``synthesize SRC DST`` — print the generated inspector (Python and,
+  with ``--c``, display C) plus the synthesis decision log,
+* ``convert IN.mtx OUT.mtx --to FORMAT`` — convert a Matrix Market file
+  through a synthesized inspector (multi-step planning with ``--plan``),
+* ``kernel FORMAT KIND`` — print a generated executor kernel,
+* ``selftest`` — differential-test every conversion on random matrices.
+
+For the paper's evaluation sweep use ``python benchmarks/run_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import get_format, all_formats
+from repro.synthesis import synthesize
+
+
+def cmd_formats(_args) -> int:
+    for fmt in all_formats():
+        print(f"{fmt.name:8s} rank {fmt.rank}  {fmt.description}")
+    return 0
+
+
+def cmd_show(args) -> int:
+    from repro.io import descriptor_to_dict, resolve_format
+
+    fmt = resolve_format(args.format)
+    if args.json:
+        import json
+
+        print(json.dumps(descriptor_to_dict(fmt), indent=2))
+    else:
+        print(fmt.display())
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    from repro.io import resolve_format
+
+    conv = synthesize(
+        resolve_format(args.src),
+        resolve_format(args.dst),
+        optimize=not args.no_optimize,
+        binary_search=args.binary_search,
+    )
+    print(conv.source)
+    if args.c:
+        print("/* display C */")
+        print(conv.c_source)
+    if args.notes:
+        print("# synthesis decisions:")
+        for note in conv.notes:
+            print("#  -", note)
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from repro.io import read_matrix, write_matrix
+    from repro import convert, dense_equal
+    from repro.planner import default_planner
+
+    matrix = read_matrix(args.input)
+    print(f"read {matrix} from {args.input}", file=sys.stderr)
+    if args.plan:
+        result = default_planner().execute(matrix, args.to)
+        plan = default_planner().plan(
+            "SCOO" if matrix.is_sorted_lexicographic() else "COO", args.to
+        )
+        print(f"plan: {plan}", file=sys.stderr)
+    else:
+        result = convert(matrix, args.to, binary_search=args.binary_search)
+    if args.verify:
+        if not dense_equal(result.to_dense(), matrix.to_dense()):
+            print("VERIFICATION FAILED", file=sys.stderr)
+            return 1
+        print("verified against dense reference", file=sys.stderr)
+    # Persist by converting the result back to COO coordinates.
+    from repro import COOMatrix
+
+    out_coo = COOMatrix.from_dense(result.to_dense())
+    write_matrix(out_coo, args.output,
+                 comment=f"converted to {args.to} by repro")
+    print(f"wrote {args.output} ({result})", file=sys.stderr)
+    return 0
+
+
+def cmd_kernel(args) -> int:
+    from repro.kernels import synthesize_kernel
+
+    kernel = synthesize_kernel(get_format(args.format), args.kind)
+    print(kernel.source)
+    if args.c:
+        print("/* display C */")
+        print(kernel.c_source)
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    from repro.validation import differential_test
+
+    report = differential_test(trials=args.trials, seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("formats", help="list the format library")
+
+    p_show = sub.add_parser("show", help="print one descriptor")
+    p_show.add_argument("format",
+                        help="library format name or descriptor .json path")
+    p_show.add_argument("--json", action="store_true",
+                        help="dump the descriptor as JSON")
+
+    p_synth = sub.add_parser("synthesize", help="print a generated inspector")
+    p_synth.add_argument("src",
+                         help="library format name or descriptor .json path")
+    p_synth.add_argument("dst",
+                         help="library format name or descriptor .json path")
+    p_synth.add_argument("--no-optimize", action="store_true")
+    p_synth.add_argument("--binary-search", action="store_true")
+    p_synth.add_argument("--c", action="store_true",
+                         help="also print display C")
+    p_synth.add_argument("--notes", action="store_true",
+                         help="print the synthesis decision log")
+
+    p_conv = sub.add_parser("convert", help="convert a MatrixMarket file")
+    p_conv.add_argument("input")
+    p_conv.add_argument("output")
+    p_conv.add_argument("--to", required=True, help="destination format")
+    p_conv.add_argument("--binary-search", action="store_true")
+    p_conv.add_argument("--plan", action="store_true",
+                        help="use the multi-step planner")
+    p_conv.add_argument("--verify", action="store_true",
+                        help="check the result against a dense reference")
+
+    p_self = sub.add_parser(
+        "selftest", help="differential-test all conversions on random data"
+    )
+    p_self.add_argument("--trials", type=int, default=20)
+    p_self.add_argument("--seed", type=int, default=0)
+
+    p_kern = sub.add_parser("kernel", help="print a generated executor")
+    p_kern.add_argument("format")
+    p_kern.add_argument("kind", choices=["spmv", "spmv_t", "row_sums",
+                                         "scale", "value_sum"])
+    p_kern.add_argument("--c", action="store_true")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "formats": cmd_formats,
+        "show": cmd_show,
+        "synthesize": cmd_synthesize,
+        "convert": cmd_convert,
+        "kernel": cmd_kernel,
+        "selftest": cmd_selftest,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

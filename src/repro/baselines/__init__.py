@@ -1,0 +1,37 @@
+"""Baseline conversion libraries the paper compares against.
+
+Each module re-implements the conversion *algorithms* of one comparator in
+pure Python, matching the abstraction level of the synthesized inspectors:
+
+* :mod:`.taco_style` — TACO's two-pass assembly with dense lookup tables,
+* :mod:`.sparskit_style` — SPARSKIT's coocsr/csrcsc/csrdia (with
+  intermediary-format paths),
+* :mod:`.mkl_style` — MKL's sort-then-assemble canonical conversions,
+* :mod:`.hicoo` — HiCOO's hand-written blocked z-Morton reorder (Table 4).
+"""
+
+from . import hicoo, mkl_style, sparskit_style, taco_style
+
+# (conversion, library) -> callable(container) -> container
+REGISTRY = {
+    ("COO_CSR", "taco"): taco_style.coo_to_csr,
+    ("COO_CSR", "sparskit"): sparskit_style.coocsr,
+    ("COO_CSR", "mkl"): mkl_style.coo_to_csr,
+    ("COO_CSC", "taco"): taco_style.coo_to_csc,
+    ("COO_CSC", "sparskit"): sparskit_style.coocsc,
+    ("COO_CSC", "mkl"): mkl_style.coo_to_csc,
+    ("CSR_CSC", "taco"): taco_style.csr_to_csc,
+    ("CSR_CSC", "sparskit"): sparskit_style.csrcsc,
+    ("CSR_CSC", "mkl"): mkl_style.csr_to_csc,
+    ("COO_DIA", "taco"): taco_style.coo_to_dia,
+    ("COO_DIA", "sparskit"): sparskit_style.coodia,
+    ("COO_DIA", "mkl"): mkl_style.coo_to_dia,
+}
+
+__all__ = [
+    "REGISTRY",
+    "hicoo",
+    "mkl_style",
+    "sparskit_style",
+    "taco_style",
+]

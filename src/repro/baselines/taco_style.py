@@ -1,0 +1,131 @@
+"""TACO-style conversion routines (Kjolstad et al. / Chou et al.).
+
+TACO's generated converters analyze the tensor's structural statistics and
+assemble the destination with coordinate-level two-pass algorithms:
+histogram the target dimension, prefix-sum into pointers, then scatter.
+For DIA, TACO builds a dense diagonal-index lookup table so the scatter is
+O(1) per nonzero — the reason the paper's synthesized linear-search copy is
+~5x slower on matrices with many diagonals (Figure 2d).
+
+These are faithful pure-Python re-implementations of the *algorithms*
+(not of TACO's C output), kept at the same abstraction level as the
+synthesized inspectors so relative timings reflect algorithmic differences.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import COOMatrix, CSCMatrix, CSRMatrix, DIAMatrix
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """Histogram rows, prefix-sum, scatter (assumes sorted or unsorted COO)."""
+    nnz = coo.nnz
+    counts = [0] * (coo.nrows + 1)
+    for n in range(nnz):
+        counts[coo.row[n] + 1] += 1
+    for i in range(coo.nrows):
+        counts[i + 1] += counts[i]
+    rowptr = counts
+    col = [0] * nnz
+    val = [0.0] * nnz
+    fill = rowptr[:-1].copy()
+    for n in range(nnz):
+        i = coo.row[n]
+        pos = fill[i]
+        col[pos] = coo.col[n]
+        val[pos] = coo.val[n]
+        fill[i] = pos + 1
+    return CSRMatrix(coo.nrows, coo.ncols, rowptr, col, val)
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """Histogram columns, prefix-sum, scatter.
+
+    Requires the source sorted row-major so rows within a column come out
+    ordered (the Figure 2 assumption).
+    """
+    nnz = coo.nnz
+    counts = [0] * (coo.ncols + 1)
+    for n in range(nnz):
+        counts[coo.col[n] + 1] += 1
+    for j in range(coo.ncols):
+        counts[j + 1] += counts[j]
+    colptr = counts
+    row = [0] * nnz
+    val = [0.0] * nnz
+    fill = colptr[:-1].copy()
+    for n in range(nnz):
+        j = coo.col[n]
+        pos = fill[j]
+        row[pos] = coo.row[n]
+        val[pos] = coo.val[n]
+        fill[j] = pos + 1
+    return CSCMatrix(coo.nrows, coo.ncols, colptr, row, val)
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """The classic two-pass CSR transpose."""
+    nnz = csr.nnz
+    counts = [0] * (csr.ncols + 1)
+    for k in range(nnz):
+        counts[csr.col[k] + 1] += 1
+    for j in range(csr.ncols):
+        counts[j + 1] += counts[j]
+    colptr = counts
+    row = [0] * nnz
+    val = [0.0] * nnz
+    fill = colptr[:-1].copy()
+    for i in range(csr.nrows):
+        for k in range(csr.rowptr[i], csr.rowptr[i + 1]):
+            j = csr.col[k]
+            pos = fill[j]
+            row[pos] = i
+            val[pos] = csr.val[k]
+            fill[j] = pos + 1
+    return CSCMatrix(csr.nrows, csr.ncols, colptr, row, val)
+
+
+def coo_to_dia(coo: COOMatrix) -> DIAMatrix:
+    """Flag diagonals, build a dense offset->index table, O(1) scatter."""
+    nnz = coo.nnz
+    span = coo.nrows + coo.ncols - 1
+    present = [False] * span
+    for n in range(nnz):
+        present[coo.col[n] - coo.row[n] + coo.nrows - 1] = True
+    offsets = []
+    index_of = [-1] * span
+    for slot in range(span):
+        if present[slot]:
+            index_of[slot] = len(offsets)
+            offsets.append(slot - coo.nrows + 1)
+    nd = len(offsets)
+    data = [0.0] * (coo.nrows * nd)
+    base = coo.nrows - 1
+    for n in range(nnz):
+        i = coo.row[n]
+        d = index_of[coo.col[n] - i + base]
+        data[nd * i + d] = coo.val[n]
+    return DIAMatrix(coo.nrows, coo.ncols, offsets, data)
+
+
+def csr_to_dia(csr: CSRMatrix) -> DIAMatrix:
+    """CSR input variant of the diagonal assembly."""
+    span = csr.nrows + csr.ncols - 1
+    present = [False] * span
+    base = csr.nrows - 1
+    for i in range(csr.nrows):
+        for k in range(csr.rowptr[i], csr.rowptr[i + 1]):
+            present[csr.col[k] - i + base] = True
+    offsets = []
+    index_of = [-1] * span
+    for slot in range(span):
+        if present[slot]:
+            index_of[slot] = len(offsets)
+            offsets.append(slot - base)
+    nd = len(offsets)
+    data = [0.0] * (csr.nrows * nd)
+    for i in range(csr.nrows):
+        for k in range(csr.rowptr[i], csr.rowptr[i + 1]):
+            d = index_of[csr.col[k] - i + base]
+            data[nd * i + d] = csr.val[k]
+    return DIAMatrix(csr.nrows, csr.ncols, offsets, data)

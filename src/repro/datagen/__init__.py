@@ -1,0 +1,41 @@
+"""Workload generation: synthetic SuiteSparse / FROSTT stand-ins."""
+
+from .matrices import (
+    banded,
+    fem_blocks,
+    power_law,
+    random_uniform,
+    shuffled,
+    stencil_offsets,
+)
+from .tensors3d import synthetic_tensor3d
+from .suitesparse import (
+    BY_NAME,
+    DIA_SUBSET,
+    TABLE3,
+    TABLE4,
+    TENSOR_BY_NAME,
+    MatrixInfo,
+    TensorInfo,
+    load,
+    load_tensor,
+)
+
+__all__ = [
+    "BY_NAME",
+    "DIA_SUBSET",
+    "TABLE3",
+    "TABLE4",
+    "TENSOR_BY_NAME",
+    "MatrixInfo",
+    "TensorInfo",
+    "banded",
+    "fem_blocks",
+    "load",
+    "load_tensor",
+    "power_law",
+    "random_uniform",
+    "shuffled",
+    "stencil_offsets",
+    "synthetic_tensor3d",
+]

@@ -1,0 +1,169 @@
+"""Synthetic sparse matrix generators.
+
+The paper evaluates on SuiteSparse matrices; offline we generate synthetic
+matrices from the same structural families so the evaluation exercises the
+same code paths:
+
+* :func:`banded` — stencil/discretization matrices (jnlbrng1, ecology1...),
+  where the diagonal count drives the COO→DIA story,
+* :func:`fem_blocks` — clustered FEM matrices (cant, consph, pwtk...),
+* :func:`power_law` — scale-free row degrees (webbase1M, scircuit...),
+* :func:`random_uniform` — uniformly scattered nonzeros.
+
+All generators return a lexicographically sorted :class:`COOMatrix` with
+deterministic content for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.runtime import COOMatrix
+
+
+def _to_coo(nrows: int, ncols: int, entries: dict) -> COOMatrix:
+    items = sorted(entries.items())
+    return COOMatrix(
+        nrows,
+        ncols,
+        [ij[0] for ij, _ in items],
+        [ij[1] for ij, _ in items],
+        [v for _, v in items],
+    )
+
+
+def stencil_offsets(ndiags: int, spread: int | None = None) -> list[int]:
+    """Symmetric diagonal offsets for an ``ndiags``-diagonal stencil.
+
+    The main diagonal plus pairs at ±1, ±spread, ±(spread+1), ... — the
+    shape of 2-D/3-D finite-difference discretizations.
+    """
+    if ndiags < 1:
+        raise ValueError("need at least one diagonal")
+    spread = spread or 64
+    offsets = [0]
+    # ±1, ±spread, ±(spread+1), ±2·spread, ±(2·spread+1), ... — bounded by
+    # roughly (ndiags/4)·spread so every diagonal fits in small matrices.
+    candidates = [1]
+    multiple = 1
+    while len(candidates) < ndiags:
+        candidates.append(multiple * spread)
+        candidates.append(multiple * spread + 1)
+        multiple += 1
+    for step in candidates:
+        if len(offsets) >= ndiags:
+            break
+        if step not in offsets:
+            offsets.append(step)
+        if len(offsets) < ndiags and -step not in offsets:
+            offsets.append(-step)
+    return sorted(offsets[:ndiags])
+
+
+def banded(
+    nrows: int,
+    ncols: int,
+    offsets: Sequence[int],
+    *,
+    density: float = 1.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """A matrix populated along the given diagonals.
+
+    ``density`` < 1 drops entries at random, which keeps the diagonal
+    *count* stable while thinning the nonzeros (like chem_master1's
+    irregular bands).
+    """
+    rng = random.Random(seed)
+    entries: dict = {}
+    for off in offsets:
+        lo = max(0, -off)
+        hi = min(nrows, ncols - off)
+        for i in range(lo, hi):
+            if density >= 1.0 or rng.random() < density:
+                entries[(i, i + off)] = rng.uniform(0.5, 2.0)
+    if not entries:
+        entries[(0, 0)] = 1.0
+    return _to_coo(nrows, ncols, entries)
+
+
+def fem_blocks(
+    nrows: int,
+    *,
+    block: int = 6,
+    blocks_per_row: int = 8,
+    bandwidth: int | None = None,
+    seed: int = 0,
+) -> COOMatrix:
+    """A square FEM-like matrix: dense blocks clustered near the diagonal."""
+    rng = random.Random(seed)
+    nblocks = max(1, nrows // block)
+    bandwidth = bandwidth or max(4 * blocks_per_row, 16)
+    entries: dict = {}
+    for bi in range(nblocks):
+        cols = {bi}
+        while len(cols) < min(blocks_per_row, nblocks):
+            delta = int(rng.gauss(0, bandwidth / 2))
+            bj = min(max(bi + delta, 0), nblocks - 1)
+            cols.add(bj)
+        for bj in cols:
+            for r in range(block):
+                for c in range(block):
+                    i, j = bi * block + r, bj * block + c
+                    if i < nrows and j < nrows:
+                        entries[(i, j)] = rng.uniform(0.5, 2.0)
+    return _to_coo(nrows, nrows, entries)
+
+
+def power_law(
+    nrows: int,
+    ncols: int,
+    nnz: int,
+    *,
+    alpha: float = 2.0,
+    seed: int = 0,
+) -> COOMatrix:
+    """Scale-free matrix: row degrees follow a (truncated) power law."""
+    rng = random.Random(seed)
+    entries: dict = {}
+    attempts = 0
+    max_attempts = nnz * 20
+    while len(entries) < nnz and attempts < max_attempts:
+        attempts += 1
+        # Inverse-CDF sample of a Zipf-ish row index.
+        u = rng.random()
+        i = int(nrows * (u ** alpha))
+        i = min(i, nrows - 1)
+        j = rng.randrange(ncols)
+        entries[(i, j)] = rng.uniform(0.5, 2.0)
+    return _to_coo(nrows, ncols, entries)
+
+
+def random_uniform(
+    nrows: int, ncols: int, nnz: int, *, seed: int = 0
+) -> COOMatrix:
+    """Uniformly scattered nonzeros (no structure)."""
+    rng = random.Random(seed)
+    if nnz > nrows * ncols:
+        raise ValueError("nnz exceeds the matrix capacity")
+    entries: dict = {}
+    while len(entries) < nnz:
+        entries[(rng.randrange(nrows), rng.randrange(ncols))] = rng.uniform(
+            0.5, 2.0
+        )
+    return _to_coo(nrows, ncols, entries)
+
+
+def shuffled(coo: COOMatrix, *, seed: int = 0) -> COOMatrix:
+    """A random permutation of a COO matrix's entries (unsorted COO)."""
+    rng = random.Random(seed)
+    order = list(range(coo.nnz))
+    rng.shuffle(order)
+    return COOMatrix(
+        coo.nrows,
+        coo.ncols,
+        [coo.row[n] for n in order],
+        [coo.col[n] for n in order],
+        [coo.val[n] for n in order],
+    )

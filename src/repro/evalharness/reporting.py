@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (floats get 4 significant digits)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell != cell:  # NaN
+                return "-"
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1000 or magnitude < 0.0001:
+                return f"{cell:.3e}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_speedups(speedups: dict[str, float], label: str = "ours") -> str:
+    """One line per baseline: geomean speedup or slowdown of ``label``."""
+    lines = []
+    for name, factor in speedups.items():
+        if factor != factor:
+            lines.append(f"{label} vs {name}: n/a")
+        elif factor >= 1:
+            lines.append(f"{label} vs {name}: {factor:.2f}x faster (geomean)")
+        else:
+            lines.append(
+                f"{label} vs {name}: {1 / factor:.2f}x slower (geomean)"
+            )
+    return "\n".join(lines)

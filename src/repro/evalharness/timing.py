@@ -1,0 +1,37 @@
+"""Timing utilities for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Iterable, Sequence
+
+
+def time_fn(fn: Callable, *args, repeats: int = 3, **kwargs) -> float:
+    """Best-of-``repeats`` wall time of ``fn(*args, **kwargs)`` in seconds."""
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for all speedup claims)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_table(
+    ours: Sequence[float], baselines: dict[str, Sequence[float]]
+) -> dict[str, float]:
+    """Geomean speedup of ours vs each baseline (>1 means ours is faster)."""
+    out = {}
+    for name, times in baselines.items():
+        ratios = [b / o for o, b in zip(ours, times) if o > 0 and b > 0]
+        out[name] = geomean(ratios)
+    return out

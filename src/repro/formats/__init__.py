@@ -1,0 +1,46 @@
+"""Sparse format descriptors (Table 1) and container bindings."""
+
+from .descriptor import FormatDescriptor, FormatError
+from .library import (
+    all_formats,
+    bcsr,
+    coo,
+    coo3d,
+    csc,
+    csf,
+    csr,
+    dia,
+    ell,
+    get_format,
+    mcoo,
+    mcoo3,
+    scoo,
+)
+from .bindings import (
+    BindingError,
+    container_format,
+    container_to_env,
+    outputs_to_container,
+)
+
+__all__ = [
+    "BindingError",
+    "FormatDescriptor",
+    "FormatError",
+    "all_formats",
+    "bcsr",
+    "container_format",
+    "container_to_env",
+    "coo",
+    "coo3d",
+    "csc",
+    "csf",
+    "csr",
+    "dia",
+    "ell",
+    "get_format",
+    "mcoo",
+    "mcoo3",
+    "outputs_to_container",
+    "scoo",
+]

@@ -1,0 +1,220 @@
+"""Glue between format descriptors and runtime tensor containers.
+
+A descriptor talks about uninterpreted functions (``rowptr``, ``col2``...);
+a container holds concrete arrays.  Bindings translate both ways so the
+high-level :func:`repro.convert` API can run synthesized inspectors on
+containers directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.runtime import (
+    BCSRMatrix,
+    CSFTensor,
+    COOMatrix,
+    COOTensor3D,
+    CSCMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    MortonCOOMatrix,
+    MortonCOOTensor3D,
+)
+
+from .descriptor import FormatDescriptor
+from .library import get_format
+
+
+class BindingError(ValueError):
+    """Raised when a container cannot be bound to a format descriptor."""
+
+
+def container_format(container, *, assume_sorted: bool = True) -> str:
+    """The descriptor name matching a runtime container.
+
+    For plain COO containers, ``assume_sorted`` selects SCOO when the data
+    is lexicographically sorted (the paper's Figure 2 assumption).
+    """
+    if isinstance(container, MortonCOOMatrix):
+        return "MCOO"
+    if isinstance(container, COOMatrix):
+        if assume_sorted and container.is_sorted_lexicographic():
+            return "SCOO"
+        return "COO"
+    if isinstance(container, CSRMatrix):
+        return "CSR"
+    if isinstance(container, CSCMatrix):
+        return "CSC"
+    if isinstance(container, DIAMatrix):
+        return "DIA"
+    if isinstance(container, BCSRMatrix):
+        return "BCSR"
+    if isinstance(container, ELLMatrix):
+        return "ELL"
+    if isinstance(container, CSFTensor):
+        return "CSF"
+    if isinstance(container, MortonCOOTensor3D):
+        return "MCOO3"
+    if isinstance(container, COOTensor3D):
+        srt = container.sorted_lexicographic()
+        same = (
+            srt.row == container.row
+            and srt.col == container.col
+            and srt.z == container.z
+        )
+        return "SCOO3D" if (assume_sorted and same) else "COO3D"
+    raise BindingError(f"no format descriptor for container {container!r}")
+
+
+def container_to_env(container) -> dict:
+    """Bind a container's arrays to its descriptor's UF / symbol names."""
+    if isinstance(container, MortonCOOMatrix):
+        return {
+            "row_m": container.row,
+            "col_m": container.col,
+            "Asrc": container.val,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, COOMatrix):
+        return {
+            "row1": container.row,
+            "col1": container.col,
+            "Asrc": container.val,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, CSRMatrix):
+        return {
+            "rowptr": container.rowptr,
+            "col2": container.col,
+            "Asrc": container.val,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, CSCMatrix):
+        return {
+            "colptr": container.colptr,
+            "row2": container.row,
+            "Asrc": container.val,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, DIAMatrix):
+        return {
+            "off": container.off,
+            "Asrc": container.data,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "ND": container.ndiags,
+        }
+    if isinstance(container, BCSRMatrix):
+        return {
+            "browptr": container.browptr,
+            "bcol": container.bcol,
+            "Asrc": container.data,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "NBR": container.nblockrows,
+            "NB": container.nblocks,
+            "NBC": -(-container.ncols // container.bsize),
+        }
+    if isinstance(container, ELLMatrix):
+        return {
+            "ellcol": container.col,
+            "Asrc": container.val,
+            "NR": container.nrows,
+            "NC": container.ncols,
+            "W": container.width,
+        }
+    if isinstance(container, CSFTensor):
+        return {
+            "rootidx": container.rootidx,
+            "fptr": container.fptr,
+            "fibidx": container.fibidx,
+            "kptr": container.kptr,
+            "kidx": container.kidx,
+            "Asrc": container.val,
+            "NR": container.dims[0],
+            "NC": container.dims[1],
+            "NZ": container.dims[2],
+            "NROOT": container.nroots,
+            "NFIB": container.nfibers,
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, MortonCOOTensor3D):
+        return {
+            "row_m": container.row,
+            "col_m": container.col,
+            "z_m": container.z,
+            "Asrc": container.val,
+            "NR": container.dims[0],
+            "NC": container.dims[1],
+            "NZ": container.dims[2],
+            "NNZ": container.nnz,
+        }
+    if isinstance(container, COOTensor3D):
+        return {
+            "row1": container.row,
+            "col1": container.col,
+            "z1": container.z,
+            "Asrc": container.val,
+            "NR": container.dims[0],
+            "NC": container.dims[1],
+            "NZ": container.dims[2],
+            "NNZ": container.nnz,
+        }
+    raise BindingError(f"no environment binding for container {container!r}")
+
+
+def outputs_to_container(
+    dst_name: str,
+    outputs: Mapping[str, object],
+    uf_output_map: Mapping[str, str],
+    src_env: Mapping[str, object],
+):
+    """Build the destination container from an inspector's output dict.
+
+    ``uf_output_map`` translates the descriptor's canonical UF names to the
+    (possibly suffixed) names the generated inspector returned; ``src_env``
+    supplies the shape symbols.
+    """
+
+    def get(canonical: str):
+        return outputs[uf_output_map.get(canonical, canonical)]
+
+    data = outputs["Adst"]
+    nr = src_env.get("NR")
+    nc = src_env.get("NC")
+    name = dst_name.upper()
+    if name in ("COO", "SCOO"):
+        return COOMatrix(nr, nc, get("row1"), get("col1"), data)
+    if name == "MCOO":
+        return MortonCOOMatrix(nr, nc, get("row_m"), get("col_m"), data)
+    if name == "CSR":
+        return CSRMatrix(nr, nc, get("rowptr"), get("col2"), data)
+    if name == "CSC":
+        return CSCMatrix(nr, nc, get("colptr"), get("row2"), data)
+    if name == "DIA":
+        off = get("off")
+        return DIAMatrix(nr, nc, list(off), data)
+    if name in ("COO3D", "SCOO3D"):
+        dims = (nr, nc, src_env.get("NZ"))
+        return COOTensor3D(dims, get("row1"), get("col1"), get("z1"), data)
+    if name == "MCOO3":
+        dims = (nr, nc, src_env.get("NZ"))
+        return MortonCOOTensor3D(
+            dims, get("row_m"), get("col_m"), get("z_m"), data
+        )
+    if name.startswith("BCSR"):
+        bsize = int(name[4:]) if name[4:] else 2
+        return BCSRMatrix(
+            nr, nc, bsize, get("browptr"), get("bcol"), data
+        )
+    raise BindingError(f"no container for destination format {dst_name!r}")

@@ -1,0 +1,374 @@
+"""The format library: every descriptor from Table 1, plus extensions.
+
+Formats included (paper Table 1): COO, SCOO (lexicographically sorted COO —
+the source format Figure 2 assumes), MCOO (Morton-ordered COO), COO3D,
+SCOO3D, MCOO3 (Morton-ordered 3-D COO), CSR, CSC, DIA.  Expressiveness
+extensions usable as conversion *sources* (their size symbols are
+distinct-value or maximum counts the constraint cases cannot derive, so
+they cannot be destinations): BCSR (Figure 1's blocked format), CSF
+(compressed sparse fiber), and ELL (padded ELLPACK).
+
+Data access relations use fresh output tuple variables (``nd``, ``kd``)
+equated to the position variable, since relations keep the two tuples
+disjoint.
+"""
+
+from __future__ import annotations
+
+from repro.ir import (
+    MonotonicQuantifier,
+    lexicographic,
+    morton,
+)
+from .descriptor import FormatDescriptor
+
+
+def coo(*, sorted_lex: bool = False, name: str | None = None) -> FormatDescriptor:
+    """2-D coordinate format; ``sorted_lex=True`` gives SCOO."""
+    return FormatDescriptor(
+        name=name or ("SCOO" if sorted_lex else "COO"),
+        sparse_to_dense=(
+            "{[n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i"
+            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj] -> [nd] : nd = n}",
+        uf_domains={
+            "row1": "{[x] : 0 <= x < NNZ}",
+            "col1": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row1": "{[i] : 0 <= i < NR}",
+            "col1": "{[i] : 0 <= i < NC}",
+        },
+        ordering=lexicographic(["i", "j"]) if sorted_lex else None,
+        coord_ufs={"i": "row1", "j": "col1"},
+        shape_syms=["NR", "NC"],
+        position_var="n",
+        description=(
+            "Coordinate format"
+            + (", sorted lexicographically row-first" if sorted_lex else "")
+        ),
+    )
+
+
+def scoo() -> FormatDescriptor:
+    """Sorted COO: row-major lexicographic order (Figure 2's source)."""
+    return coo(sorted_lex=True)
+
+
+def mcoo() -> FormatDescriptor:
+    """Morton-ordered COO (the paper's running example destination)."""
+    return FormatDescriptor(
+        name="MCOO",
+        sparse_to_dense=(
+            "{[n, ii, jj] -> [i, j] : row_m(n) = i && col_m(n) = j && ii = i"
+            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj] -> [nd] : nd = n}",
+        uf_domains={
+            "row_m": "{[x] : 0 <= x < NNZ}",
+            "col_m": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row_m": "{[i] : 0 <= i < NR}",
+            "col_m": "{[i] : 0 <= i < NC}",
+        },
+        ordering=morton(["i", "j"]),
+        coord_ufs={"i": "row_m", "j": "col_m"},
+        shape_syms=["NR", "NC"],
+        position_var="n",
+        description="COO sorted by the Morton (Z-order) curve",
+    )
+
+
+def coo3d(
+    *, sorted_lex: bool = False, name: str | None = None
+) -> FormatDescriptor:
+    """3-D coordinate format (COO3D / SCOO3D)."""
+    return FormatDescriptor(
+        name=name or ("SCOO3D" if sorted_lex else "COO3D"),
+        sparse_to_dense=(
+            "{[n, ii, jj, kk] -> [i, j, k] : row1(n) = i && col1(n) = j"
+            " && z1(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
+            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
+        uf_domains={
+            "row1": "{[x] : 0 <= x < NNZ}",
+            "col1": "{[x] : 0 <= x < NNZ}",
+            "z1": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row1": "{[i] : 0 <= i < NR}",
+            "col1": "{[i] : 0 <= i < NC}",
+            "z1": "{[i] : 0 <= i < NZ}",
+        },
+        ordering=lexicographic(["i", "j", "k"]) if sorted_lex else None,
+        coord_ufs={"i": "row1", "j": "col1", "k": "z1"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="n",
+        description="3-D coordinate format",
+    )
+
+
+def mcoo3() -> FormatDescriptor:
+    """Morton-ordered 3-D COO (the Table 4 destination)."""
+    return FormatDescriptor(
+        name="MCOO3",
+        sparse_to_dense=(
+            "{[n, ii, jj, kk] -> [i, j, k] : row_m(n) = i && col_m(n) = j"
+            " && z_m(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
+            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
+        uf_domains={
+            "row_m": "{[x] : 0 <= x < NNZ}",
+            "col_m": "{[x] : 0 <= x < NNZ}",
+            "z_m": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row_m": "{[i] : 0 <= i < NR}",
+            "col_m": "{[i] : 0 <= i < NC}",
+            "z_m": "{[i] : 0 <= i < NZ}",
+        },
+        ordering=morton(["i", "j", "k"]),
+        coord_ufs={"i": "row_m", "j": "col_m", "k": "z_m"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="n",
+        description="3-D COO sorted by the Morton (Z-order) curve",
+    )
+
+
+def csr() -> FormatDescriptor:
+    """Compressed sparse row."""
+    return FormatDescriptor(
+        name="CSR",
+        sparse_to_dense=(
+            "{[ii, k, jj] -> [i, j] : ii = i && jj = j && col2(k) = j"
+            " && 0 <= ii < NR && rowptr(ii) <= k < rowptr(ii + 1)"
+            " && 0 <= j < NC}"
+        ),
+        data_access="{[ii, k, jj] -> [kd] : kd = k}",
+        uf_domains={
+            "rowptr": "{[x] : 0 <= x <= NR}",
+            "col2": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "rowptr": "{[n] : 0 <= n <= NNZ}",
+            "col2": "{[i] : 0 <= i < NC}",
+        },
+        monotonic=[MonotonicQuantifier("rowptr")],
+        # CSR positions run row-major with strictly increasing columns in a
+        # row: globally the lexicographic (i, j) order (Table 1's
+        # ``ii * NR + col2(k)`` quantifier).
+        ordering=lexicographic(["i", "j"]),
+        coord_ufs={"i": "row_of", "j": "col2"},
+        shape_syms=["NR", "NC"],
+        position_var="k",
+        description="Compressed sparse row",
+    )
+
+
+def csc() -> FormatDescriptor:
+    """Compressed sparse column."""
+    return FormatDescriptor(
+        name="CSC",
+        sparse_to_dense=(
+            "{[jj, k, ii] -> [i, j] : ii = i && jj = j && row2(k) = i"
+            " && 0 <= jj < NC && colptr(jj) <= k < colptr(jj + 1)"
+            " && 0 <= i < NR}"
+        ),
+        data_access="{[jj, k, ii] -> [kd] : kd = k}",
+        uf_domains={
+            "colptr": "{[x] : 0 <= x <= NC}",
+            "row2": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "colptr": "{[n] : 0 <= n <= NNZ}",
+            "row2": "{[i] : 0 <= i < NR}",
+        },
+        monotonic=[MonotonicQuantifier("colptr")],
+        # Column-major lexicographic order: sort key (j, i).
+        ordering=lexicographic(["j", "i"]),
+        coord_ufs={"i": "row2", "j": "col_of"},
+        shape_syms=["NR", "NC"],
+        position_var="k",
+        description="Compressed sparse column",
+    )
+
+
+def dia() -> FormatDescriptor:
+    """Diagonal format with the paper's ``kd = ND * ii + d`` data layout."""
+    return FormatDescriptor(
+        name="DIA",
+        sparse_to_dense=(
+            "{[ii, d, jj] -> [i, j] : i = ii && 0 <= i < NR && 0 <= d < ND"
+            " && j = i + off(d) && 0 <= j < NC && jj = j}"
+        ),
+        data_access="{[ii, d, jj] -> [kd] : kd = ND * ii + d}",
+        uf_domains={"off": "{[x] : 0 <= x < ND}"},
+        uf_ranges={"off": "{[o] : 0 - NR < o < NC}"},
+        monotonic=[MonotonicQuantifier("off", strict=True)],
+        coord_ufs={"i": "row_of", "j": "col_of"},
+        shape_syms=["NR", "NC"],
+        position_var="d",
+        description="Diagonal storage, strictly increasing offsets",
+    )
+
+
+def bcsr(block: int = 2) -> FormatDescriptor:
+    """Blocked CSR with a concrete block size.
+
+    The block size must be a literal so the map stays in the affine-with-UF
+    fragment (``i = block * bi + ri``).  Synthesizing *into* BCSR exercises
+    the Case 6 extension (affine block decomposition): the composed
+    constraints ``i = B*bi + ri`` with ``0 <= ri < B`` resolve to
+    ``bi = i // B`` and ``ri = i % B``, the block ordering quantifier
+    (block row-major, ties within a block collapsed onto one position)
+    drives a unique-rank permutation, and ``NB`` — the number of populated
+    blocks — is its distinct count.
+    """
+    if block < 1:
+        raise ValueError("block size must be positive")
+    b = block
+    from repro.ir import FloorDiv, OrderingQuantifier, Var
+
+    return FormatDescriptor(
+        name=f"BCSR{b}",
+        sparse_to_dense=(
+            f"{{[bi, bk, ri, ci] -> [i, j] : i = {b} * bi + ri"
+            f" && j = {b} * bcol(bk) + ci && 0 <= ri < {b} && 0 <= ci < {b}"
+            " && browptr(bi) <= bk < browptr(bi + 1)"
+            f" && 0 <= bi <= (NR - 1) // {b}"
+            " && 0 <= i < NR && 0 <= j < NC}"
+        ),
+        data_access=(
+            f"{{[bi, bk, ri, ci] -> [kd] : kd = {b * b} * bk + {b} * ri + ci}}"
+        ),
+        uf_domains={
+            "browptr": f"{{[x] : 0 <= x <= (NR - 1) // {b} + 1}}",
+            "bcol": "{[x] : 0 <= x < NB}",
+        },
+        uf_ranges={
+            "browptr": "{[n] : 0 <= n <= NB}",
+            "bcol": f"{{[c] : 0 <= c <= (NC - 1) // {b}}}",
+        },
+        monotonic=[MonotonicQuantifier("browptr")],
+        # Blocks ordered row-major by block coordinates; every nonzero of a
+        # block shares its block\'s position.
+        ordering=OrderingQuantifier(
+            ["i", "j"],
+            [FloorDiv(Var("i"), b).as_expr(),
+             FloorDiv(Var("j"), b).as_expr()],
+            collapse_ties=True,
+        ),
+        coord_ufs={"i": "brow_of", "j": "bcol_of"},
+        shape_syms=["NR", "NC"],
+        position_var="bk",
+        description=f"Blocked CSR, {b}x{b} dense blocks",
+    )
+
+
+def csf() -> FormatDescriptor:
+    """Compressed sparse fiber (SPLATT-style 3-D compression).
+
+    A three-level compression: roots compress distinct ``i`` values, fibers
+    compress distinct ``(i, j)`` pairs.  Usable as a conversion *source*
+    and for generated kernels; synthesizing *into* CSF would require
+    deriving the distinct-value counts ``NROOT`` / ``NFIB``, which the
+    paper's constraint cases cannot express.
+    """
+    return FormatDescriptor(
+        name="CSF",
+        sparse_to_dense=(
+            "{[ip, jp, kp] -> [i, j, k] : i = rootidx(ip) && j = fibidx(jp)"
+            " && k = kidx(kp) && 0 <= ip < NROOT"
+            " && fptr(ip) <= jp < fptr(ip + 1)"
+            " && kptr(jp) <= kp < kptr(jp + 1)"
+            " && 0 <= i < NR && 0 <= j < NC && 0 <= k < NZ}"
+        ),
+        data_access="{[ip, jp, kp] -> [kd] : kd = kp}",
+        uf_domains={
+            "rootidx": "{[x] : 0 <= x < NROOT}",
+            "fptr": "{[x] : 0 <= x <= NROOT}",
+            "fibidx": "{[x] : 0 <= x < NFIB}",
+            "kptr": "{[x] : 0 <= x <= NFIB}",
+            "kidx": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "rootidx": "{[i] : 0 <= i < NR}",
+            "fptr": "{[f] : 0 <= f <= NFIB}",
+            "fibidx": "{[j] : 0 <= j < NC}",
+            "kptr": "{[n] : 0 <= n <= NNZ}",
+            "kidx": "{[k] : 0 <= k < NZ}",
+        },
+        monotonic=[
+            MonotonicQuantifier("rootidx", strict=True),
+            MonotonicQuantifier("fptr"),
+            MonotonicQuantifier("kptr"),
+        ],
+        ordering=lexicographic(["i", "j", "k"]),
+        coord_ufs={"i": "rootidx", "j": "fibidx", "k": "kidx"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="kp",
+        description="Compressed sparse fiber, three-level compression",
+    )
+
+
+def ell() -> FormatDescriptor:
+    """ELLPACK with column padding (source-capable extension).
+
+    Each row stores exactly ``W`` slots; padded slots carry column ``-1``.
+    The sparse-to-dense map is made total by the ``0 <= j`` guard, which
+    excludes padding — the guard is *not* implied by ``ellcol``'s declared
+    range (which includes -1), so synthesis keeps it in generated loops.
+    Destination synthesis would need ``W`` = the maximum row length, a
+    count the constraint cases cannot derive, so ELL is source-only.
+    """
+    return FormatDescriptor(
+        name="ELL",
+        sparse_to_dense=(
+            "{[ii, w, jj] -> [i, j] : i = ii && j = ellcol(W * ii + w)"
+            " && jj = j && 0 <= ii < NR && 0 <= w < W"
+            " && 0 <= j < NC}"
+        ),
+        data_access="{[ii, w, jj] -> [kd] : kd = W * ii + w}",
+        uf_domains={"ellcol": "{[x] : 0 <= x < NR * W}"},
+        uf_ranges={"ellcol": "{[j] : 0 - 1 <= j < NC}"},
+        ordering=lexicographic(["i", "j"]),
+        coord_ufs={"i": "row_of", "j": "ellcol"},
+        shape_syms=["NR", "NC"],
+        position_var="w",
+        description="ELLPACK, fixed width with -1 column padding",
+    )
+
+
+_FACTORIES = {
+    "COO": coo,
+    "SCOO": scoo,
+    "MCOO": mcoo,
+    "COO3D": coo3d,
+    "SCOO3D": lambda: coo3d(sorted_lex=True),
+    "MCOO3": mcoo3,
+    "CSR": csr,
+    "CSC": csc,
+    "DIA": dia,
+    "BCSR": bcsr,
+    "CSF": csf,
+    "ELL": ell,
+}
+
+
+def get_format(name: str) -> FormatDescriptor:
+    """Look up a format descriptor by name (case-insensitive)."""
+    try:
+        return _FACTORIES[name.upper()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def all_formats() -> list[FormatDescriptor]:
+    """Every descriptor in the library (used by the Table 1 regeneration)."""
+    return [factory() for factory in _FACTORIES.values()]

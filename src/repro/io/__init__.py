@@ -1,0 +1,45 @@
+"""File IO: Matrix Market (.mtx) matrices and FROSTT-style (.tns) tensors."""
+
+from .matrix_market import (
+    MatrixMarketError,
+    read_dense,
+    read_matrix,
+    reads,
+    write_matrix,
+    writes,
+)
+from .descriptor_json import (
+    DescriptorJSONError,
+    descriptor_from_dict,
+    descriptor_to_dict,
+    load_descriptor,
+    resolve_format,
+    save_descriptor,
+)
+from .tensor_file import (
+    TensorFileError,
+    read_tensor,
+    reads_tensor,
+    write_tensor,
+    writes_tensor,
+)
+
+__all__ = [
+    "DescriptorJSONError",
+    "MatrixMarketError",
+    "descriptor_from_dict",
+    "descriptor_to_dict",
+    "load_descriptor",
+    "resolve_format",
+    "save_descriptor",
+    "TensorFileError",
+    "read_dense",
+    "read_matrix",
+    "read_tensor",
+    "reads",
+    "reads_tensor",
+    "write_matrix",
+    "write_tensor",
+    "writes",
+    "writes_tensor",
+]

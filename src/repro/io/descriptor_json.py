@@ -1,0 +1,150 @@
+"""JSON serialization of format descriptors.
+
+Lets formats be defined in plain JSON files and shipped without Python
+code — the CLI accepts them everywhere a library format name is accepted
+(``python -m repro synthesize --src-file my_format.json CSR``).
+
+Schema (all relation/set fields use the library's textual notation)::
+
+    {
+      "name": "MCOO",
+      "description": "...",
+      "sparse_to_dense": "{[n, ii, jj] -> [i, j] : ...}",
+      "data_access": "{[n, ii, jj] -> [nd] : nd = n}",
+      "uf_domains": {"row_m": "{[x] : 0 <= x < NNZ}", ...},
+      "uf_ranges":  {"row_m": "{[i] : 0 <= i < NR}", ...},
+      "monotonic":  [{"uf": "rowptr", "strict": false}, ...],
+      "ordering":   {"dense_vars": ["i", "j"],
+                     "keys": ["MORTON(i, j)"],
+                     "strict": true},
+      "coord_ufs":  {"i": "row_m", "j": "col_m"},
+      "shape_syms": ["NR", "NC"],
+      "position_var": "n"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TextIO
+
+from repro.formats.descriptor import FormatDescriptor
+from repro.ir import MonotonicQuantifier, OrderingQuantifier, parse_expr
+
+
+class DescriptorJSONError(ValueError):
+    """Raised on malformed descriptor JSON."""
+
+
+def descriptor_to_dict(fmt: FormatDescriptor) -> dict:
+    """Serialize a descriptor to a JSON-compatible dict."""
+    out: dict = {
+        "name": fmt.name,
+        "description": fmt.description,
+        "sparse_to_dense": str(fmt.sparse_to_dense),
+        "data_access": str(fmt.data_access),
+        "uf_domains": {uf: str(s) for uf, s in fmt.uf_domains.items()},
+        "uf_ranges": {uf: str(s) for uf, s in fmt.uf_ranges.items()},
+        "monotonic": [
+            {"uf": q.uf, "strict": q.strict} for q in fmt.monotonic.values()
+        ],
+        "coord_ufs": dict(fmt.coord_ufs),
+        "shape_syms": list(fmt.shape_syms),
+        "position_var": fmt.position_var,
+    }
+    if fmt.ordering is not None:
+        out["ordering"] = {
+            "dense_vars": list(fmt.ordering.dense_vars),
+            "keys": [str(k) for k in fmt.ordering.key_exprs],
+            "strict": fmt.ordering.strict,
+            "collapse_ties": fmt.ordering.collapse_ties,
+        }
+    return out
+
+
+def descriptor_from_dict(data: dict) -> FormatDescriptor:
+    """Deserialize a descriptor; raises :class:`DescriptorJSONError`."""
+    for required in ("name", "sparse_to_dense", "data_access"):
+        if required not in data:
+            raise DescriptorJSONError(f"missing required field {required!r}")
+    ordering = None
+    ordering_data = data.get("ordering")
+    if ordering_data is not None:
+        try:
+            dense_vars = list(ordering_data["dense_vars"])
+            keys = [
+                parse_expr(k, dense_vars) for k in ordering_data["keys"]
+            ]
+        except KeyError as err:
+            raise DescriptorJSONError(
+                f"ordering needs 'dense_vars' and 'keys': missing {err}"
+            ) from None
+        ordering = OrderingQuantifier(
+            dense_vars,
+            keys,
+            strict=bool(ordering_data.get("strict", True)),
+            collapse_ties=bool(ordering_data.get("collapse_ties", False)),
+        )
+    monotonic = [
+        MonotonicQuantifier(q["uf"], strict=bool(q.get("strict", False)))
+        for q in data.get("monotonic", ())
+    ]
+    try:
+        return FormatDescriptor(
+            name=data["name"],
+            sparse_to_dense=data["sparse_to_dense"],
+            data_access=data["data_access"],
+            uf_domains=data.get("uf_domains", {}),
+            uf_ranges=data.get("uf_ranges", {}),
+            monotonic=monotonic,
+            ordering=ordering,
+            coord_ufs=data.get("coord_ufs", {}),
+            shape_syms=data.get("shape_syms", ()),
+            position_var=data.get("position_var", ""),
+            description=data.get("description", ""),
+        )
+    except ValueError as err:
+        raise DescriptorJSONError(f"invalid descriptor: {err}") from err
+
+
+def save_descriptor(fmt: FormatDescriptor, target) -> None:
+    """Write a descriptor as pretty-printed JSON (path or handle)."""
+    own = isinstance(target, (str, os.PathLike))
+    handle: TextIO = open(target, "w", encoding="utf-8") if own else target
+    try:
+        json.dump(descriptor_to_dict(fmt), handle, indent=2)
+        handle.write("\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def load_descriptor(source) -> FormatDescriptor:
+    """Read a descriptor from a JSON file (path or handle)."""
+    own = isinstance(source, (str, os.PathLike))
+    handle: TextIO = open(source, "r", encoding="utf-8") if own else source
+    try:
+        data = json.load(handle)
+    except json.JSONDecodeError as err:
+        raise DescriptorJSONError(f"not valid JSON: {err}") from err
+    finally:
+        if own:
+            handle.close()
+    if not isinstance(data, dict):
+        raise DescriptorJSONError("descriptor JSON must be an object")
+    return descriptor_from_dict(data)
+
+
+def resolve_format(name_or_path: str) -> FormatDescriptor:
+    """A library format name, or a path to a descriptor JSON file."""
+    from repro.formats import get_format
+
+    if name_or_path.endswith(".json") or os.path.sep in name_or_path:
+        return load_descriptor(name_or_path)
+    try:
+        return get_format(name_or_path)
+    except KeyError:
+        if os.path.exists(name_or_path):
+            return load_descriptor(name_or_path)
+        raise

@@ -1,0 +1,186 @@
+"""Matrix Market (.mtx) reader/writer.
+
+SuiteSparse distributes matrices in the Matrix Market exchange format; this
+module reads/writes the ``coordinate`` flavor (real / integer / pattern
+fields, general / symmetric / skew-symmetric symmetries) into the
+:class:`~repro.runtime.COOMatrix` container, and the ``array`` (dense)
+flavor into a list-of-lists.  With it, the evaluation pipeline can run on
+real SuiteSparse downloads when they are available, falling back to the
+synthetic generators offline.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, TextIO
+
+from repro.runtime import COOMatrix
+
+HEADER_PREFIX = "%%MatrixMarket"
+VALID_FORMATS = ("coordinate", "array")
+VALID_FIELDS = ("real", "integer", "pattern")
+VALID_SYMMETRIES = ("general", "symmetric", "skew-symmetric")
+
+
+class MatrixMarketError(ValueError):
+    """Raised on malformed Matrix Market content."""
+
+
+def _open_for_read(source) -> TextIO:
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="ascii")
+    return source
+
+
+def _parse_header(line: str) -> tuple[str, str, str]:
+    parts = line.strip().split()
+    if len(parts) != 5 or parts[0] != HEADER_PREFIX:
+        raise MatrixMarketError(f"bad MatrixMarket header: {line.strip()!r}")
+    _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+    if obj != "matrix":
+        raise MatrixMarketError(f"unsupported object {obj!r}")
+    if fmt not in VALID_FORMATS:
+        raise MatrixMarketError(f"unsupported format {fmt!r}")
+    if field not in VALID_FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in VALID_SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+    return fmt, field, symmetry
+
+
+def _data_lines(handle: TextIO) -> Iterable[str]:
+    for line in handle:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            yield stripped
+
+
+def read_matrix(source) -> COOMatrix:
+    """Read a coordinate-format .mtx file into a sorted COO matrix.
+
+    ``source`` is a path or an open text handle.  Symmetric and
+    skew-symmetric storage is expanded to general form; ``pattern`` entries
+    get value 1.0.  Duplicate coordinates are summed, per the format spec.
+    """
+    handle = _open_for_read(source)
+    try:
+        header = handle.readline()
+        fmt, field, symmetry = _parse_header(header)
+        if fmt != "coordinate":
+            raise MatrixMarketError(
+                "read_matrix expects coordinate format; use read_dense for "
+                "array format"
+            )
+        lines = _data_lines(handle)
+        try:
+            size_line = next(lines)
+        except StopIteration:
+            raise MatrixMarketError("missing size line") from None
+        sizes = size_line.split()
+        if len(sizes) != 3:
+            raise MatrixMarketError(f"bad size line: {size_line!r}")
+        nrows, ncols, nnz = (int(s) for s in sizes)
+
+        entries: dict[tuple[int, int], float] = {}
+        count = 0
+        for line in lines:
+            parts = line.split()
+            expected = 2 if field == "pattern" else 3
+            if len(parts) != expected:
+                raise MatrixMarketError(f"bad entry line: {line!r}")
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            if not (0 <= i < nrows and 0 <= j < ncols):
+                raise MatrixMarketError(
+                    f"entry ({i + 1}, {j + 1}) outside {nrows}x{ncols}"
+                )
+            value = 1.0 if field == "pattern" else float(parts[2])
+            entries[(i, j)] = entries.get((i, j), 0.0) + value
+            if symmetry != "general" and i != j:
+                mirrored = -value if symmetry == "skew-symmetric" else value
+                entries[(j, i)] = entries.get((j, i), 0.0) + mirrored
+            count += 1
+        if count != nnz:
+            raise MatrixMarketError(
+                f"size line declares {nnz} entries but file has {count}"
+            )
+    finally:
+        if isinstance(source, (str, os.PathLike)):
+            handle.close()
+
+    ordered = sorted(entries.items())
+    return COOMatrix(
+        nrows,
+        ncols,
+        [ij[0] for ij, _ in ordered],
+        [ij[1] for ij, _ in ordered],
+        [v for _, v in ordered],
+    )
+
+
+def read_dense(source) -> list[list[float]]:
+    """Read an array-format .mtx file into a dense list-of-lists."""
+    handle = _open_for_read(source)
+    try:
+        fmt, field, symmetry = _parse_header(handle.readline())
+        if fmt != "array":
+            raise MatrixMarketError("read_dense expects array format")
+        lines = _data_lines(handle)
+        sizes = next(lines).split()
+        if len(sizes) != 2:
+            raise MatrixMarketError("bad array size line")
+        nrows, ncols = int(sizes[0]), int(sizes[1])
+        values = [float(line.split()[0]) for line in lines]
+    finally:
+        if isinstance(source, (str, os.PathLike)):
+            handle.close()
+
+    expected = nrows * ncols
+    if symmetry != "general":
+        expected = nrows * (nrows + 1) // 2
+    if len(values) != expected:
+        raise MatrixMarketError(
+            f"expected {expected} values, found {len(values)}"
+        )
+    dense = [[0.0] * ncols for _ in range(nrows)]
+    index = 0
+    for j in range(ncols):
+        start_row = j if symmetry != "general" else 0
+        for i in range(start_row, nrows):
+            value = values[index]
+            index += 1
+            dense[i][j] = value
+            if symmetry == "symmetric":
+                dense[j][i] = value
+            elif symmetry == "skew-symmetric" and i != j:
+                dense[j][i] = -value
+    return dense
+
+
+def write_matrix(coo: COOMatrix, target, *, comment: str = "") -> None:
+    """Write a COO matrix in coordinate/real/general .mtx form."""
+    own = isinstance(target, (str, os.PathLike))
+    handle = open(target, "w", encoding="ascii") if own else target
+    try:
+        handle.write(f"{HEADER_PREFIX} matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+        for i, j, v in coo.nonzeros():
+            handle.write(f"{i + 1} {j + 1} {v!r}\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def reads(text: str) -> COOMatrix:
+    """Parse coordinate .mtx content from a string."""
+    return read_matrix(io.StringIO(text))
+
+
+def writes(coo: COOMatrix, *, comment: str = "") -> str:
+    """Render a COO matrix as coordinate .mtx text."""
+    buffer = io.StringIO()
+    write_matrix(coo, buffer, comment=comment)
+    return buffer.getvalue()

@@ -1,0 +1,78 @@
+"""FROSTT-style .tns reader/writer for 3-D sparse tensors.
+
+The FROSTT collection (darpa, fb-m, fb-s of Table 4) distributes tensors as
+whitespace-separated ``i j k value`` lines with 1-based indices.  This
+module reads/writes that format into :class:`~repro.runtime.COOTensor3D`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+from repro.runtime import COOTensor3D
+
+
+class TensorFileError(ValueError):
+    """Raised on malformed .tns content."""
+
+
+def read_tensor(source, dims: tuple[int, int, int] | None = None) -> COOTensor3D:
+    """Read a 3-D .tns file; ``dims`` defaults to the maximum coordinates."""
+    own = isinstance(source, (str, os.PathLike))
+    handle: TextIO = open(source, "r", encoding="ascii") if own else source
+    rows: list[int] = []
+    cols: list[int] = []
+    zs: list[int] = []
+    vals: list[float] = []
+    try:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) != 4:
+                raise TensorFileError(f"expected 'i j k value': {stripped!r}")
+            i, j, k = int(parts[0]) - 1, int(parts[1]) - 1, int(parts[2]) - 1
+            if min(i, j, k) < 0:
+                raise TensorFileError(f"indices must be >= 1: {stripped!r}")
+            rows.append(i)
+            cols.append(j)
+            zs.append(k)
+            vals.append(float(parts[3]))
+    finally:
+        if own:
+            handle.close()
+
+    if dims is None:
+        dims = (
+            max(rows, default=-1) + 1,
+            max(cols, default=-1) + 1,
+            max(zs, default=-1) + 1,
+        )
+    tensor = COOTensor3D(dims, rows, cols, zs, vals)
+    tensor.check()
+    return tensor.sorted_lexicographic()
+
+
+def write_tensor(tensor: COOTensor3D, target) -> None:
+    """Write a 3-D tensor as 1-based ``i j k value`` lines."""
+    own = isinstance(target, (str, os.PathLike))
+    handle = open(target, "w", encoding="ascii") if own else target
+    try:
+        for i, j, k, v in tensor.nonzeros():
+            handle.write(f"{i + 1} {j + 1} {k + 1} {v!r}\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def reads_tensor(text: str, dims=None) -> COOTensor3D:
+    return read_tensor(io.StringIO(text), dims)
+
+
+def writes_tensor(tensor: COOTensor3D) -> str:
+    buffer = io.StringIO()
+    write_tensor(tensor, buffer)
+    return buffer.getvalue()

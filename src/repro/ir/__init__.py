@@ -1,0 +1,64 @@
+"""Sparse polyhedral IR: sets and relations with uninterpreted functions.
+
+This package is the reproduction's equivalent of IEGenLib + Omega: the
+mathematical substrate the format descriptors, synthesis algorithm, and code
+generator are all built on.
+"""
+
+from .terms import Atom, Expr, ExprLike, FloorDiv, Mod, Mul, Sym, UFCall, Var, as_expr
+from .constraints import (
+    Constraint,
+    Eq,
+    Geq,
+    bounds_on_var,
+    equals,
+    greater,
+    greater_equal,
+    less,
+    less_equal,
+)
+from .conjunction import Conjunction, ProjectionError
+from .sets import IntSet, universe
+from .relations import Relation
+from .parser import ParseError, parse_expr, parse_relation, parse_set
+from .quantifiers import (
+    MonotonicQuantifier,
+    OrderingQuantifier,
+    lexicographic,
+    morton,
+)
+
+__all__ = [
+    "Atom",
+    "Conjunction",
+    "Constraint",
+    "Eq",
+    "Expr",
+    "FloorDiv",
+    "Mod",
+    "ExprLike",
+    "Geq",
+    "IntSet",
+    "MonotonicQuantifier",
+    "Mul",
+    "OrderingQuantifier",
+    "ParseError",
+    "ProjectionError",
+    "Relation",
+    "Sym",
+    "UFCall",
+    "Var",
+    "as_expr",
+    "bounds_on_var",
+    "equals",
+    "greater",
+    "greater_equal",
+    "less",
+    "less_equal",
+    "lexicographic",
+    "morton",
+    "parse_expr",
+    "parse_relation",
+    "parse_set",
+    "universe",
+]

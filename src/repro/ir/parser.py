@@ -1,0 +1,311 @@
+"""Parser for IEGenLib-style set and relation notation.
+
+Accepts the textual notation used throughout the paper::
+
+    {[i,k,j] : 0 <= i < N && rowptr(i) <= k < rowptr(i+1) && j = col(k)}
+    {[n,ii,jj] -> [i,j] : row1(n) = i && col1(n) = j && ii = i && jj = j}
+
+Grammar features:
+
+* chained comparisons (``0 <= i < N``) expand into pairwise constraints,
+* ``&&`` or ``and`` between constraints, ``union`` between conjunctions,
+* uninterpreted function calls with arbitrary expression arguments,
+* products where one side is an integer literal (affine scaling) or a
+  symbolic constant (kept as an opaque :class:`~repro.ir.terms.Mul` atom),
+* identifiers declared in the tuple parse as tuple variables; any other
+  identifier is a symbolic constant.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from .conjunction import Conjunction
+from .constraints import (
+    Constraint,
+    equals,
+    greater,
+    greater_equal,
+    less,
+    less_equal,
+)
+from .terms import Expr, FloorDiv, Mod, Mul, Sym, UFCall, Var, as_expr
+from .sets import IntSet
+from .relations import Relation
+
+
+class ParseError(ValueError):
+    """Raised on malformed set/relation text, with position context."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<floordiv>//)
+  | (?P<le><=)
+  | (?P<ge>>=)
+  | (?P<eqeq>==)
+  | (?P<andand>&&)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<sym>[{}\[\]():,+\-*<>=%])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"union", "and"}
+
+
+def tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Split into (kind, value, position) triples; raises on junk."""
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                tokens.append((value, value, pos))
+            elif kind in ("arrow", "floordiv", "le", "ge", "eqeq", "andand",
+                          "sym"):
+                tokens.append((value if kind == "sym" else value, value, pos))
+            else:
+                tokens.append((kind, value, pos))
+        pos = match.end()
+    tokens.append(("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.tuple_vars: set[str] = set()
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.tokens[self.index]
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str) -> tuple[str, str, int]:
+        tok = self.next()
+        if tok[0] != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {tok[1]!r} at {tok[2]} in {self.text!r}"
+            )
+        return tok
+
+    def accept(self, kind: str) -> bool:
+        if self.peek()[0] == kind:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+    def parse_tuple(self) -> tuple[str, ...]:
+        self.expect("[")
+        names: list[str] = []
+        if self.peek()[0] != "]":
+            while True:
+                tok = self.expect("name")
+                names.append(tok[1])
+                if not self.accept(","):
+                    break
+        self.expect("]")
+        return tuple(names)
+
+    def parse_set(self) -> IntSet:
+        tuple_vars: tuple[str, ...] | None = None
+        conjunctions: list[Conjunction] = []
+        while True:
+            self.expect("{")
+            tv = self.parse_tuple()
+            if tuple_vars is None:
+                tuple_vars = tv
+            elif tv != tuple_vars:
+                raise ParseError(
+                    f"union members disagree on tuple: {tv} vs {tuple_vars}"
+                )
+            self.tuple_vars = set(tv)
+            constraints: list[Constraint] = []
+            if self.accept(":"):
+                constraints = self.parse_constraints()
+            self.expect("}")
+            conjunctions.append(Conjunction(constraints))
+            if not self.accept("union"):
+                break
+        self.expect("eof")
+        assert tuple_vars is not None
+        return IntSet(tuple_vars, conjunctions)
+
+    def parse_relation(self) -> Relation:
+        shape: tuple[tuple[str, ...], tuple[str, ...]] | None = None
+        conjunctions: list[Conjunction] = []
+        while True:
+            self.expect("{")
+            in_vars = self.parse_tuple()
+            self.expect("->")
+            out_vars = self.parse_tuple()
+            if shape is None:
+                shape = (in_vars, out_vars)
+            elif shape != (in_vars, out_vars):
+                raise ParseError("union members disagree on tuples")
+            self.tuple_vars = set(in_vars) | set(out_vars)
+            constraints: list[Constraint] = []
+            if self.accept(":"):
+                constraints = self.parse_constraints()
+            self.expect("}")
+            conjunctions.append(Conjunction(constraints))
+            if not self.accept("union"):
+                break
+        self.expect("eof")
+        assert shape is not None
+        return Relation(shape[0], shape[1], conjunctions)
+
+    def parse_constraints(self) -> list[Constraint]:
+        constraints = list(self.parse_chain())
+        while self.accept("&&") or self.accept("and"):
+            constraints.extend(self.parse_chain())
+        return constraints
+
+    def parse_chain(self) -> Iterable[Constraint]:
+        """One possibly-chained comparison: ``a <= b < c`` etc."""
+        exprs = [self.parse_expr()]
+        ops: list[str] = []
+        while self.peek()[0] in ("<=", ">=", "<", ">", "=", "=="):
+            ops.append(self.next()[0])
+            exprs.append(self.parse_expr())
+        if not ops:
+            raise ParseError(
+                f"expected comparison near position {self.peek()[2]} "
+                f"in {self.text!r}"
+            )
+        out: list[Constraint] = []
+        builders = {
+            "<=": less_equal,
+            ">=": greater_equal,
+            "<": less,
+            ">": greater,
+            "=": equals,
+            "==": equals,
+        }
+        for lhs, op, rhs in zip(exprs, ops, exprs[1:]):
+            out.append(builders[op](lhs, rhs))
+        return out
+
+    def parse_expr(self) -> Expr:
+        expr = self.parse_term()
+        while self.peek()[0] in ("+", "-"):
+            op = self.next()[0]
+            rhs = self.parse_term()
+            expr = expr + rhs if op == "+" else expr - rhs
+        return expr
+
+    def parse_term(self) -> Expr:
+        expr = self.parse_factor()
+        while True:
+            if self.accept("*"):
+                rhs = self.parse_factor()
+                expr = _multiply(expr, rhs)
+            elif self.accept("//"):
+                kind, value, pos = self.peek()
+                rhs = self.parse_factor()
+                if not rhs.is_constant() or rhs.const <= 0:
+                    raise ParseError(
+                        f"'//' needs a positive integer literal divisor "
+                        f"at {pos} in {self.text!r}"
+                    )
+                expr = FloorDiv(expr, rhs.const).as_expr()
+            elif self.accept("%"):
+                kind, value, pos = self.peek()
+                rhs = self.parse_factor()
+                if not rhs.is_constant() or rhs.const <= 0:
+                    raise ParseError(
+                        f"'%' needs a positive integer literal divisor "
+                        f"at {pos} in {self.text!r}"
+                    )
+                expr = Mod(expr, rhs.const).as_expr()
+            else:
+                return expr
+
+    def parse_factor(self) -> Expr:
+        kind, value, pos = self.peek()
+        if kind == "-":
+            self.next()
+            return -self.parse_factor()
+        if kind == "num":
+            self.next()
+            return as_expr(int(value))
+        if kind == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if kind == "name":
+            self.next()
+            if self.peek()[0] == "(":
+                self.next()
+                args = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+                self.expect(")")
+                return UFCall(value, args).as_expr()
+            if value in self.tuple_vars:
+                return Var(value).as_expr()
+            return Sym(value).as_expr()
+        raise ParseError(f"unexpected token {value!r} at {pos} in {self.text!r}")
+
+
+def _multiply(lhs: Expr, rhs: Expr) -> Expr:
+    """Multiply two parsed expressions within the supported fragment."""
+    if lhs.is_constant():
+        return rhs * lhs.const
+    if rhs.is_constant():
+        return lhs * rhs.const
+    lhs_sym = _as_plain_sym(lhs)
+    if lhs_sym is not None:
+        return Mul(lhs_sym, rhs).as_expr()
+    rhs_sym = _as_plain_sym(rhs)
+    if rhs_sym is not None:
+        return Mul(rhs_sym, lhs).as_expr()
+    raise ParseError(
+        f"unsupported product ({lhs}) * ({rhs}): one factor must be an "
+        "integer literal or a symbolic constant"
+    )
+
+
+def _as_plain_sym(expr: Expr) -> Sym | None:
+    if expr.const == 0 and len(expr.terms) == 1:
+        atom, coef = expr.terms[0]
+        if coef == 1 and isinstance(atom, Sym):
+            return atom
+    return None
+
+
+def parse_set(text: str) -> IntSet:
+    """Parse ``{[i,j] : constraints}`` notation into an :class:`IntSet`."""
+    return _Parser(text).parse_set()
+
+
+def parse_relation(text: str) -> Relation:
+    """Parse ``{[i] -> [j] : constraints}`` notation into a :class:`Relation`."""
+    return _Parser(text).parse_relation()
+
+
+def parse_expr(text: str, tuple_vars: Sequence[str] = ()) -> Expr:
+    """Parse a bare expression; names in ``tuple_vars`` become variables."""
+    parser = _Parser(text)
+    parser.tuple_vars = set(tuple_vars)
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr

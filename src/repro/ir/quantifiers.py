@@ -1,0 +1,182 @@
+"""Universal quantifiers describing uninterpreted functions.
+
+The paper distinguishes two kinds of universal quantifiers on a format's
+uninterpreted functions (Section 3.2, "Enforce Universal Quantifiers"):
+
+* a **monotonic quantifier** is local to one UF and does not affect the
+  order of the tensor, e.g. CSR's
+  ``forall e1,e2: e1 <= e2  <=>  rowptr(e1) <= rowptr(e2)``;
+
+* a **reordering quantifier** places an ordering constraint on the whole
+  destination tensor, e.g. MCOO's
+  ``forall n1,n2: n1 < n2  <=>  MORTON(row(n1), col(n1)) < MORTON(row(n2), col(n2))``.
+
+Reordering quantifiers are characterized here by their *sort key over the
+dense coordinates*: inverting the format map turns the position-indexed form
+above into a key the permutation's ordered list sorts by (``MORTON(i, j)``).
+Both views — the displayable position form and the semantic dense-key form —
+are derivable from this representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .terms import Expr, ExprLike, UFCall, Var, as_expr
+
+
+class MonotonicQuantifier:
+    """``forall e1,e2: e1 OP e2 <=> uf(e1) OP uf(e2)`` for one UF.
+
+    ``strict`` selects ``<`` (strictly increasing, like DIA's ``off``) versus
+    ``<=`` (non-decreasing, like CSR's ``rowptr``).
+    """
+
+    __slots__ = ("uf", "strict")
+
+    def __init__(self, uf: str, *, strict: bool = False):
+        if not uf.isidentifier():
+            raise ValueError(f"invalid UF name {uf!r}")
+        object.__setattr__(self, "uf", uf)
+        object.__setattr__(self, "strict", bool(strict))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("MonotonicQuantifier is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MonotonicQuantifier)
+            and other.uf == self.uf
+            and other.strict == self.strict
+        )
+
+    def __hash__(self):
+        return hash(("MonotonicQuantifier", self.uf, self.strict))
+
+    def __str__(self):
+        op = "<" if self.strict else "<="
+        return (
+            f"forall e1,e2: e1 {op} e2 <=> {self.uf}(e1) {op} {self.uf}(e2)"
+        )
+
+    def __repr__(self):
+        return f"MonotonicQuantifier({self.uf!r}, strict={self.strict})"
+
+    def uf_names(self) -> set[str]:
+        return {self.uf}
+
+    def holds_on(self, values: Sequence[int]) -> bool:
+        """Check the quantifier against a concrete array (used by tests)."""
+        for a, b in zip(values, values[1:]):
+            if self.strict and not a < b:
+                return False
+            if not self.strict and not a <= b:
+                return False
+        return True
+
+
+class OrderingQuantifier:
+    """A reordering quantifier: positions sorted by a dense-coordinate key.
+
+    ``dense_vars`` names the dense iteration space (``("i", "j")`` for
+    matrices) and ``key_exprs`` is the sort key over those variables —
+    a single ``MORTON(i, j)`` call for Morton order, or the tuple
+    ``(i, j)`` / ``(j, i)`` for row- / column-major lexicographic order.
+    Keys compare as tuples of integers.
+    """
+
+    __slots__ = ("dense_vars", "key_exprs", "strict", "collapse_ties")
+
+    def __init__(
+        self,
+        dense_vars: Sequence[str],
+        key_exprs: Sequence[ExprLike],
+        *,
+        strict: bool = True,
+        collapse_ties: bool = False,
+    ):
+        dv = tuple(dense_vars)
+        keys = tuple(as_expr(e) for e in key_exprs)
+        if not keys:
+            raise ValueError("ordering quantifier needs at least one key expression")
+        for expr in keys:
+            extra = expr.var_names() - set(dv)
+            if extra:
+                raise ValueError(
+                    f"key {expr} references non-dense variables {sorted(extra)}"
+                )
+        object.__setattr__(self, "dense_vars", dv)
+        object.__setattr__(self, "key_exprs", keys)
+        object.__setattr__(self, "strict", bool(strict))
+        # Blocked formats: several dense coordinates share one position
+        # (all nonzeros of a block share the block's rank).
+        object.__setattr__(self, "collapse_ties", bool(collapse_ties))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("OrderingQuantifier is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, OrderingQuantifier)
+            and other.dense_vars == self.dense_vars
+            and other.key_exprs == self.key_exprs
+            and other.strict == self.strict
+            and other.collapse_ties == self.collapse_ties
+        )
+
+    def __hash__(self):
+        return hash(
+            ("OrderingQuantifier", self.dense_vars, self.key_exprs,
+             self.strict, self.collapse_ties)
+        )
+
+    def __repr__(self):
+        keys = ", ".join(str(k) for k in self.key_exprs)
+        return (
+            f"OrderingQuantifier({list(self.dense_vars)!r}, [{keys}], "
+            f"strict={self.strict})"
+        )
+
+    def uf_names(self) -> set[str]:
+        names: set[str] = set()
+        for expr in self.key_exprs:
+            names |= expr.uf_names()
+        return names
+
+    def display(self, position_var: str, coord_ufs: Sequence[str]) -> str:
+        """Render the position-indexed form used in Table 1.
+
+        ``coord_ufs`` are the UFs of the format giving each dense coordinate
+        of a position (e.g. ``("row_m", "col_m")``), so MCOO's quantifier
+        prints as the familiar
+        ``forall n1,n2: n1 < n2 <=> MORTON(row_m(n1), col_m(n1)) < ...``.
+        """
+        if len(coord_ufs) != len(self.dense_vars):
+            raise ValueError("one coordinate UF per dense variable is required")
+
+        def key_at(suffix: str) -> str:
+            subs = {
+                dense: UFCall(uf, [Var(f"{position_var}{suffix}")]).as_expr()
+                for dense, uf in zip(self.dense_vars, coord_ufs)
+            }
+            rendered = [str(k.substitute_vars(subs)) for k in self.key_exprs]
+            return ", ".join(rendered) if len(rendered) > 1 else rendered[0]
+
+        op = "<" if self.strict else "<="
+        left = f"({key_at('1')})" if len(self.key_exprs) > 1 else key_at("1")
+        right = f"({key_at('2')})" if len(self.key_exprs) > 1 else key_at("2")
+        return (
+            f"forall {position_var}1,{position_var}2: "
+            f"{position_var}1 {op} {position_var}2 <=> {left} {op} {right}"
+        )
+
+
+def lexicographic(dense_vars: Sequence[str]) -> OrderingQuantifier:
+    """Row-major (or given-order) lexicographic ordering of dense coords."""
+    return OrderingQuantifier(dense_vars, [Var(v) for v in dense_vars])
+
+
+def morton(dense_vars: Sequence[str], fn_name: str = "MORTON") -> OrderingQuantifier:
+    """Morton (Z-order) curve ordering of dense coordinates."""
+    call = UFCall(fn_name, [Var(v) for v in dense_vars])
+    return OrderingQuantifier(dense_vars, [call])

@@ -1,0 +1,547 @@
+"""Symbolic integer expressions for the sparse polyhedral IR.
+
+An :class:`Expr` is a normalized affine combination of *atoms* plus an
+integer constant.  Atoms are the non-constant building blocks of the sparse
+polyhedral framework:
+
+* :class:`Var` — a tuple variable of a set or relation (``i``, ``jj`` ...),
+* :class:`Sym` — a symbolic constant (``NR``, ``NNZ`` ...),
+* :class:`UFCall` — an uninterpreted function applied to expressions
+  (``rowptr(i + 1)``, ``col(k)`` ...).
+
+Expressions are immutable and hashable, which lets constraint-level code use
+them as dictionary keys and set members.  Arithmetic keeps expressions in a
+canonical sorted-term form so structural equality coincides with algebraic
+equality for the affine fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+ExprLike = Union["Expr", "Atom", int]
+
+
+class Atom:
+    """Base class for the non-constant building blocks of an expression."""
+
+    __slots__ = ()
+
+    def sort_key(self) -> tuple:
+        raise NotImplementedError
+
+    def as_expr(self) -> "Expr":
+        return Expr(terms=((self, 1),))
+
+    # Arithmetic on atoms promotes to Expr so `Var("i") + 1` works.
+    def __add__(self, other: ExprLike) -> "Expr":
+        return self.as_expr() + other
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return self.as_expr() + other
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return self.as_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return (-self.as_expr()) + other
+
+    def __mul__(self, other: int) -> "Expr":
+        return self.as_expr() * other
+
+    def __rmul__(self, other: int) -> "Expr":
+        return self.as_expr() * other
+
+    def __neg__(self) -> "Expr":
+        return -self.as_expr()
+
+
+class Var(Atom):
+    """A tuple variable reference, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid tuple variable name: {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return f"Var({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+    def sort_key(self) -> tuple:
+        return (0, self.name)
+
+
+class Sym(Atom):
+    """A symbolic constant such as ``NR`` or ``NNZ``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid symbolic constant name: {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Sym is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Sym) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Sym", self.name))
+
+    def __repr__(self):
+        return f"Sym({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+    def sort_key(self) -> tuple:
+        return (1, self.name)
+
+
+class UFCall(Atom):
+    """An uninterpreted function call, e.g. ``rowptr(i + 1)``.
+
+    The function itself has no interpretation at the IR level; synthesis and
+    code generation give it one (an index array or a user-defined function).
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[ExprLike]):
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid uninterpreted function name: {name!r}")
+        if len(args) == 0:
+            raise ValueError(
+                f"uninterpreted function {name!r} needs at least one argument; "
+                "use Sym for zero-arity symbolic constants"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(as_expr(a) for a in args))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("UFCall is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, UFCall)
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self):
+        return hash(("UFCall", self.name, self.args))
+
+    def __repr__(self):
+        return f"UFCall({self.name!r}, {list(self.args)!r})"
+
+    def __str__(self):
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+    def sort_key(self) -> tuple:
+        return (2, self.name, tuple(a.sort_key() for a in self.args))  # Expr keys
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+class Mul(Atom):
+    """A non-affine product of a symbolic constant and an expression.
+
+    The polyhedral fragment only allows integer coefficients, but sparse
+    format descriptors need terms like ``ND * ii`` (the DIA data access
+    relation) and ``ii * NR + col(k)`` (CSR's ordering quantifier).  ``Mul``
+    keeps those as opaque atoms: the solver treats them like UF calls and
+    code generation multiplies them out.
+    """
+
+    __slots__ = ("sym", "factor")
+
+    def __init__(self, sym: "Sym", factor: ExprLike):
+        if not isinstance(sym, Sym):
+            raise TypeError(f"Mul needs a Sym as first factor, got {sym!r}")
+        object.__setattr__(self, "sym", sym)
+        object.__setattr__(self, "factor", as_expr(factor))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Mul is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Mul)
+            and other.sym == self.sym
+            and other.factor == self.factor
+        )
+
+    def __hash__(self):
+        return hash(("Mul", self.sym, self.factor))
+
+    def __repr__(self):
+        return f"Mul({self.sym!r}, {self.factor!r})"
+
+    def __str__(self):
+        return f"{self.sym} * ({self.factor})"
+
+    def sort_key(self) -> tuple:
+        return (3, self.sym.name, self.factor.sort_key())
+
+
+class FloorDiv(Atom):
+    """Integer floor division by a positive literal: ``numer // denom``.
+
+    Used by loop tiling to express tile-loop upper bounds
+    (``(N - 1) // T``).  Like :class:`Mul`, it is opaque to the constraint
+    solver; evaluation and code generation interpret it.
+    """
+
+    __slots__ = ("numer", "denom")
+
+    def __init__(self, numer: ExprLike, denom: int):
+        if not isinstance(denom, int) or denom <= 0:
+            raise ValueError(f"FloorDiv denominator must be a positive int, "
+                             f"got {denom!r}")
+        object.__setattr__(self, "numer", as_expr(numer))
+        object.__setattr__(self, "denom", denom)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("FloorDiv is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FloorDiv)
+            and other.numer == self.numer
+            and other.denom == self.denom
+        )
+
+    def __hash__(self):
+        return hash(("FloorDiv", self.numer, self.denom))
+
+    def __repr__(self):
+        return f"FloorDiv({self.numer!r}, {self.denom})"
+
+    def __str__(self):
+        return f"({self.numer}) // {self.denom}"
+
+    def sort_key(self) -> tuple:
+        return (4, self.denom, self.numer.sort_key())
+
+
+class Mod(Atom):
+    """Remainder by a positive literal: ``numer % denom``.
+
+    The companion of :class:`FloorDiv` in affine decompositions
+    ``x = denom * (x // denom) + (x % denom)`` — how blocked formats
+    (BCSR) recover within-block coordinates.  Opaque to the solver.
+    """
+
+    __slots__ = ("numer", "denom")
+
+    def __init__(self, numer: ExprLike, denom: int):
+        if not isinstance(denom, int) or denom <= 0:
+            raise ValueError(f"Mod denominator must be a positive int, "
+                             f"got {denom!r}")
+        object.__setattr__(self, "numer", as_expr(numer))
+        object.__setattr__(self, "denom", denom)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Mod is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Mod)
+            and other.numer == self.numer
+            and other.denom == self.denom
+        )
+
+    def __hash__(self):
+        return hash(("Mod", self.numer, self.denom))
+
+    def __repr__(self):
+        return f"Mod({self.numer!r}, {self.denom})"
+
+    def __str__(self):
+        return f"({self.numer}) % {self.denom}"
+
+    def sort_key(self) -> tuple:
+        return (5, self.denom, self.numer.sort_key())
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce an int, Atom, or Expr into an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Atom):
+        return value.as_expr()
+    if isinstance(value, bool):
+        raise TypeError("booleans are not integer expressions")
+    if isinstance(value, int):
+        return Expr(const=value)
+    raise TypeError(f"cannot convert {value!r} to Expr")
+
+
+class Expr:
+    """A normalized affine combination ``const + sum(coef * atom)``.
+
+    Terms with coefficient zero are dropped and terms are kept sorted by the
+    atoms' sort keys, so two algebraically equal affine expressions compare
+    equal structurally.
+    """
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self, const: int = 0, terms: Iterable[tuple[Atom, int]] = ()):
+        merged: dict[Atom, int] = {}
+        for atom, coef in terms:
+            if not isinstance(atom, Atom):
+                raise TypeError(f"expected Atom, got {atom!r}")
+            if coef == 0:
+                continue
+            merged[atom] = merged.get(atom, 0) + coef
+        normalized = tuple(
+            sorted(
+                ((a, c) for a, c in merged.items() if c != 0),
+                key=lambda ac: ac[0].sort_key(),
+            )
+        )
+        object.__setattr__(self, "const", int(const))
+        object.__setattr__(self, "terms", normalized)
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Expr is immutable")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        other = as_expr(other)
+        return Expr(self.const + other.const, self.terms + other.terms)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return self + (-as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return (-self) + other
+
+    def __neg__(self) -> "Expr":
+        return Expr(-self.const, tuple((a, -c) for a, c in self.terms))
+
+    def __mul__(self, k: int) -> "Expr":
+        if isinstance(k, Expr):
+            if k.is_constant():
+                k = k.const
+            else:
+                raise TypeError("Expr multiplication only supports integer scalars")
+        if not isinstance(k, int):
+            raise TypeError("Expr multiplication only supports integer scalars")
+        return Expr(self.const * k, tuple((a, c * k) for a, c in self.terms))
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, int):
+            other = Expr(const=other)
+        if isinstance(other, Atom):
+            other = other.as_expr()
+        return (
+            isinstance(other, Expr)
+            and other.const == self.const
+            and other.terms == self.terms
+        )
+
+    def __hash__(self):
+        return hash((self.const, self.terms))
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (used when nested in UF arguments)."""
+        return (self.const, tuple((a.sort_key(), c) for a, c in self.terms))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def is_zero(self) -> bool:
+        return self.const == 0 and not self.terms
+
+    def atoms(self) -> Iterator[Atom]:
+        """All atoms appearing at the top level of this expression."""
+        for atom, _ in self.terms:
+            yield atom
+
+    def all_atoms(self) -> Iterator[Atom]:
+        """All atoms, descending into UF call arguments."""
+        for atom, _ in self.terms:
+            yield atom
+            if isinstance(atom, UFCall):
+                for arg in atom.args:
+                    yield from arg.all_atoms()
+            elif isinstance(atom, Mul):
+                yield atom.sym
+                yield from atom.factor.all_atoms()
+            elif isinstance(atom, FloorDiv):
+                yield from atom.numer.all_atoms()
+            elif isinstance(atom, Mod):
+                yield from atom.numer.all_atoms()
+
+    def var_names(self) -> set[str]:
+        """Names of tuple variables anywhere in the expression."""
+        return {a.name for a in self.all_atoms() if isinstance(a, Var)}
+
+    def sym_names(self) -> set[str]:
+        return {a.name for a in self.all_atoms() if isinstance(a, Sym)}
+
+    def uf_calls(self) -> list[UFCall]:
+        """UF calls anywhere in the expression, outermost first."""
+        calls = []
+        for atom in self.all_atoms():
+            if isinstance(atom, UFCall):
+                calls.append(atom)
+        return calls
+
+    def uf_names(self) -> set[str]:
+        return {c.name for c in self.uf_calls()}
+
+    def coeff(self, atom: Atom) -> int:
+        """Coefficient of a top-level atom (0 if absent)."""
+        for a, c in self.terms:
+            if a == atom:
+                return c
+        return 0
+
+    def coeff_of_var(self, name: str) -> int:
+        return self.coeff(Var(name))
+
+    def without(self, atom: Atom) -> "Expr":
+        """This expression with every top-level occurrence of ``atom`` removed."""
+        return Expr(self.const, tuple((a, c) for a, c in self.terms if a != atom))
+
+    def mentions_var(self, name: str) -> bool:
+        return name in self.var_names()
+
+    # ------------------------------------------------------------------
+    # Substitution
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Atom, ExprLike]) -> "Expr":
+        """Replace atoms by expressions, recursing into UF arguments.
+
+        The mapping keys are atoms (Var / Sym / UFCall); values are anything
+        convertible by :func:`as_expr`.  Substitution applies the mapping to
+        UF call arguments first, then checks whether the (rewritten) call
+        itself is mapped.
+        """
+        result = Expr(const=self.const)
+        for atom, coef in self.terms:
+            if isinstance(atom, UFCall):
+                new_args = [a.substitute(mapping) for a in atom.args]
+                rewritten: Atom = UFCall(atom.name, new_args)
+            elif isinstance(atom, Mul):
+                new_factor = atom.factor.substitute(mapping)
+                new_sym = mapping.get(atom.sym)
+                if new_sym is not None:
+                    new_sym_expr = as_expr(new_sym)
+                    if new_sym_expr.is_constant():
+                        result = result + new_factor * (new_sym_expr.const * coef)
+                        continue
+                    if (
+                        not new_sym_expr.const
+                        and len(new_sym_expr.terms) == 1
+                        and isinstance(new_sym_expr.terms[0][0], Sym)
+                        and new_sym_expr.terms[0][1] == 1
+                    ):
+                        rewritten = Mul(new_sym_expr.terms[0][0], new_factor)
+                    else:
+                        raise ValueError(
+                            f"cannot substitute {atom.sym} inside product {atom}"
+                        )
+                else:
+                    rewritten = Mul(atom.sym, new_factor)
+            elif isinstance(atom, FloorDiv):
+                rewritten = FloorDiv(atom.numer.substitute(mapping), atom.denom)
+            elif isinstance(atom, Mod):
+                rewritten = Mod(atom.numer.substitute(mapping), atom.denom)
+            else:
+                rewritten = atom
+            if rewritten in mapping:
+                result = result + as_expr(mapping[rewritten]) * coef
+            else:
+                result = result + rewritten.as_expr() * coef
+        return result
+
+    def substitute_vars(self, mapping: Mapping[str, ExprLike]) -> "Expr":
+        """Convenience wrapper: substitute tuple variables by name."""
+        return self.substitute({Var(n): v for n, v in mapping.items()})
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Expr":
+        return self.substitute({Var(n): Var(m) for n, m in mapping.items()})
+
+    def rename_ufs(self, mapping: Mapping[str, str]) -> "Expr":
+        """Rename uninterpreted functions everywhere in the expression."""
+        result = Expr(const=self.const)
+        for atom, coef in self.terms:
+            if isinstance(atom, UFCall):
+                new_args = [a.rename_ufs(mapping) for a in atom.args]
+                atom = UFCall(mapping.get(atom.name, atom.name), new_args)
+            elif isinstance(atom, Mul):
+                atom = Mul(atom.sym, atom.factor.rename_ufs(mapping))
+            elif isinstance(atom, FloorDiv):
+                atom = FloorDiv(atom.numer.rename_ufs(mapping), atom.denom)
+            elif isinstance(atom, Mod):
+                atom = Mod(atom.numer.rename_ufs(mapping), atom.denom)
+            result = result + atom.as_expr() * coef
+        return result
+
+    # ------------------------------------------------------------------
+    # Printing
+    # ------------------------------------------------------------------
+    def __str__(self):
+        if self.is_constant():
+            return str(self.const)
+        parts: list[str] = []
+        for atom, coef in self.terms:
+            text = str(atom)
+            if coef == 1:
+                piece = text
+            elif coef == -1:
+                piece = f"-{text}"
+            else:
+                piece = f"{coef} * {text}"
+            if parts and not piece.startswith("-"):
+                parts.append(f"+ {piece}")
+            elif parts:
+                parts.append(f"- {piece[1:]}")
+            else:
+                parts.append(piece)
+        if self.const > 0:
+            parts.append(f"+ {self.const}")
+        elif self.const < 0:
+            parts.append(f"- {-self.const}")
+        return " ".join(parts)
+
+    def __repr__(self):
+        return f"Expr({self})"
+
+
+ZERO = Expr(0)
+ONE = Expr(1)

@@ -1,0 +1,55 @@
+"""Sparse kernels: hand-written per-format and generated from descriptors."""
+
+from .handwritten import (
+    dense_spmv,
+    dense_spmv_t,
+    frobenius_sq,
+    row_sums,
+    spmv,
+    spmv_bcsr,
+    spmv_coo,
+    spmv_csc,
+    spmv_csr,
+    spmv_dia,
+    spmv_ell,
+    spmv_t_csc,
+    spmv_t_csr,
+)
+from .mttkrp import (
+    matrices_close,
+    mttkrp_coo,
+    mttkrp_hicoo,
+    mttkrp_reference,
+)
+from .executor_gen import (
+    KERNELS,
+    GeneratedKernel,
+    KernelError,
+    run_kernel,
+    synthesize_kernel,
+)
+
+__all__ = [
+    "KERNELS",
+    "GeneratedKernel",
+    "KernelError",
+    "dense_spmv",
+    "dense_spmv_t",
+    "frobenius_sq",
+    "matrices_close",
+    "mttkrp_coo",
+    "mttkrp_hicoo",
+    "mttkrp_reference",
+    "row_sums",
+    "run_kernel",
+    "spmv",
+    "spmv_bcsr",
+    "spmv_coo",
+    "spmv_csc",
+    "spmv_csr",
+    "spmv_dia",
+    "spmv_ell",
+    "spmv_t_csc",
+    "spmv_t_csr",
+    "synthesize_kernel",
+]

@@ -1,0 +1,225 @@
+"""Multi-step conversion planning over the format library.
+
+The paper's conclusion positions the synthesis machinery as "a foundation
+for a complete automatic layout transformation for workloads".  This module
+takes one step in that direction: it builds the graph of directly
+synthesizable conversions, assigns each edge a cost estimated *from the
+generated code itself* (passes over the nonzeros, permutation structures,
+searches), and plans cheapest conversion chains — including pairs with no
+direct synthesis (DIA→DIA goes through sorted COO).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .formats import (
+    container_format,
+    container_to_env,
+    get_format,
+    outputs_to_container,
+)
+from .synthesis import SynthesisError, SynthesizedConversion, synthesize
+
+#: Formats participating in planning.  Source-only formats (BCSR, CSF,
+#: ELL) are included: they simply have no incoming edges, so the planner
+#: can route *out of* them but never into them.
+PLANNABLE_2D = ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA", "ELL", "BCSR")
+PLANNABLE_3D = ("COO3D", "SCOO3D", "MCOO3", "CSF")
+
+
+def estimate_cost(conversion: SynthesizedConversion) -> float:
+    """A machine-independent cost estimate for one synthesized conversion.
+
+    Derived from the generated code's structure: each loop nest over the
+    nonzeros costs one pass; comparison-sort permutations cost an extra
+    log-factor pass; per-nonzero searches cost a diagonal-count factor.
+    The absolute scale is arbitrary — only relative comparisons matter.
+    """
+    source = conversion.source
+    cost = float(source.count("for "))
+    if "OrderedList(" in source:
+        cost += 4.0  # comparison sort + hash lookups
+    if "OrderedSet(" in source:
+        cost += 1.0
+    if "LexBucketPermutation(" in source or "P_count" in source:
+        cost += 0.5
+    if "BSEARCH(" in source:
+        cost += 1.0
+    # A linear search loop (guarded loop inside the copy) is the costliest
+    # per-nonzero pattern.
+    if "if (" in source and "for d in range" in source:
+        cost += 4.0
+    return cost
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    src: str
+    dst: str
+    cost: float
+
+
+@dataclass
+class ConversionPlan:
+    """An ordered chain of conversions realizing ``formats[0] → formats[-1]``."""
+
+    formats: tuple[str, ...]
+    steps: tuple[PlanStep, ...]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.cost for s in self.steps)
+
+    def __str__(self):
+        return " -> ".join(self.formats)
+
+
+class ConversionPlanner:
+    """Builds and queries the direct-conversion graph."""
+
+    def __init__(self, formats: Sequence[str] | None = None):
+        self.format_names = tuple(formats or PLANNABLE_2D)
+        self._edges: dict[tuple[str, str], Optional[float]] = {}
+        self._conversions: dict[tuple[str, str], SynthesizedConversion] = {}
+
+    # ------------------------------------------------------------------
+    def edge_cost(self, src: str, dst: str) -> Optional[float]:
+        """Cost of the direct conversion, or None when unsynthesizable."""
+        key = (src, dst)
+        if key in self._edges:
+            return self._edges[key]
+        if src == dst:
+            # Same-format "conversion" is a copy when synthesizable.
+            pass
+        try:
+            conversion = synthesize(get_format(src), get_format(dst))
+        except SynthesisError:
+            self._edges[key] = None
+            return None
+        self._conversions[key] = conversion
+        cost = estimate_cost(conversion)
+        self._edges[key] = cost
+        return cost
+
+    def conversion(self, src: str, dst: str) -> SynthesizedConversion:
+        cost = self.edge_cost(src, dst)
+        if cost is None:
+            raise SynthesisError(f"no direct conversion {src} -> {dst}")
+        return self._conversions[(src, dst)]
+
+    # ------------------------------------------------------------------
+    def plan(self, src: str, dst: str) -> ConversionPlan:
+        """Cheapest conversion chain from ``src`` to ``dst`` (Dijkstra).
+
+        When the direct edge exists it competes with multi-step chains on
+        cost; when it does not (DIA→DIA), an intermediary is found
+        automatically.
+        """
+        src, dst = src.upper(), dst.upper()
+        if src == dst and self.edge_cost(src, dst) is None:
+            # Route through the cheapest intermediary.
+            best: Optional[ConversionPlan] = None
+            for mid in self.format_names:
+                if mid == src:
+                    continue
+                there = self.edge_cost(src, mid)
+                back = self.edge_cost(mid, dst)
+                if there is None or back is None:
+                    continue
+                candidate = ConversionPlan(
+                    (src, mid, dst),
+                    (PlanStep(src, mid, there), PlanStep(mid, dst, back)),
+                )
+                if best is None or candidate.total_cost < best.total_cost:
+                    best = candidate
+            if best is None:
+                raise SynthesisError(f"no conversion path {src} -> {dst}")
+            return best
+
+        distances: dict[str, float] = {src: 0.0}
+        parents: dict[str, str] = {}
+        heap: list[tuple[float, str]] = [(0.0, src)]
+        visited: set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neighbor in self.format_names:
+                if neighbor == node:
+                    continue
+                cost = self.edge_cost(node, neighbor)
+                if cost is None:
+                    continue
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    parents[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if dst not in distances:
+            raise SynthesisError(f"no conversion path {src} -> {dst}")
+
+        chain = [dst]
+        while chain[-1] != src:
+            chain.append(parents[chain[-1]])
+        chain.reverse()
+        steps = tuple(
+            PlanStep(a, b, self.edge_cost(a, b) or 0.0)
+            for a, b in zip(chain, chain[1:])
+        )
+        return ConversionPlan(tuple(chain), steps)
+
+    # ------------------------------------------------------------------
+    def execute(self, container, dst: str):
+        """Plan and run the conversion chain on a concrete container."""
+        src = container_format(container)
+        if src not in self.format_names:
+            # A rank-specific planner may be needed; pick by the source.
+            raise SynthesisError(
+                f"{src} is not in this planner's format set "
+                f"{self.format_names}; use ConversionPlanner({src!r}, ...)"
+            )
+        plan = self.plan(src, dst)
+        current = container
+        for step in plan.steps:
+            conversion = self.conversion(step.src, step.dst)
+            env = container_to_env(current)
+            outputs = conversion(**{p: env[p] for p in conversion.params})
+            current = outputs_to_container(
+                step.dst, outputs, conversion.uf_output_map, env
+            )
+        return current
+
+
+_DEFAULT_PLANNER: Optional[ConversionPlanner] = None
+
+
+def default_planner() -> ConversionPlanner:
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = ConversionPlanner()
+    return _DEFAULT_PLANNER
+
+
+_DEFAULT_3D: Optional[ConversionPlanner] = None
+
+
+def default_planner_3d() -> ConversionPlanner:
+    global _DEFAULT_3D
+    if _DEFAULT_3D is None:
+        _DEFAULT_3D = ConversionPlanner(PLANNABLE_3D)
+    return _DEFAULT_3D
+
+
+def convert_via_plan(container, dst: str):
+    """Convert through the cheapest available chain (module-level helper)."""
+    src = container_format(container)
+    planner = (
+        default_planner_3d() if src in PLANNABLE_3D else default_planner()
+    )
+    return planner.execute(container, dst)

@@ -1,0 +1,45 @@
+"""Runtime substrate: tensor containers, permutation structures, executor."""
+
+from .morton import demorton2, demorton3, morton, morton2, morton3, morton_nd
+from .ordered_list import LexBucketPermutation, OrderedList, OrderedSet
+from .matrices import (
+    BCSRMatrix,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    MortonCOOMatrix,
+    dense_equal,
+)
+from .tensors3d import COOTensor3D, MortonCOOTensor3D
+from .hicoo import HiCOOTensor
+from .csf import CSFTensor
+from .executor import CompiledInspector, base_namespace, compile_inspector
+
+__all__ = [
+    "BCSRMatrix",
+    "COOMatrix",
+    "COOTensor3D",
+    "CSFTensor",
+    "CSCMatrix",
+    "CSRMatrix",
+    "CompiledInspector",
+    "DIAMatrix",
+    "ELLMatrix",
+    "HiCOOTensor",
+    "LexBucketPermutation",
+    "MortonCOOMatrix",
+    "MortonCOOTensor3D",
+    "OrderedList",
+    "OrderedSet",
+    "base_namespace",
+    "compile_inspector",
+    "demorton2",
+    "demorton3",
+    "dense_equal",
+    "morton",
+    "morton2",
+    "morton3",
+    "morton_nd",
+]

@@ -1,0 +1,94 @@
+"""Executor for generated inspector code.
+
+The synthesis engine emits Python source for an inspector function; this
+module compiles it once and exposes it as a callable.  The execution
+namespace provides the runtime helpers generated code may reference — the
+Morton function, the :class:`OrderedList` / :class:`OrderedSet` permutation
+structures, and ``max`` / ``min``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .morton import morton, morton2, morton3
+from .ordered_list import LexBucketPermutation, OrderedList, OrderedSet
+
+
+def bsearch(arr, value) -> int:
+    """Binary search in a sorted indexable; returns -1 when absent.
+
+    Used by the Figure 3 rewrite: ``arr`` is a strictly monotonic index
+    array (a list or :class:`OrderedSet`).
+    """
+    lo, hi = 0, len(arr) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        entry = arr[mid]
+        if entry == value:
+            return mid
+        if entry < value:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return -1
+
+
+def base_namespace() -> dict:
+    """The globals available to every generated inspector."""
+    return {
+        "__builtins__": {
+            "max": max,
+            "min": min,
+            "len": len,
+            "range": range,
+            "list": list,
+            "tuple": tuple,
+            "enumerate": enumerate,
+            "sorted": sorted,
+            "KeyError": KeyError,
+            "ValueError": ValueError,
+        },
+        "MORTON": morton,
+        "MORTON2": morton2,
+        "MORTON3": morton3,
+        "BSEARCH": bsearch,
+        "OrderedList": OrderedList,
+        "OrderedSet": OrderedSet,
+        "LexBucketPermutation": LexBucketPermutation,
+    }
+
+
+class CompiledInspector:
+    """A compiled inspector function plus its source for inspection."""
+
+    def __init__(self, name: str, source: str, extra_env: Mapping | None = None):
+        self.name = name
+        self.source = source
+        namespace = base_namespace()
+        if extra_env:
+            namespace.update(extra_env)
+        try:
+            code = compile(source, filename=f"<inspector:{name}>", mode="exec")
+        except SyntaxError as err:
+            raise ValueError(
+                f"generated inspector {name!r} does not compile: {err}\n{source}"
+            ) from err
+        exec(code, namespace)
+        fn = namespace.get(name)
+        if not callable(fn):
+            raise ValueError(f"source does not define a function named {name!r}")
+        self._fn: Callable = fn
+
+    def __call__(self, *args, **kwargs):
+        return self._fn(*args, **kwargs)
+
+    def __repr__(self):
+        return f"CompiledInspector({self.name!r})"
+
+
+def compile_inspector(
+    name: str, source: str, extra_env: Mapping | None = None
+) -> CompiledInspector:
+    """Compile generated source into a callable inspector."""
+    return CompiledInspector(name, source, extra_env)

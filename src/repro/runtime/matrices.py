@@ -1,0 +1,499 @@
+"""Sparse matrix containers for every 2-D format in the paper (Figure 1).
+
+These are plain-Python containers (lists, not numpy) so that synthesized
+inspectors — which are interpreted Python loops — and the baseline
+converters operate at the same abstraction level; relative performance
+comparisons then reflect algorithmic differences, as in the paper.
+
+Every container validates its structural invariants in :meth:`check` and
+round-trips through a dense list-of-lists for correctness testing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .morton import morton2
+
+Dense = list  # list[list[float]]
+
+
+def _dense_zeros(nrows: int, ncols: int) -> Dense:
+    return [[0.0] * ncols for _ in range(nrows)]
+
+
+class COOMatrix:
+    """Coordinate format: parallel ``row`` / ``col`` / ``val`` arrays."""
+
+    format_name = "COO"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        row: Sequence[int],
+        col: Sequence[int],
+        val: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.row = list(row)
+        self.col = list(col)
+        self.val = list(val)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.val)
+
+    def check(self) -> None:
+        if not (len(self.row) == len(self.col) == len(self.val)):
+            raise ValueError("row/col/val lengths differ")
+        for i, j in zip(self.row, self.col):
+            if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+                raise ValueError(f"coordinate ({i}, {j}) out of bounds")
+        if len(set(zip(self.row, self.col))) != self.nnz:
+            raise ValueError("duplicate coordinates")
+
+    def is_sorted_lexicographic(self) -> bool:
+        """Row-major sorted — the assumption Figure 2 makes for sources."""
+        pairs = list(zip(self.row, self.col))
+        return all(a <= b for a, b in zip(pairs, pairs[1:]))
+
+    def sorted_lexicographic(self) -> "COOMatrix":
+        order = sorted(range(self.nnz), key=lambda n: (self.row[n], self.col[n]))
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            [self.row[n] for n in order],
+            [self.col[n] for n in order],
+            [self.val[n] for n in order],
+        )
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        for i, j, v in zip(self.row, self.col, self.val):
+            dense[i][j] = v
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "COOMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        row, col, val = [], [], []
+        for i in range(nrows):
+            for j in range(ncols):
+                if dense[i][j] != 0.0:
+                    row.append(i)
+                    col.append(j)
+                    val.append(dense[i][j])
+        return cls(nrows, ncols, row, col, val)
+
+    def nonzeros(self) -> Iterator[tuple[int, int, float]]:
+        return zip(self.row, self.col, self.val)
+
+    def __repr__(self):
+        return f"COOMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
+
+
+class MortonCOOMatrix(COOMatrix):
+    """COO sorted by the Morton (Z-order) key — the paper's MCOO."""
+
+    format_name = "MCOO"
+
+    def check(self) -> None:
+        super().check()
+        keys = [morton2(i, j) for i, j in zip(self.row, self.col)]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            raise ValueError("entries not in strictly increasing Morton order")
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "MortonCOOMatrix":
+        order = sorted(
+            range(coo.nnz), key=lambda n: morton2(coo.row[n], coo.col[n])
+        )
+        return cls(
+            coo.nrows,
+            coo.ncols,
+            [coo.row[n] for n in order],
+            [coo.col[n] for n in order],
+            [coo.val[n] for n in order],
+        )
+
+
+class CSRMatrix:
+    """Compressed sparse row: ``rowptr`` (len nrows+1), ``col``, ``val``."""
+
+    format_name = "CSR"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rowptr: Sequence[int],
+        col: Sequence[int],
+        val: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rowptr = list(rowptr)
+        self.col = list(col)
+        self.val = list(val)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.val)
+
+    def check(self) -> None:
+        if len(self.rowptr) != self.nrows + 1:
+            raise ValueError("rowptr must have nrows + 1 entries")
+        if self.rowptr[0] != 0 or self.rowptr[-1] != self.nnz:
+            raise ValueError("rowptr must start at 0 and end at nnz")
+        if any(a > b for a, b in zip(self.rowptr, self.rowptr[1:])):
+            raise ValueError("rowptr must be non-decreasing")
+        if len(self.col) != len(self.val):
+            raise ValueError("col/val lengths differ")
+        for i in range(self.nrows):
+            cols = self.col[self.rowptr[i] : self.rowptr[i + 1]]
+            if any(not (0 <= j < self.ncols) for j in cols):
+                raise ValueError(f"column out of bounds in row {i}")
+            if any(a >= b for a, b in zip(cols, cols[1:])):
+                raise ValueError(f"columns not strictly increasing in row {i}")
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        for i in range(self.nrows):
+            for k in range(self.rowptr[i], self.rowptr[i + 1]):
+                dense[i][self.col[k]] = self.val[k]
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "CSRMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        rowptr = [0]
+        col, val = [], []
+        for i in range(nrows):
+            for j in range(ncols):
+                if dense[i][j] != 0.0:
+                    col.append(j)
+                    val.append(dense[i][j])
+            rowptr.append(len(val))
+        return cls(nrows, ncols, rowptr, col, val)
+
+    def nonzeros(self) -> Iterator[tuple[int, int, float]]:
+        for i in range(self.nrows):
+            for k in range(self.rowptr[i], self.rowptr[i + 1]):
+                yield i, self.col[k], self.val[k]
+
+    def __repr__(self):
+        return f"CSRMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
+
+
+class CSCMatrix:
+    """Compressed sparse column: ``colptr`` (len ncols+1), ``row``, ``val``."""
+
+    format_name = "CSC"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        colptr: Sequence[int],
+        row: Sequence[int],
+        val: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.colptr = list(colptr)
+        self.row = list(row)
+        self.val = list(val)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.val)
+
+    def check(self) -> None:
+        if len(self.colptr) != self.ncols + 1:
+            raise ValueError("colptr must have ncols + 1 entries")
+        if self.colptr[0] != 0 or self.colptr[-1] != self.nnz:
+            raise ValueError("colptr must start at 0 and end at nnz")
+        if any(a > b for a, b in zip(self.colptr, self.colptr[1:])):
+            raise ValueError("colptr must be non-decreasing")
+        for j in range(self.ncols):
+            rows = self.row[self.colptr[j] : self.colptr[j + 1]]
+            if any(not (0 <= i < self.nrows) for i in rows):
+                raise ValueError(f"row out of bounds in column {j}")
+            if any(a >= b for a, b in zip(rows, rows[1:])):
+                raise ValueError(f"rows not strictly increasing in column {j}")
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        for j in range(self.ncols):
+            for k in range(self.colptr[j], self.colptr[j + 1]):
+                dense[self.row[k]][j] = self.val[k]
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "CSCMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        colptr = [0]
+        row, val = [], []
+        for j in range(ncols):
+            for i in range(nrows):
+                if dense[i][j] != 0.0:
+                    row.append(i)
+                    val.append(dense[i][j])
+            colptr.append(len(val))
+        return cls(nrows, ncols, colptr, row, val)
+
+    def __repr__(self):
+        return f"CSCMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
+
+
+class DIAMatrix:
+    """Diagonal format: sorted ``off`` array + row-major diagonal data.
+
+    ``data`` is laid out exactly as the paper's data access relation
+    ``kd = ND * ii + d`` prescribes: entry ``(ii, d)`` lives at
+    ``data[ND * ii + d]``.  Positions falling outside the matrix are
+    explicit (padding) zeros.
+    """
+
+    format_name = "DIA"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        off: Sequence[int],
+        data: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.off = list(off)
+        self.data = list(data)
+
+    @property
+    def ndiags(self) -> int:
+        return len(self.off)
+
+    def check(self) -> None:
+        if any(a >= b for a, b in zip(self.off, self.off[1:])):
+            raise ValueError("off must be strictly increasing")
+        if any(not (-self.nrows < o < self.ncols) for o in self.off):
+            raise ValueError("offset out of the valid diagonal range")
+        if len(self.data) != self.nrows * self.ndiags:
+            raise ValueError("data must have nrows * ndiags entries")
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        nd = self.ndiags
+        for i in range(self.nrows):
+            for d in range(nd):
+                j = i + self.off[d]
+                if 0 <= j < self.ncols:
+                    value = self.data[nd * i + d]
+                    if value != 0.0:
+                        dense[i][j] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "DIAMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        offsets = sorted(
+            {
+                j - i
+                for i in range(nrows)
+                for j in range(ncols)
+                if dense[i][j] != 0.0
+            }
+        )
+        nd = len(offsets)
+        data = [0.0] * (nrows * nd)
+        for i in range(nrows):
+            for d, off in enumerate(offsets):
+                j = i + off
+                if 0 <= j < ncols:
+                    data[nd * i + d] = dense[i][j]
+        return cls(nrows, ncols, offsets, data)
+
+    def __repr__(self):
+        return (
+            f"DIAMatrix({self.nrows}x{self.ncols}, ndiags={self.ndiags})"
+        )
+
+
+class BCSRMatrix:
+    """Blocked CSR with dense ``bsize`` x ``bsize`` blocks (Figure 1's BCSR).
+
+    ``browptr``/``bcol`` compress the block rows; each block stores its
+    ``bsize * bsize`` entries row-major in ``data``.
+    """
+
+    format_name = "BCSR"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        bsize: int,
+        browptr: Sequence[int],
+        bcol: Sequence[int],
+        data: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.bsize = int(bsize)
+        self.browptr = list(browptr)
+        self.bcol = list(bcol)
+        self.data = list(data)
+
+    @property
+    def nblockrows(self) -> int:
+        return -(-self.nrows // self.bsize)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.bcol)
+
+    def check(self) -> None:
+        if self.bsize < 1:
+            raise ValueError("block size must be positive")
+        if len(self.browptr) != self.nblockrows + 1:
+            raise ValueError("browptr must have nblockrows + 1 entries")
+        if self.browptr[0] != 0 or self.browptr[-1] != self.nblocks:
+            raise ValueError("browptr must start at 0 and end at nblocks")
+        if any(a > b for a, b in zip(self.browptr, self.browptr[1:])):
+            raise ValueError("browptr must be non-decreasing")
+        if len(self.data) != self.nblocks * self.bsize * self.bsize:
+            raise ValueError("data must hold bsize*bsize entries per block")
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        bs = self.bsize
+        for bi in range(self.nblockrows):
+            for bk in range(self.browptr[bi], self.browptr[bi + 1]):
+                bj = self.bcol[bk]
+                base = bk * bs * bs
+                for r in range(bs):
+                    for c in range(bs):
+                        i = bi * bs + r
+                        j = bj * bs + c
+                        if i < self.nrows and j < self.ncols:
+                            value = self.data[base + r * bs + c]
+                            if value != 0.0:
+                                dense[i][j] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense, bsize: int) -> "BCSRMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        nbr = -(-nrows // bsize)
+        nbc = -(-ncols // bsize)
+        browptr = [0]
+        bcol: list[int] = []
+        data: list[float] = []
+        for bi in range(nbr):
+            for bj in range(nbc):
+                block = []
+                nonzero = False
+                for r in range(bsize):
+                    for c in range(bsize):
+                        i, j = bi * bsize + r, bj * bsize + c
+                        v = (
+                            dense[i][j]
+                            if i < nrows and j < ncols
+                            else 0.0
+                        )
+                        nonzero = nonzero or v != 0.0
+                        block.append(v)
+                if nonzero:
+                    bcol.append(bj)
+                    data.extend(block)
+            browptr.append(len(bcol))
+        return cls(nrows, ncols, bsize, browptr, bcol, data)
+
+    def __repr__(self):
+        return (
+            f"BCSRMatrix({self.nrows}x{self.ncols}, bsize={self.bsize}, "
+            f"nblocks={self.nblocks})"
+        )
+
+
+class ELLMatrix:
+    """ELLPACK: fixed entries-per-row with column padding (extension format)."""
+
+    format_name = "ELL"
+
+    PAD = -1
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        width: int,
+        col: Sequence[int],
+        val: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.width = int(width)
+        self.col = list(col)
+        self.val = list(val)
+
+    def check(self) -> None:
+        expected = self.nrows * self.width
+        if len(self.col) != expected or len(self.val) != expected:
+            raise ValueError("col/val must have nrows * width entries")
+        for i in range(self.nrows):
+            for w in range(self.width):
+                j = self.col[i * self.width + w]
+                if j != self.PAD and not (0 <= j < self.ncols):
+                    raise ValueError(f"column out of bounds at row {i}")
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        for i in range(self.nrows):
+            for w in range(self.width):
+                j = self.col[i * self.width + w]
+                if j != self.PAD:
+                    dense[i][j] = self.val[i * self.width + w]
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "ELLMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        per_row = [
+            [(j, dense[i][j]) for j in range(ncols) if dense[i][j] != 0.0]
+            for i in range(nrows)
+        ]
+        width = max((len(r) for r in per_row), default=0)
+        col, val = [], []
+        for entries in per_row:
+            for j, v in entries:
+                col.append(j)
+                val.append(v)
+            for _ in range(width - len(entries)):
+                col.append(cls.PAD)
+                val.append(0.0)
+        return cls(nrows, ncols, width, col, val)
+
+    def __repr__(self):
+        return f"ELLMatrix({self.nrows}x{self.ncols}, width={self.width})"
+
+
+def dense_equal(a: Dense, b: Dense, tol: float = 0.0) -> bool:
+    """Elementwise dense comparison used throughout the tests."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if len(ra) != len(rb):
+            return False
+        for x, y in zip(ra, rb):
+            if abs(x - y) > tol:
+                return False
+    return True

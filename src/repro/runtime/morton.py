@@ -1,0 +1,100 @@
+"""Morton (Z-order) encodings used by MCOO / MCOO3 and the HiCOO baseline.
+
+The encodings interleave the bits of the coordinates, starting with the bit
+of the *first* coordinate in the least-significant position.  They accept
+arbitrarily large Python ints; widths are derived from the inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def morton2(i: int, j: int) -> int:
+    """Interleave bits of (i, j) into a single Z-order key."""
+    if i < 0 or j < 0:
+        raise ValueError(f"Morton coordinates must be non-negative: ({i}, {j})")
+    key = 0
+    shift = 0
+    while i or j:
+        key |= (i & 1) << shift
+        key |= (j & 1) << (shift + 1)
+        i >>= 1
+        j >>= 1
+        shift += 2
+    return key
+
+
+def morton3(i: int, j: int, k: int) -> int:
+    """Interleave bits of (i, j, k) into a single Z-order key."""
+    if i < 0 or j < 0 or k < 0:
+        raise ValueError(
+            f"Morton coordinates must be non-negative: ({i}, {j}, {k})"
+        )
+    key = 0
+    shift = 0
+    while i or j or k:
+        key |= (i & 1) << shift
+        key |= (j & 1) << (shift + 1)
+        key |= (k & 1) << (shift + 2)
+        i >>= 1
+        j >>= 1
+        k >>= 1
+        shift += 3
+    return key
+
+
+def morton(*coords: int) -> int:
+    """Morton key for 2 or 3 coordinates (the MORTON UF of the paper)."""
+    if len(coords) == 2:
+        return morton2(*coords)
+    if len(coords) == 3:
+        return morton3(*coords)
+    return morton_nd(coords)
+
+
+def morton_nd(coords: Sequence[int]) -> int:
+    """General n-dimensional Morton key."""
+    if not coords:
+        raise ValueError("morton_nd needs at least one coordinate")
+    values = list(coords)
+    if any(v < 0 for v in values):
+        raise ValueError(f"Morton coordinates must be non-negative: {coords}")
+    n = len(values)
+    key = 0
+    shift = 0
+    while any(values):
+        for axis in range(n):
+            key |= (values[axis] & 1) << (shift + axis)
+            values[axis] >>= 1
+        shift += n
+    return key
+
+
+def demorton2(key: int) -> tuple[int, int]:
+    """Inverse of :func:`morton2`."""
+    if key < 0:
+        raise ValueError("Morton keys are non-negative")
+    i = j = 0
+    shift = 0
+    while key:
+        i |= (key & 1) << shift
+        j |= ((key >> 1) & 1) << shift
+        key >>= 2
+        shift += 1
+    return i, j
+
+
+def demorton3(key: int) -> tuple[int, int, int]:
+    """Inverse of :func:`morton3`."""
+    if key < 0:
+        raise ValueError("Morton keys are non-negative")
+    i = j = k = 0
+    shift = 0
+    while key:
+        i |= (key & 1) << shift
+        j |= ((key >> 1) & 1) << shift
+        k |= ((key >> 2) & 1) << shift
+        key >>= 3
+        shift += 1
+    return i, j, k

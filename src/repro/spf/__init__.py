@@ -1,0 +1,36 @@
+"""SPF internal representation: computations, schedules, code generation."""
+
+from .ast_nodes import Comment, ForLoop, Guard, LetEq, Node, Program, Raw, walk
+from .computation import Computation, LoweringError, Schedule, Stmt
+from .dataflow import dataflow_dot, dead_spaces
+from .codegen.printers import (
+    CPrinter,
+    PythonPrinter,
+    SymbolTable,
+    emit_python_function,
+    print_constraint,
+    print_expr,
+)
+
+__all__ = [
+    "CPrinter",
+    "Comment",
+    "Computation",
+    "dataflow_dot",
+    "dead_spaces",
+    "ForLoop",
+    "Guard",
+    "LetEq",
+    "LoweringError",
+    "Node",
+    "Program",
+    "PythonPrinter",
+    "Raw",
+    "Schedule",
+    "Stmt",
+    "SymbolTable",
+    "emit_python_function",
+    "print_constraint",
+    "print_expr",
+    "walk",
+]

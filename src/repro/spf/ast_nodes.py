@@ -1,0 +1,132 @@
+"""Lowered AST for generated inspector code.
+
+The SPF code generator (polyhedra scanning) lowers a
+:class:`~repro.spf.computation.Computation` into this small AST, which the
+printers in :mod:`repro.spf.codegen` turn into executable Python or display
+C.  Nodes carry IR expressions (:class:`~repro.ir.Expr`), not strings, so the
+printers decide how UF calls render (array subscript vs function call).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir import Constraint, Expr, ExprLike, as_expr
+
+
+class Node:
+    """Base class for lowered AST nodes."""
+
+    __slots__ = ()
+
+
+class Program(Node):
+    """A whole generated inspector: an ordered list of top-level nodes."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Iterable[Node] = ()):
+        self.body: list[Node] = list(body)
+
+    def __repr__(self):
+        return f"Program({self.body!r})"
+
+
+class ForLoop(Node):
+    """``for var in [max(lowers), min(uppers)]`` — bounds are inclusive."""
+
+    __slots__ = ("var", "lowers", "uppers", "body")
+
+    def __init__(
+        self,
+        var: str,
+        lowers: Sequence[ExprLike],
+        uppers: Sequence[ExprLike],
+        body: Iterable[Node] = (),
+    ):
+        if not lowers or not uppers:
+            raise ValueError(f"loop over {var!r} needs at least one bound each way")
+        self.var = var
+        self.lowers = [as_expr(e) for e in lowers]
+        self.uppers = [as_expr(e) for e in uppers]
+        self.body: list[Node] = list(body)
+
+    def header_key(self) -> tuple:
+        """Structural identity of the loop header (used for fusion checks)."""
+        return (
+            self.var,
+            tuple(sorted(map(str, self.lowers))),
+            tuple(sorted(map(str, self.uppers))),
+        )
+
+    def __repr__(self):
+        return f"ForLoop({self.var!r}, {self.lowers}, {self.uppers}, {self.body!r})"
+
+
+class LetEq(Node):
+    """``var = expr`` binding a tuple variable defined by an equality."""
+
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var: str, expr: ExprLike):
+        self.var = var
+        self.expr = as_expr(expr)
+
+    def header_key(self) -> tuple:
+        return (self.var, str(self.expr))
+
+    def __repr__(self):
+        return f"LetEq({self.var!r}, {self.expr})"
+
+
+class Guard(Node):
+    """``if all(constraints): body`` — residual constraints become guards."""
+
+    __slots__ = ("constraints", "body")
+
+    def __init__(self, constraints: Sequence[Constraint], body: Iterable[Node] = ()):
+        if not constraints:
+            raise ValueError("guard needs at least one constraint")
+        self.constraints = list(constraints)
+        self.body: list[Node] = list(body)
+
+    def __repr__(self):
+        return f"Guard({self.constraints!r}, {self.body!r})"
+
+
+class Raw(Node):
+    """A statement body in source form (the Stmt text from the SPF-IR).
+
+    The text references tuple variables by name; both printers splice it in
+    verbatim (the C printer appends a ``;`` when missing).
+    """
+
+    __slots__ = ("text", "label")
+
+    def __init__(self, text: str, label: str = ""):
+        self.text = text
+        self.label = label
+
+    def __repr__(self):
+        return f"Raw({self.text!r})"
+
+
+class Comment(Node):
+    """A comment line, used to annotate synthesis phases in generated code."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def __repr__(self):
+        return f"Comment({self.text!r})"
+
+
+def walk(node: Node):
+    """Yield every node in the subtree rooted at ``node`` (pre-order)."""
+    yield node
+    body = getattr(node, "body", None)
+    if body:
+        for child in body:
+            yield from walk(child)

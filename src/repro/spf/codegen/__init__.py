@@ -1,0 +1,19 @@
+"""Code generation: lowered-AST printers for Python and display C."""
+
+from .printers import (
+    CPrinter,
+    PythonPrinter,
+    SymbolTable,
+    emit_python_function,
+    print_constraint,
+    print_expr,
+)
+
+__all__ = [
+    "CPrinter",
+    "PythonPrinter",
+    "SymbolTable",
+    "emit_python_function",
+    "print_constraint",
+    "print_expr",
+]

@@ -1,0 +1,257 @@
+"""Printers turning the lowered AST into Python or display C source.
+
+The Python printer produces executable inspector code (run by
+:mod:`repro.runtime.executor`); the C printer produces the kind of output the
+paper shows (CodeGen+ style) for inspection and documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.ir import Constraint, Eq, Expr, FloorDiv, Mod, Mul, Sym, UFCall, Var
+from ..ast_nodes import Comment, ForLoop, Guard, LetEq, Node, Program, Raw
+
+
+class SymbolTable:
+    """Classification of names appearing in generated code.
+
+    Uninterpreted functions lower either to index arrays (subscripting) or to
+    user-defined functions (calls).  Everything else — tuple variables and
+    symbolic constants — prints as a plain name.
+    """
+
+    def __init__(
+        self,
+        arrays: Iterable[str] = (),
+        functions: Iterable[str] = (),
+        objects: Iterable[str] = (),
+    ):
+        self.arrays = set(arrays)
+        self.functions = set(functions)
+        self.objects = set(objects)
+        overlap = self.arrays & self.functions
+        if overlap:
+            raise ValueError(f"names registered as both array and function: {overlap}")
+
+    def kind_of(self, name: str) -> str:
+        if name in self.arrays:
+            return "array"
+        if name in self.functions:
+            return "func"
+        if name in self.objects:
+            return "object"
+        return "array"  # default: index array, the common case in SPF
+
+    def copy(self) -> "SymbolTable":
+        return SymbolTable(self.arrays, self.functions, self.objects)
+
+
+def print_expr(expr: Expr, symtab: SymbolTable, lang: str = "py") -> str:
+    """Render an IR expression as source text."""
+    parts: list[str] = []
+    for atom, coef in expr.terms:
+        text = _print_atom(atom, symtab, lang)
+        if coef == 1:
+            piece = text
+        elif coef == -1:
+            piece = f"-{text}"
+        else:
+            piece = f"{coef} * {text}"
+        if parts:
+            if piece.startswith("-"):
+                parts.append(f"- {piece[1:]}")
+            else:
+                parts.append(f"+ {piece}")
+        else:
+            parts.append(piece)
+    if expr.const or not parts:
+        if parts:
+            sign = "+" if expr.const >= 0 else "-"
+            parts.append(f"{sign} {abs(expr.const)}")
+        else:
+            parts.append(str(expr.const))
+    return " ".join(parts)
+
+
+def _print_atom(atom, symtab: SymbolTable, lang: str) -> str:
+    if isinstance(atom, (Var, Sym)):
+        return atom.name
+    if isinstance(atom, Mul):
+        return f"{atom.sym.name} * ({print_expr(atom.factor, symtab, lang)})"
+    if isinstance(atom, FloorDiv):
+        numer = print_expr(atom.numer, symtab, lang)
+        if lang == "py":
+            return f"(({numer}) // {atom.denom})"
+        return f"(({numer}) / {atom.denom})"
+    if isinstance(atom, Mod):
+        numer = print_expr(atom.numer, symtab, lang)
+        return f"(({numer}) % {atom.denom})"
+    if isinstance(atom, UFCall):
+        args = [print_expr(a, symtab, lang) for a in atom.args]
+        kind = symtab.kind_of(atom.name)
+        if kind == "func" or (kind == "object"):
+            return f"{atom.name}({', '.join(args)})"
+        if len(args) == 1:
+            return f"{atom.name}[{args[0]}]"
+        if lang == "py":
+            return f"{atom.name}[{', '.join(args)}]"
+        return "".join([atom.name] + [f"[{a}]" for a in args])
+    raise TypeError(f"cannot print atom {atom!r}")
+
+
+def print_constraint(c: Constraint, symtab: SymbolTable, lang: str = "py") -> str:
+    """Render a constraint readably as ``lhs OP rhs``.
+
+    Positive terms stay on the left; negative terms (and a negative constant)
+    move to the right, so ``k - rowptr(i) >= 0`` prints as ``k >= rowptr[i]``.
+    """
+    pos = Expr()
+    neg = Expr()
+    for atom, coef in c.expr.terms:
+        if coef > 0:
+            pos = pos + Expr(terms=((atom, coef),))
+        else:
+            neg = neg + Expr(terms=((atom, -coef),))
+    if c.expr.const > 0:
+        pos = pos + c.expr.const
+    elif c.expr.const < 0:
+        neg = neg + (-c.expr.const)
+    op = "==" if isinstance(c, Eq) else ">="
+    return f"{print_expr(pos, symtab, lang)} {op} {print_expr(neg, symtab, lang)}"
+
+
+def _bound_expr(
+    exprs: Sequence[Expr], combiner: str, symtab: SymbolTable, lang: str
+) -> str:
+    rendered = [print_expr(e, symtab, lang) for e in exprs]
+    if len(rendered) == 1:
+        return rendered[0]
+    if lang == "py":
+        return f"{combiner}({', '.join(rendered)})"
+    # C: nest binary max/min calls.
+    out = rendered[0]
+    for piece in rendered[1:]:
+        out = f"{combiner}({out}, {piece})"
+    return out
+
+
+class PythonPrinter:
+    """Prints a lowered AST as executable Python."""
+
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+
+    def print(self, node: Node, indent: int = 0) -> str:
+        return "\n".join(self._lines(node, indent))
+
+    def _lines(self, node: Node, indent: int) -> list[str]:
+        pad = "    " * indent
+        if isinstance(node, Program):
+            out: list[str] = []
+            for child in node.body:
+                out.extend(self._lines(child, indent))
+            return out or [f"{pad}pass"]
+        if isinstance(node, ForLoop):
+            lb = _bound_expr(node.lowers, "max", self.symtab, "py")
+            ub = _bound_expr([u + 1 for u in node.uppers], "min", self.symtab, "py")
+            lines = [f"{pad}for {node.var} in range({lb}, {ub}):"]
+            lines.extend(self._body(node.body, indent + 1))
+            return lines
+        if isinstance(node, LetEq):
+            return [f"{pad}{node.var} = {print_expr(node.expr, self.symtab, 'py')}"]
+        if isinstance(node, Guard):
+            conds = " and ".join(
+                f"({print_constraint(c, self.symtab, 'py')})" for c in node.constraints
+            )
+            lines = [f"{pad}if {conds}:"]
+            lines.extend(self._body(node.body, indent + 1))
+            return lines
+        if isinstance(node, Raw):
+            return [f"{pad}{line}" for line in node.text.splitlines()]
+        if isinstance(node, Comment):
+            return [f"{pad}# {node.text}"]
+        raise TypeError(f"cannot print node {node!r}")
+
+    def _body(self, body: list[Node], indent: int) -> list[str]:
+        if not body:
+            return ["    " * indent + "pass"]
+        lines: list[str] = []
+        for child in body:
+            lines.extend(self._lines(child, indent))
+        return lines
+
+
+class CPrinter:
+    """Prints a lowered AST as display C (CodeGen+ style)."""
+
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+
+    def print(self, node: Node, indent: int = 0) -> str:
+        return "\n".join(self._lines(node, indent))
+
+    def _lines(self, node: Node, indent: int) -> list[str]:
+        pad = "  " * indent
+        if isinstance(node, Program):
+            out: list[str] = []
+            for child in node.body:
+                out.extend(self._lines(child, indent))
+            return out
+        if isinstance(node, ForLoop):
+            lb = _bound_expr(node.lowers, "max", self.symtab, "c")
+            ub = _bound_expr(node.uppers, "min", self.symtab, "c")
+            lines = [
+                f"{pad}for (int {node.var} = {lb}; {node.var} <= {ub}; "
+                f"{node.var}++) {{"
+            ]
+            for child in node.body:
+                lines.extend(self._lines(child, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, LetEq):
+            return [
+                f"{pad}int {node.var} = "
+                f"{print_expr(node.expr, self.symtab, 'c')};"
+            ]
+        if isinstance(node, Guard):
+            conds = " && ".join(
+                f"({print_constraint(c, self.symtab, 'c')})" for c in node.constraints
+            )
+            lines = [f"{pad}if ({conds}) {{"]
+            for child in node.body:
+                lines.extend(self._lines(child, indent + 1))
+            lines.append(f"{pad}}}")
+            return lines
+        if isinstance(node, Raw):
+            text = node.text.rstrip()
+            if text and not text.endswith((";", "}", "{")):
+                text += ";"
+            return [f"{pad}{line}" for line in text.splitlines()]
+        if isinstance(node, Comment):
+            return [f"{pad}// {node.text}"]
+        raise TypeError(f"cannot print node {node!r}")
+
+
+def emit_python_function(
+    name: str,
+    params: Sequence[str],
+    program: Program,
+    returns: Sequence[str],
+    symtab: SymbolTable,
+    preamble: Sequence[str] = (),
+) -> str:
+    """Wrap a lowered program into a Python function definition.
+
+    ``params`` are the inputs (source UF arrays, symbolic constants, helper
+    functions); ``returns`` are the destination names returned as a dict.
+    """
+    printer = PythonPrinter(symtab)
+    lines = [f"def {name}({', '.join(params)}):"]
+    for line in preamble:
+        lines.append(f"    {line}")
+    body = printer.print(program, indent=1)
+    lines.append(body)
+    ret_items = ", ".join(f"{n!r}: {n}" for n in returns)
+    lines.append(f"    return {{{ret_items}}}")
+    return "\n".join(lines) + "\n"

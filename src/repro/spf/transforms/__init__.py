@@ -1,0 +1,27 @@
+"""Standard SPF transformations used to optimize synthesized inspectors."""
+
+from .dedup import eliminate_redundant_statements
+from .dce import dead_code_elimination
+from .fusion import apply_all_fusion, fusable_depth, fuse
+from .affine import (
+    TransformError,
+    full_unroll,
+    interchange,
+    shift,
+    skew,
+    tile,
+)
+
+__all__ = [
+    "TransformError",
+    "apply_all_fusion",
+    "dead_code_elimination",
+    "eliminate_redundant_statements",
+    "full_unroll",
+    "fusable_depth",
+    "fuse",
+    "interchange",
+    "shift",
+    "skew",
+    "tile",
+]

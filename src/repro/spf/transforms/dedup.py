@@ -1,0 +1,38 @@
+"""Redundant statement elimination.
+
+Synthesis can derive the same population statement from multiple constraints
+(Section 3.3: "If multiple statements cover the same data space we remove all
+but one of them").  Two statements are redundant when they write the same
+data spaces with the same body over the same iteration space.
+"""
+
+from __future__ import annotations
+
+from ..computation import Computation, Stmt
+
+
+def _signature(stmt: Stmt) -> tuple:
+    """A canonical identity for a statement, modulo tuple variable names."""
+    canon = {v: f"__t{i}" for i, v in enumerate(stmt.space.tuple_vars)}
+    renamed = stmt.rename_tuple_vars(canon)
+    constraint_key = tuple(
+        sorted(str(c) for c in renamed.space.single_conjunction)
+    )
+    return (renamed.text, renamed.space.tuple_vars, constraint_key,
+            tuple(sorted(stmt.writes)))
+
+
+def eliminate_redundant_statements(comp: Computation) -> list[Stmt]:
+    """Drop duplicate statements in place; returns the removed statements."""
+    seen: set[tuple] = set()
+    kept: list[Stmt] = []
+    removed: list[Stmt] = []
+    for stmt in comp.stmts:
+        sig = _signature(stmt)
+        if sig in seen:
+            removed.append(stmt)
+        else:
+            seen.add(sig)
+            kept.append(stmt)
+    comp.replace_stmts(kept)
+    return removed

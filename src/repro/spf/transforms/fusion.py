@@ -1,0 +1,144 @@
+"""Loop fusion transformations.
+
+The paper applies two flavors (Section 3.3):
+
+* **read-reduction fusion** — statements reading the same memory locations
+  share a loop to reduce memory traffic,
+* **producer-consumer fusion** — a statement consuming what the previous one
+  produced in the same iteration joins its loop, shrinking temporary storage.
+
+Both reduce to the same mechanical step here: give two statements a common
+schedule prefix so code generation emits one loop.  Legality is enforced by
+(1) structural compatibility of the loop levels (identical bounds and guards
+after renaming) and (2) the *phase barrier*: synthesis marks statements whose
+inputs must be complete arrays (e.g. a copy reading an enforced ``off``
+array) with a later phase, and fusion never crosses phases.  That is exactly
+the restriction the paper reports for COO→DIA, where enforcement of the
+``off`` index property blocks fusing the offset loop with the copy loop.
+"""
+
+from __future__ import annotations
+
+from ..computation import Computation, Schedule, Stmt, _lower_levels
+
+
+def fusable_depth(first: Stmt, second: Stmt) -> int:
+    """Maximum loop depth at which ``second`` can join ``first``'s nest.
+
+    The second statement's leading tuple variables are renamed to the first's
+    and the per-level descriptors (loop bounds / let definitions / guards)
+    must match exactly.  Returns 0 when no fusion is possible.
+    """
+    if first.phase != second.phase:
+        return 0
+    try:
+        pre1, levels1 = _lower_levels(first)
+        mapping = {
+            old: new
+            for old, new in zip(second.space.tuple_vars, first.space.tuple_vars)
+            if old != new
+        }
+        renamed = second.rename_tuple_vars(_safe_mapping(second, mapping))
+        pre2, levels2 = _lower_levels(renamed)
+    except ValueError:
+        return 0
+    if tuple(sorted(map(str, pre1))) != tuple(sorted(map(str, pre2))):
+        return 0
+    depth = 0
+    for l1, l2 in zip(levels1, levels2):
+        if l1.key() != l2.key():
+            break
+        depth += 1
+    return depth
+
+
+def _safe_mapping(stmt: Stmt, mapping: dict[str, str]) -> dict[str, str]:
+    """Make a tuple-var renaming collision-free by chaining a swap."""
+    targets = set(mapping.values())
+    current = set(stmt.space.tuple_vars)
+    clash = targets & (current - set(mapping))
+    if not clash:
+        return mapping
+    full = dict(mapping)
+    used = current | targets
+    for name in clash:
+        for i in range(10_000):
+            candidate = f"{name}_f{i}"
+            if candidate not in used:
+                full[name] = candidate
+                used.add(candidate)
+                break
+    return full
+
+
+def fuse(comp: Computation, first_name: str, second_name: str) -> int:
+    """Fuse ``second`` into ``first``'s loop nest at the deepest legal level.
+
+    Returns the fused depth (0 means the statements were incompatible and
+    nothing changed).  On success the second statement's schedule shares the
+    first's prefix and it is ordered directly after every statement already
+    fused into that loop body.
+    """
+    by_name = {s.name: s for s in comp.stmts}
+    first = by_name[first_name]
+    second = by_name[second_name]
+    depth = fusable_depth(first, second)
+    if depth == 0:
+        return 0
+
+    mapping = _safe_mapping(
+        second,
+        {
+            old: new
+            for old, new in zip(
+                second.space.tuple_vars[:depth], first.space.tuple_vars[:depth]
+            )
+            if old != new
+        },
+    )
+    renamed = second.rename_tuple_vars(mapping)
+
+    assert first.schedule is not None and renamed.schedule is not None
+    entries = list(renamed.schedule.entries)
+    for level in range(depth):
+        entries[2 * level] = first.schedule.static_at(level)
+    # Order after everything already in this loop body.
+    siblings = [
+        s
+        for s in comp.stmts
+        if s.name != second_name
+        and s.schedule is not None
+        and s.schedule.depth >= depth
+        and all(
+            s.schedule.static_at(l) == first.schedule.static_at(l)
+            and s.schedule.loop_var_at(l) == first.schedule.loop_var_at(l)
+            for l in range(depth)
+        )
+    ]
+    next_static = 1 + max(
+        (s.schedule.static_at(depth) if s.schedule.depth > depth
+         else s.schedule.entries[-1])
+        for s in siblings
+    )
+    entries[2 * depth] = next_static
+    fused = renamed.with_schedule(Schedule(entries))
+    comp.replace_stmts([fused if s.name == second_name else s for s in comp.stmts])
+    return depth
+
+
+def apply_all_fusion(comp: Computation) -> int:
+    """Greedy pass: fuse every adjacent compatible pair.  Returns #fusions.
+
+    Mirrors the paper's "all opportunities to apply read-reduction and
+    producer-consumer fusion are applied": we sweep program order, fusing
+    each statement into the nest of the closest earlier compatible statement
+    in the same phase.
+    """
+    fused_count = 0
+    names = [s.name for s in comp.stmts]
+    for index, name in enumerate(names):
+        for earlier in range(index - 1, -1, -1):
+            if fuse(comp, names[earlier], name):
+                fused_count += 1
+                break
+    return fused_count

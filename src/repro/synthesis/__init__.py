@@ -1,0 +1,31 @@
+"""Inspector synthesis for sparse format conversion (the paper's core)."""
+
+from .cases import (
+    NormalizedConstraint,
+    Resolver,
+    UFStatementPlan,
+    classify,
+    normalize_for_uf,
+    select_plans,
+)
+from .engine import SynthesisError, SynthesizedConversion, synthesize
+from .analysis import constraints_per_unknown_uf, render_table2
+from .tandem import TandemResult, tandem
+from .optimize import rewrite_linear_search
+
+__all__ = [
+    "NormalizedConstraint",
+    "Resolver",
+    "SynthesisError",
+    "SynthesizedConversion",
+    "TandemResult",
+    "UFStatementPlan",
+    "classify",
+    "constraints_per_unknown_uf",
+    "normalize_for_uf",
+    "render_table2",
+    "rewrite_linear_search",
+    "select_plans",
+    "synthesize",
+    "tandem",
+]

@@ -1,0 +1,63 @@
+"""Synthesis introspection: the Table 2 view of a conversion.
+
+Table 2 of the paper lists, for the COO→MCOO running example, the unknown
+uninterpreted functions across the top and under each the constraints from
+the composed relation that mention it.  :func:`constraints_per_unknown_uf`
+computes exactly that for any source/destination pair, and
+:func:`render_table2` prints it in a Table-2-like layout.
+"""
+
+from __future__ import annotations
+
+from repro.formats.descriptor import FormatDescriptor
+
+from .engine import PERMUTATION, _disambiguate, _prune_range_guards
+
+
+def constraints_per_unknown_uf(
+    src: FormatDescriptor, dst: FormatDescriptor
+) -> dict[str, list[str]]:
+    """Map each unknown UF of the conversion to its governing constraints.
+
+    Unknown UFs are the destination's index arrays (after collision
+    renaming) plus the permutation ``P`` when the destination carries a
+    reordering quantifier; ``P``'s entry lists the ordering constraint,
+    mirroring the last column of Table 2.
+    """
+    dst_r, _ = _disambiguate(dst, src)
+    composed = dst_r.sparse_to_dense.inverse().compose(src.sparse_to_dense)
+    conj = _prune_range_guards(composed.single_conjunction, [src, dst_r])
+
+    table: dict[str, list[str]] = {}
+    for uf in sorted(dst_r.index_ufs()):
+        table[uf] = [str(c) for c in conj.constraints if uf in c.uf_names()]
+        domain = dst_r.uf_domains.get(uf)
+        if domain is not None:
+            table[uf].append(f"domain({uf}) = {domain}")
+        quantifier = dst_r.monotonic.get(uf)
+        if quantifier is not None:
+            table[uf].append(str(quantifier))
+
+    if dst_r.ordering is not None:
+        coord_ufs = [
+            dst_r.coord_ufs.get(v, f"coord_{v}")
+            for v in dst_r.ordering.dense_vars
+        ]
+        pos = dst_r.position_var
+        table[PERMUTATION] = [
+            f"{PERMUTATION}({', '.join(dst_r.dense_vars)}) = "
+            f"[{', '.join(dst_r.sparse_vars)}]",
+            dst_r.ordering.display(pos, coord_ufs),
+        ]
+    return table
+
+
+def render_table2(src: FormatDescriptor, dst: FormatDescriptor) -> str:
+    """Render the per-UF constraint table as aligned text columns."""
+    table = constraints_per_unknown_uf(src, dst)
+    lines = [f"Unknown UFs for {src.name} -> {dst.name}:"]
+    for uf, constraints in table.items():
+        lines.append(f"  {uf}:")
+        for c in constraints:
+            lines.append(f"    {c}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Differential testing of synthesized conversions.
+
+A randomized cross-checking harness: generate matrices, push them through
+every synthesizable conversion path (direct, round-trip, and two-step
+chains), and compare the dense images.  Used by the test suite, by
+``python -m repro selftest``, and handy when developing a new format
+descriptor — one call exercises a descriptor against the whole library.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import convert, dense_equal
+from repro.runtime import COOMatrix
+from repro.synthesis import SynthesisError
+
+DEFAULT_TARGETS = ("CSR", "CSC", "DIA", "MCOO", "SCOO", "BCSR")
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of a differential-testing run."""
+
+    trials: int
+    conversions_checked: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"differential test: {self.trials} matrices, "
+            f"{self.conversions_checked} conversions checked — {status}"
+        ]
+        lines.extend(f"  FAIL {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def random_matrix(rng: random.Random, max_dim: int = 16) -> COOMatrix:
+    """A random sparse matrix with occasional degenerate shapes."""
+    nrows = rng.randint(1, max_dim)
+    ncols = rng.randint(1, max_dim)
+    ncells = nrows * ncols
+    nnz = rng.randint(0, min(ncells, 3 * max_dim))
+    cells = rng.sample(range(ncells), nnz)
+    dense = [[0.0] * ncols for _ in range(nrows)]
+    for cell in cells:
+        dense[cell // ncols][cell % ncols] = round(rng.uniform(-9, 9), 3) or 1.0
+    return COOMatrix.from_dense(dense)
+
+
+def differential_test(
+    trials: int = 20,
+    *,
+    targets: Sequence[str] = DEFAULT_TARGETS,
+    seed: int = 0,
+    chains: bool = True,
+) -> DifferentialReport:
+    """Run the harness; every conversion must preserve the dense image."""
+    rng = random.Random(seed)
+    report = DifferentialReport(trials=trials, conversions_checked=0)
+
+    for trial in range(trials):
+        coo = random_matrix(rng)
+        reference = coo.to_dense()
+        converted: dict[str, object] = {}
+
+        for target in targets:
+            label = f"trial {trial}: SCOO->{target} ({coo})"
+            try:
+                out = convert(coo, target)
+            except SynthesisError as err:
+                report.failures.append(f"{label}: synthesis error: {err}")
+                continue
+            report.conversions_checked += 1
+            try:
+                out.check()
+            except ValueError as err:
+                report.failures.append(f"{label}: invariant violation: {err}")
+                continue
+            if not dense_equal(out.to_dense(), reference):
+                report.failures.append(f"{label}: dense image differs")
+                continue
+            converted[target] = out
+
+        if not chains:
+            continue
+        # Second hop: from each converted container to a rotated target.
+        for index, (fmt, container) in enumerate(sorted(converted.items())):
+            target = list(targets)[(index + 1) % len(targets)]
+            if target == fmt:
+                continue
+            label = f"trial {trial}: {fmt}->{target} (chained)"
+            try:
+                out = convert(container, target)
+            except SynthesisError as err:
+                report.failures.append(f"{label}: synthesis error: {err}")
+                continue
+            report.conversions_checked += 1
+            if not dense_equal(out.to_dense(), reference):
+                report.failures.append(f"{label}: dense image differs")
+
+    return report

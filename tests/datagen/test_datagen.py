@@ -1,0 +1,160 @@
+"""Unit tests for workload generation and the Table 3/4 catalogs."""
+
+import pytest
+
+from repro.datagen import (
+    BY_NAME,
+    DIA_SUBSET,
+    TABLE3,
+    TABLE4,
+    banded,
+    fem_blocks,
+    load,
+    load_tensor,
+    power_law,
+    random_uniform,
+    shuffled,
+    stencil_offsets,
+    synthetic_tensor3d,
+)
+
+
+class TestStencilOffsets:
+    def test_count(self):
+        for nd in (1, 3, 5, 7, 13, 22):
+            assert len(stencil_offsets(nd, spread=10)) == nd
+
+    def test_sorted_unique(self):
+        offs = stencil_offsets(9, spread=8)
+        assert offs == sorted(set(offs))
+
+    def test_contains_main_diagonal(self):
+        assert 0 in stencil_offsets(5, spread=6)
+
+    def test_bounded_spread(self):
+        offs = stencil_offsets(22, spread=13)
+        assert max(abs(o) for o in offs) < 13 * 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            stencil_offsets(0)
+
+
+class TestGenerators:
+    def test_banded_diag_count(self):
+        m = banded(50, 50, [-3, 0, 3])
+        m.check()
+        diags = {j - i for i, j in zip(m.row, m.col)}
+        assert diags == {-3, 0, 3}
+
+    def test_banded_density_thins(self):
+        full = banded(60, 60, [0, 1], density=1.0, seed=1)
+        thin = banded(60, 60, [0, 1], density=0.5, seed=1)
+        assert thin.nnz < full.nnz
+        assert thin.nnz > 0
+
+    def test_banded_sorted(self):
+        assert banded(30, 30, [-1, 0, 1]).is_sorted_lexicographic()
+
+    def test_fem_square_and_sorted(self):
+        m = fem_blocks(60, block=4, blocks_per_row=3, seed=2)
+        m.check()
+        assert m.nrows == m.ncols == 60
+        assert m.is_sorted_lexicographic()
+
+    def test_power_law_nnz(self):
+        m = power_law(100, 100, 300, seed=3)
+        m.check()
+        assert 250 <= m.nnz <= 300
+
+    def test_power_law_skewed_rows(self):
+        m = power_law(200, 200, 800, alpha=2.5, seed=4)
+        counts = [0] * 200
+        for i in m.row:
+            counts[i] += 1
+        top_decile = sum(sorted(counts, reverse=True)[:20])
+        assert top_decile > m.nnz * 0.3  # heavy rows dominate
+
+    def test_random_uniform(self):
+        m = random_uniform(20, 20, 50, seed=5)
+        m.check()
+        assert m.nnz == 50
+
+    def test_random_uniform_capacity_check(self):
+        with pytest.raises(ValueError):
+            random_uniform(2, 2, 10)
+
+    def test_shuffled_permutes(self):
+        m = random_uniform(20, 20, 60, seed=6)
+        s = shuffled(m, seed=7)
+        assert not s.is_sorted_lexicographic()
+        assert s.sorted_lexicographic().row == m.row
+
+    def test_determinism(self):
+        a = power_law(50, 50, 100, seed=8)
+        b = power_law(50, 50, 100, seed=8)
+        assert a.row == b.row and a.val == b.val
+
+
+class TestCatalog:
+    def test_21_matrices(self):
+        assert len(TABLE3) == 21
+        assert len(BY_NAME) == 21
+
+    def test_paper_diagonal_counts(self):
+        assert BY_NAME["majorbasis"].ndiags == 22
+        assert BY_NAME["ecology1"].ndiags == 5
+
+    def test_dia_subset_is_banded(self):
+        for name in DIA_SUBSET:
+            assert BY_NAME[name].family == "banded"
+
+    def test_load_every_matrix(self):
+        for info in TABLE3:
+            m = load(info.name, scale=0.0005)
+            m.check()
+            assert m.nnz > 0
+            assert m.is_sorted_lexicographic()
+
+    def test_banded_loads_match_catalog_diagonals(self):
+        for name in ("majorbasis", "ecology1", "Baumann"):
+            m = load(name, scale=0.002)
+            diags = len({j - i for i, j in zip(m.row, m.col)})
+            assert diags == BY_NAME[name].ndiags
+
+    def test_scale_controls_size(self):
+        small = load("ecology1", scale=0.0005)
+        large = load("ecology1", scale=0.002)
+        assert large.nnz > small.nnz
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            load("nd24k")
+
+
+class TestTensors:
+    def test_table4_has_three_tensors(self):
+        assert [t.name for t in TABLE4] == ["darpa", "fb-m", "fb-s"]
+
+    def test_load_tensor(self):
+        t = load_tensor("darpa", scale=0.00001)
+        t.check()
+        assert t.nnz > 0
+
+    def test_synthetic_tensor_nnz(self):
+        t = synthetic_tensor3d((16, 16, 16), 100, seed=1)
+        t.check()
+        assert t.nnz == 100
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError):
+            synthetic_tensor3d((2, 2, 2), 100)
+
+    def test_unknown_tensor(self):
+        with pytest.raises(KeyError):
+            load_tensor("nell-2")
+
+    def test_determinism(self):
+        a = synthetic_tensor3d((16, 16, 16), 64, seed=9)
+        b = synthetic_tensor3d((16, 16, 16), 64, seed=9)
+        assert a.row == b.row and a.val == b.val

@@ -1,0 +1,118 @@
+"""Unit tests for the evaluation harness (timing, reporting, experiments)."""
+
+import math
+
+import pytest
+
+from repro.evalharness import (
+    CONVERSIONS,
+    geomean,
+    render_speedups,
+    render_table,
+    render_table5,
+    run_conversion_experiment,
+    run_fig2c,
+    run_fig2d,
+    run_fig3,
+    run_table4,
+    speedup_table,
+    table5_rows,
+    this_work_support,
+    time_fn,
+)
+
+
+class TestTiming:
+    def test_time_fn_positive(self):
+        assert time_fn(lambda: sum(range(100))) > 0
+
+    def test_time_fn_passes_args(self):
+        calls = []
+        time_fn(calls.append, 1, repeats=2)
+        assert calls == [1, 1]
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+    def test_speedup_table(self):
+        out = speedup_table([1.0, 1.0], {"base": [2.0, 8.0]})
+        assert out["base"] == pytest.approx(4.0)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.000012345]])
+        assert "e" in text.splitlines()[-1]
+
+    def test_render_speedups_direction(self):
+        text = render_speedups({"taco": 2.0, "mkl": 0.5})
+        assert "2.00x faster" in text
+        assert "2.00x slower" in text
+
+
+class TestTable5:
+    def test_this_work_row_computed_true(self):
+        row = this_work_support()
+        assert row.mapping and row.reorder and row.universal_quantifiers
+
+    def test_rows_match_paper(self):
+        rows = {r.tool: r for r in table5_rows()}
+        assert rows["TACO"].mapping and not rows["TACO"].reorder
+        assert not rows["Nandy et al."].mapping
+        assert rows["Nandy et al."].universal_quantifiers
+        assert rows["This work"].mapping and rows["This work"].reorder
+
+    def test_render(self):
+        text = render_table5()
+        assert "TACO" in text and "This work" in text
+
+
+class TestExperiments:
+    """Small-scale smoke runs of every experiment driver with verification."""
+
+    SMALL = dict(scale=0.0005, repeats=1, matrices=["jnlbrng1", "majorbasis"])
+
+    def test_conversions_table(self):
+        assert set(CONVERSIONS) == {"COO_CSR", "COO_CSC", "CSR_CSC", "COO_DIA"}
+
+    @pytest.mark.parametrize("conversion", sorted(CONVERSIONS))
+    def test_each_conversion_runs_and_verifies(self, conversion):
+        result = run_conversion_experiment(conversion, **self.SMALL)
+        assert len(result.rows) == 2
+        assert set(result.speedups) == {"taco", "sparskit", "mkl"}
+        assert all(v > 0 for v in result.speedups.values())
+
+    def test_report_renders(self):
+        result = run_fig2c(**self.SMALL)
+        text = result.report()
+        assert "jnlbrng1" in text
+        assert "geomean" in text
+
+    def test_fig3_uses_binary_search(self):
+        result = run_fig3(**self.SMALL)
+        assert "binary search" in result.experiment
+
+    def test_fig2d_and_fig3_same_workload(self):
+        naive = run_fig2d(**self.SMALL)
+        fast = run_fig3(**self.SMALL)
+        assert [r[0] for r in naive.rows] == [r[0] for r in fast.rows]
+
+    def test_table4_runs_and_verifies(self):
+        result = run_table4(scale=0.000004, repeats=1, tensors=["darpa"])
+        assert len(result.rows) == 1
+        assert result.rows[0][-1] > 0  # ours/hicoo ratio
+
+    def test_unknown_conversion_rejected(self):
+        with pytest.raises(KeyError):
+            run_conversion_experiment("COO_ELL")

@@ -1,0 +1,110 @@
+"""Unit tests for container <-> descriptor bindings."""
+
+import pytest
+
+from repro.formats import (
+    BindingError,
+    container_format,
+    container_to_env,
+    outputs_to_container,
+)
+from repro.runtime import (
+    BCSRMatrix,
+    COOMatrix,
+    COOTensor3D,
+    CSCMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    MortonCOOMatrix,
+    MortonCOOTensor3D,
+)
+
+DENSE = [[1.0, 0.0], [2.0, 3.0]]
+
+
+class TestContainerFormat:
+    def test_sorted_coo_is_scoo(self):
+        assert container_format(COOMatrix.from_dense(DENSE)) == "SCOO"
+
+    def test_unsorted_coo_is_coo(self):
+        coo = COOMatrix(2, 2, [1, 0], [0, 0], [2.0, 1.0])
+        assert container_format(coo) == "COO"
+
+    def test_assume_sorted_false(self):
+        coo = COOMatrix.from_dense(DENSE)
+        assert container_format(coo, assume_sorted=False) == "COO"
+
+    def test_other_formats(self):
+        assert container_format(CSRMatrix.from_dense(DENSE)) == "CSR"
+        assert container_format(CSCMatrix.from_dense(DENSE)) == "CSC"
+        assert container_format(DIAMatrix.from_dense(DENSE)) == "DIA"
+        assert container_format(
+            MortonCOOMatrix.from_coo(COOMatrix.from_dense(DENSE))
+        ) == "MCOO"
+
+    def test_tensor_formats(self):
+        t = COOTensor3D((2, 2, 2), [0, 1], [0, 1], [0, 1], [1.0, 2.0])
+        assert container_format(t) == "SCOO3D"
+        unsorted = COOTensor3D((2, 2, 2), [1, 0], [1, 0], [1, 0], [2.0, 1.0])
+        assert container_format(unsorted) == "COO3D"
+        assert container_format(MortonCOOTensor3D.from_coo(t)) == "MCOO3"
+
+    def test_unknown_container(self):
+        with pytest.raises(BindingError):
+            container_format(object())
+
+
+class TestContainerToEnv:
+    def test_coo_env(self):
+        coo = COOMatrix.from_dense(DENSE)
+        env = container_to_env(coo)
+        assert env["row1"] == coo.row
+        assert env["NNZ"] == 3
+        assert env["NR"] == 2 and env["NC"] == 2
+
+    def test_csr_env(self):
+        csr = CSRMatrix.from_dense(DENSE)
+        env = container_to_env(csr)
+        assert env["rowptr"] == csr.rowptr
+        assert env["col2"] == csr.col
+        assert env["Asrc"] == csr.val
+
+    def test_dia_env(self):
+        dia = DIAMatrix.from_dense(DENSE)
+        env = container_to_env(dia)
+        assert env["off"] == dia.off
+        assert env["ND"] == dia.ndiags
+
+    def test_bcsr_env(self):
+        bcsr = BCSRMatrix.from_dense(DENSE, bsize=2)
+        env = container_to_env(bcsr)
+        assert env["browptr"] == bcsr.browptr
+        assert env["NBR"] == 1
+
+    def test_tensor_env(self):
+        t = COOTensor3D((2, 3, 4), [0], [1], [2], [1.0])
+        env = container_to_env(t)
+        assert env["NZ"] == 4
+        assert env["z1"] == [2]
+
+
+class TestOutputsToContainer:
+    def test_csr_outputs(self):
+        outputs = {"rowptr": [0, 1, 3], "col2": [0, 0, 1],
+                   "Adst": [1.0, 2.0, 3.0]}
+        m = outputs_to_container("CSR", outputs, {}, {"NR": 2, "NC": 2})
+        assert isinstance(m, CSRMatrix)
+        m.check()
+
+    def test_uf_output_map_translates_names(self):
+        outputs = {"rowptr2": [0, 1, 3], "col22": [0, 0, 1],
+                   "Adst": [1.0, 2.0, 3.0]}
+        m = outputs_to_container(
+            "CSR", outputs, {"rowptr": "rowptr2", "col2": "col22"},
+            {"NR": 2, "NC": 2},
+        )
+        assert m.rowptr == [0, 1, 3]
+
+    def test_unknown_format(self):
+        with pytest.raises(BindingError):
+            outputs_to_container("ESB", {"Adst": []}, {}, {})

@@ -1,0 +1,174 @@
+"""Unit tests for format descriptors and the Table 1 library."""
+
+import pytest
+
+from repro.formats import (
+    FormatDescriptor,
+    FormatError,
+    all_formats,
+    bcsr,
+    coo,
+    coo3d,
+    csc,
+    csr,
+    dia,
+    get_format,
+    mcoo,
+    mcoo3,
+    scoo,
+)
+from repro.ir import MonotonicQuantifier, lexicographic
+
+
+class TestDescriptorValidation:
+    def test_sparse_to_dense_must_be_function(self):
+        with pytest.raises(FormatError):
+            FormatDescriptor(
+                name="BAD",
+                sparse_to_dense="{[n] -> [i, j] : i = row(n)}",
+                data_access="{[n] -> [nd] : nd = n}",
+                uf_domains={"row": "{[x] : 0 <= x < NNZ}"},
+                uf_ranges={"row": "{[i] : 0 <= i < NR}"},
+            )
+
+    def test_undeclared_uf_rejected(self):
+        with pytest.raises(FormatError):
+            FormatDescriptor(
+                name="BAD",
+                sparse_to_dense="{[n] -> [i] : i = row(n)}",
+                data_access="{[n] -> [nd] : nd = n}",
+            )
+
+    def test_data_access_tuple_must_match(self):
+        with pytest.raises(FormatError):
+            FormatDescriptor(
+                name="BAD",
+                sparse_to_dense="{[n] -> [i] : i = row(n)}",
+                data_access="{[m] -> [nd] : nd = m}",
+                uf_domains={"row": "{[x] : 0 <= x < NNZ}"},
+                uf_ranges={"row": "{[i] : 0 <= i < NR}"},
+            )
+
+    def test_ordering_vars_must_cover_dense_space(self):
+        with pytest.raises(FormatError):
+            FormatDescriptor(
+                name="BAD",
+                sparse_to_dense="{[n] -> [i] : i = row(n)}",
+                data_access="{[n] -> [nd] : nd = n}",
+                uf_domains={"row": "{[x] : 0 <= x < NNZ}"},
+                uf_ranges={"row": "{[i] : 0 <= i < NR}"},
+                ordering=lexicographic(["i", "j"]),
+            )
+
+
+class TestLibrary:
+    def test_all_formats_construct(self):
+        formats = all_formats()
+        assert len(formats) >= 9
+        names = {f.name for f in formats}
+        assert {"COO", "SCOO", "MCOO", "CSR", "CSC", "DIA",
+                "COO3D", "MCOO3"} <= names
+
+    def test_get_format_case_insensitive(self):
+        assert get_format("csr").name == "CSR"
+        assert get_format("CsC").name == "CSC"
+
+    def test_get_format_unknown(self):
+        with pytest.raises(KeyError):
+            get_format("ESB")
+
+    def test_coo_has_no_ordering(self):
+        assert coo().ordering is None
+
+    def test_scoo_is_lexicographic(self):
+        fmt = scoo()
+        assert fmt.ordering == lexicographic(["i", "j"])
+
+    def test_mcoo_ordering_is_morton(self):
+        fmt = mcoo()
+        assert fmt.ordering is not None
+        assert fmt.ordering.uf_names() == {"MORTON"}
+
+    def test_mcoo_user_function_detection(self):
+        # MORTON appears only in the quantifier: it is user-defined.
+        assert mcoo().user_function_names() == {"MORTON"}
+        assert csr().user_function_names() == set()
+
+    def test_csr_quantifiers(self):
+        fmt = csr()
+        assert fmt.monotonic["rowptr"] == MonotonicQuantifier("rowptr")
+        assert fmt.ordering == lexicographic(["i", "j"])
+
+    def test_csc_orders_column_major(self):
+        fmt = csc()
+        assert [str(k) for k in fmt.ordering.key_exprs] == ["j", "i"]
+
+    def test_dia_offsets_strictly_monotonic(self):
+        fmt = dia()
+        q = fmt.monotonic["off"]
+        assert q.strict
+
+    def test_dia_data_access_is_nd_ii_plus_d(self):
+        fmt = dia()
+        assert "ND * (ii)" in str(fmt.data_access)
+
+    def test_rank(self):
+        assert coo().rank == 2
+        assert coo3d().rank == 3
+
+    def test_index_ufs(self):
+        assert csr().index_ufs() == {"rowptr", "col2"}
+        assert dia().index_ufs() == {"off"}
+
+    def test_size_symbols(self):
+        assert csr().size_symbols() == {"NR", "NC", "NNZ"}
+        assert dia().derived_size_symbols() == {"ND"}
+
+    def test_shape_symbols_are_required_inputs(self):
+        # The paper: shape cannot be derived from a sparse format.
+        for fmt in all_formats():
+            assert set(fmt.shape_syms) <= fmt.size_symbols()
+            assert not (set(fmt.shape_syms) & fmt.derived_size_symbols())
+
+    def test_bcsr_block_size(self):
+        fmt = bcsr(4)
+        assert fmt.name == "BCSR4"
+        assert "4 * bi" in str(fmt.sparse_to_dense).replace("4 bi", "4 * bi")
+
+    def test_bcsr_invalid_block(self):
+        with pytest.raises(ValueError):
+            bcsr(0)
+
+    def test_mcoo3_uses_three_coordinate_ufs(self):
+        fmt = mcoo3()
+        assert fmt.index_ufs() == {"row_m", "col_m", "z_m"}
+
+
+class TestDisplay:
+    def test_table1_style_output(self):
+        text = mcoo().display()
+        assert "MCOO" in text
+        assert "domain(row_m)" in text
+        assert "MORTON(row_m(n1), col_m(n1))" in text
+
+    def test_csr_display_has_monotonic_quantifier(self):
+        text = csr().display()
+        assert "rowptr(e1) <= rowptr(e2)" in text
+
+    def test_all_formats_display_without_error(self):
+        for fmt in all_formats():
+            text = fmt.display()
+            assert fmt.name in text
+            assert "map:" in text
+
+
+class TestRenameDisjoint:
+    def test_suffix_applied_everywhere(self):
+        fmt = csr().rename_disjoint("_x")
+        assert fmt.index_ufs() == {"rowptr_x", "col2_x"}
+        assert "rowptr_x" in fmt.monotonic
+        assert set(fmt.sparse_vars) == {"ii_x", "k_x", "jj_x"}
+
+    def test_rename_preserves_validity(self):
+        fmt = dia().rename_disjoint("_y")
+        assert fmt.sparse_to_dense.is_function_syntactically()

@@ -1,0 +1,150 @@
+"""Qualitative reproduction guards: the paper's shapes must keep holding.
+
+These run small-but-meaningful workloads and assert the *orderings* of the
+evaluation (who beats whom), with generous margins so timing noise does not
+flake them.  They are the regression net for EXPERIMENTS.md: a change that
+silently destroys a reproduced shape (say, breaks the permutation DCE or
+the fusion pass) fails here.
+"""
+
+import pytest
+
+from repro import get_conversion
+from repro.baselines import REGISTRY
+from repro.baselines.hicoo import blocked_morton_sort
+from repro.datagen import banded, load, stencil_offsets, synthetic_tensor3d
+from repro.evalharness import geomean, time_fn
+from repro.formats import container_to_env
+
+#: Margin applied to every ordering assertion: "A beats B" is asserted as
+#: time_A < MARGIN * time_B, so small timing noise cannot flake the suite.
+MARGIN = 1.35
+
+MATRICES = ["majorbasis", "ecology1", "cant"]
+SCALE = 0.002
+REPEATS = 3
+
+
+def _ours_time(src, dst, coo, **kwargs):
+    conv = get_conversion(src, dst, **kwargs)
+    conv.compile()
+    env = container_to_env(coo)
+    inputs = {p: env[p] for p in conv.params}
+    return time_fn(lambda: conv(**inputs), repeats=REPEATS)
+
+
+def _baseline_time(conversion, lib, coo):
+    return time_fn(REGISTRY[(conversion, lib)], coo, repeats=REPEATS)
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    return {name: load(name, scale=SCALE) for name in MATRICES}
+
+
+class TestFig2cShape:
+    """COO→CSR: ours must beat every baseline (paper: 2.85x vs TACO)."""
+
+    @pytest.mark.parametrize("lib", ["taco", "sparskit", "mkl"])
+    def test_ours_beats_baseline(self, matrices, lib):
+        ratios = []
+        for coo in matrices.values():
+            ours = _ours_time("SCOO", "CSR", coo)
+            base = _baseline_time("COO_CSR", lib, coo)
+            ratios.append(ours / base)
+        assert geomean(ratios) < MARGIN, (
+            f"synthesized COO->CSR lost to {lib}: geomean ratio "
+            f"{geomean(ratios):.2f}"
+        )
+
+
+class TestFig2aShape:
+    """COO→CSC: ours competitive with TACO, ahead of SPARSKIT and MKL."""
+
+    def test_ours_vs_taco_competitive(self, matrices):
+        ratios = [
+            _ours_time("SCOO", "CSC", coo)
+            / _baseline_time("COO_CSC", "taco", coo)
+            for coo in matrices.values()
+        ]
+        assert geomean(ratios) < MARGIN
+
+    @pytest.mark.parametrize("lib", ["sparskit", "mkl"])
+    def test_ours_beats_slow_baselines(self, matrices, lib):
+        ratios = [
+            _ours_time("SCOO", "CSC", coo)
+            / _baseline_time("COO_CSC", lib, coo)
+            for coo in matrices.values()
+        ]
+        assert geomean(ratios) < 1.0, f"should clearly beat {lib}"
+
+
+class TestFig2dShape:
+    """COO→DIA linear search: loses to TACO, degrades with #diagonals."""
+
+    def test_taco_beats_linear_search(self, matrices):
+        coo = matrices["majorbasis"]  # 22 diagonals: the paper's worst case
+        ours = _ours_time("SCOO", "DIA", coo)
+        taco = _baseline_time("COO_DIA", "taco", coo)
+        assert ours > 1.5 * taco
+
+    def test_gap_grows_with_diagonals(self):
+        times = {}
+        for ndiags in (3, 25):
+            coo = banded(300, 300, stencil_offsets(ndiags, spread=11), seed=2)
+            ours = _ours_time("SCOO", "DIA", coo)
+            taco = _baseline_time("COO_DIA", "taco", coo)
+            times[ndiags] = ours / taco
+        assert times[25] > times[3], (
+            f"linear-search penalty should grow with diagonals: {times}"
+        )
+
+
+class TestFig3Shape:
+    """Binary search recovers a large part of the linear-search gap."""
+
+    def test_binary_beats_linear(self, matrices):
+        coo = matrices["majorbasis"]
+        linear = _ours_time("SCOO", "DIA", coo)
+        binary = _ours_time("SCOO", "DIA", coo, binary_search=True)
+        assert binary < linear
+
+    def test_binary_competitive_with_mkl(self, matrices):
+        ratios = [
+            _ours_time("SCOO", "DIA", coo, binary_search=True)
+            / _baseline_time("COO_DIA", "mkl", coo)
+            for coo in matrices.values()
+        ]
+        assert geomean(ratios) < MARGIN
+
+
+class TestTable4Shape:
+    """Whole-tensor Morton reorder loses to HiCOO's blocked sort."""
+
+    def test_hicoo_wins(self):
+        tensor = synthetic_tensor3d((48, 48, 40), 2500, seed=9)
+        conv = get_conversion("SCOO3D", "MCOO3")
+        conv.compile()
+        env = container_to_env(tensor)
+        inputs = {p: env[p] for p in conv.params}
+        ours = time_fn(lambda: conv(**inputs), repeats=REPEATS)
+        hicoo = time_fn(
+            blocked_morton_sort, tensor, block_bits=4, repeats=REPEATS
+        )
+        assert ours > hicoo / MARGIN  # ours never meaningfully faster
+
+
+class TestOptimizationShapes:
+    """The §3.3 passes must keep paying for themselves."""
+
+    def test_dce_of_permutation_pays(self, matrices):
+        coo = matrices["majorbasis"]
+        optimized = _ours_time("SCOO", "CSR", coo)
+        unoptimized = _ours_time("SCOO", "CSR", coo, optimize=False)
+        assert unoptimized > 2.0 * optimized
+
+    def test_structure_of_fast_path_is_single_pass(self):
+        conv = get_conversion("SCOO", "CSR")
+        # One fused population+copy loop plus the monotonic fix-up.
+        assert conv.source.count("for ") == 2
+        assert "OrderedList" not in conv.source

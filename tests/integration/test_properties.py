@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers the expression algebra, the parser round-trip, relation composition
+semantics, Morton codes, the ordered structures, and — most importantly —
+the synthesized conversions themselves: for arbitrary sparse matrices,
+converting through any synthesized inspector preserves the dense image.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    COOMatrix,
+    convert,
+    dense_equal,
+)
+from repro.ir import (
+    Expr,
+    Sym,
+    UFCall,
+    Var,
+    parse_expr,
+    parse_relation,
+    parse_set,
+)
+from repro.runtime import (
+    LexBucketPermutation,
+    OrderedList,
+    OrderedSet,
+    demorton2,
+    demorton3,
+    morton2,
+    morton3,
+)
+
+# ----------------------------------------------------------------------
+# Expression strategies
+# ----------------------------------------------------------------------
+names = st.sampled_from(["i", "j", "k", "n"])
+sym_names = st.sampled_from(["N", "M", "NNZ"])
+
+
+@st.composite
+def exprs(draw, depth=2):
+    choice = draw(st.integers(0, 3 if depth > 0 else 2))
+    if choice == 0:
+        return Expr(draw(st.integers(-50, 50)))
+    if choice == 1:
+        return Var(draw(names)).as_expr()
+    if choice == 2:
+        return Sym(draw(sym_names)).as_expr()
+    inner = draw(exprs(depth=depth - 1))
+    return UFCall(draw(st.sampled_from(["f", "g"])), [inner]).as_expr()
+
+
+class TestExprAlgebra:
+    @given(exprs(), exprs())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(exprs(), exprs(), exprs())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(exprs())
+    def test_additive_inverse(self, a):
+        assert (a - a).is_zero()
+
+    @given(exprs(), st.integers(-10, 10), st.integers(-10, 10))
+    def test_scalar_distributes(self, a, x, y):
+        assert a * (x + y) == a * x + a * y
+
+    @given(exprs())
+    def test_double_negation(self, a):
+        assert -(-a) == a
+
+    @given(exprs())
+    def test_hash_consistency(self, a):
+        assert hash(a + 0) == hash(a)
+
+    @given(exprs(), st.sampled_from(["i", "j"]))
+    def test_substitute_identity(self, a, var):
+        assert a.substitute_vars({var: Var(var)}) == a
+
+
+class TestParserRoundTrip:
+    @given(exprs())
+    def test_expr_print_parse(self, e):
+        text = str(e)
+        again = parse_expr(text, ["i", "j", "k", "n"])
+        assert again == e
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=3, unique=True))
+    def test_set_roundtrip_rectangles(self, bounds):
+        tuple_vars = [f"v{i}" for i in range(len(bounds))]
+        constraints = " && ".join(
+            f"0 <= {v} < {b + 1}" for v, b in zip(tuple_vars, bounds)
+        )
+        s = parse_set(f"{{[{', '.join(tuple_vars)}] : {constraints}}}")
+        assert parse_set(str(s)) == s
+
+
+class TestRelationSemantics:
+    @given(st.integers(-20, 20), st.integers(1, 5), st.integers(-10, 10))
+    def test_compose_affine_pointwise(self, x, a, b):
+        f = parse_relation(f"{{[i] -> [j] : j = i + {b}}}")
+        g = parse_relation(f"{{[j] -> [k] : k = {a} * j}}")
+        comp = g.compose(f)
+        assert comp.contains((x,), (a * (x + b),), {})
+
+    @given(st.integers(-20, 20))
+    def test_inverse_membership(self, x):
+        r = parse_relation("{[i] -> [j] : j = 2 * i + 1}")
+        assert r.inverse().contains((2 * x + 1,), (x,), {})
+
+
+class TestMortonProperties:
+    coords = st.integers(0, 2**20)
+
+    @given(coords, coords)
+    def test_roundtrip_2d(self, i, j):
+        assert demorton2(morton2(i, j)) == (i, j)
+
+    @given(coords, coords, coords)
+    def test_roundtrip_3d(self, i, j, k):
+        assert demorton3(morton3(i, j, k)) == (i, j, k)
+
+    @given(coords, coords)
+    def test_monotone_in_block(self, i, j):
+        # Within the same high bits, increasing both coords increases the key.
+        assert morton2(i, j) < morton2(i + 1, j + 1)
+
+    @given(coords, coords, coords, coords)
+    def test_injective(self, i1, j1, i2, j2):
+        if (i1, j1) != (i2, j2):
+            assert morton2(i1, j1) != morton2(i2, j2)
+
+
+class TestOrderedStructures:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                    min_size=1, max_size=40, unique=True))
+    def test_ordered_list_ranks_match_sort(self, items):
+        ol = OrderedList(2, key=lambda i, j: (j, i))
+        for it in items:
+            ol.insert(*it)
+        expected = sorted(items, key=lambda t: (t[1], t[0]))
+        for rank, it in enumerate(expected):
+            assert ol.lookup(*it) == rank
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=50))
+    def test_ordered_set_sorted_unique(self, values):
+        s = OrderedSet()
+        for v in values:
+            s.insert(v)
+        out = s.to_list()
+        assert out == sorted(set(values))
+        for index, v in enumerate(out):
+            assert s.index_of(v) == index
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=40, unique=True))
+    def test_bucket_permutation_matches_comparison_sort(self, items):
+        # Source must be sorted row-major for the bucket precondition.
+        items = sorted(items)
+        bucket = LexBucketPermutation(10, which=1, in_arity=2)
+        reference = OrderedList(2, key=lambda i, j: (j, i))
+        for it in items:
+            bucket.insert(*it)
+            reference.insert(*it)
+        assert [bucket.lookup(*it) for it in items] == \
+            [reference.lookup(*it) for it in items]
+
+
+# ----------------------------------------------------------------------
+# Whole-pipeline property: conversions preserve the dense image.
+# ----------------------------------------------------------------------
+@st.composite
+def sparse_matrices(draw):
+    nrows = draw(st.integers(1, 14))
+    ncols = draw(st.integers(1, 14))
+    ncells = nrows * ncols
+    nnz = draw(st.integers(0, min(ncells, 40)))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    cells = rng.sample(range(ncells), nnz)
+    dense = [[0.0] * ncols for _ in range(nrows)]
+    for cell in cells:
+        dense[cell // ncols][cell % ncols] = round(rng.uniform(0.5, 9.5), 3)
+    return dense
+
+
+class TestConversionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(sparse_matrices(), st.sampled_from(["CSR", "CSC", "SCOO", "MCOO"]))
+    def test_sorted_coo_conversion_preserves_dense(self, dense, target):
+        coo = COOMatrix.from_dense(dense)
+        out = convert(coo, target)
+        out.check()
+        assert dense_equal(out.to_dense(), dense)
+
+    @settings(max_examples=15, deadline=None)
+    @given(sparse_matrices())
+    def test_dia_conversion_preserves_dense(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        out = convert(coo, "DIA")
+        out.check()
+        assert dense_equal(out.to_dense(), dense)
+
+    @settings(max_examples=15, deadline=None)
+    @given(sparse_matrices(), st.integers(0, 1000))
+    def test_unsorted_coo_conversion_preserves_dense(self, dense, seed):
+        from repro.datagen import shuffled
+
+        coo = shuffled(COOMatrix.from_dense(dense), seed=seed)
+        out = convert(coo, "CSR")
+        out.check()
+        assert dense_equal(out.to_dense(), dense)
+
+    @settings(max_examples=15, deadline=None)
+    @given(sparse_matrices())
+    def test_csr_csc_transpose_consistency(self, dense):
+        from repro import CSRMatrix
+
+        csr = CSRMatrix.from_dense(dense)
+        csc = convert(csr, "CSC")
+        transposed = [[row[j] for row in dense] for j in range(len(dense[0]))]
+        # CSC of A stores the same arrays CSR of A^T would.
+        csr_t = CSRMatrix.from_dense(transposed)
+        assert csc.colptr == csr_t.rowptr
+        assert csc.row == csr_t.col
+        assert csc.val == csr_t.val
+
+
+class TestKernelProperty:
+    """Generated executors agree with the dense reference on random data."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(sparse_matrices(), st.sampled_from(["CSR", "CSC", "DIA", "SCOO"]))
+    def test_generated_spmv_matches_dense(self, dense, fmt):
+        from repro import CSCMatrix, CSRMatrix, DIAMatrix
+        from repro.kernels import dense_spmv, run_kernel
+
+        ncols = len(dense[0])
+        x = [((k * 7) % 5) / 5.0 + 0.1 for k in range(ncols)]
+        if fmt == "CSR":
+            container = CSRMatrix.from_dense(dense)
+        elif fmt == "CSC":
+            container = CSCMatrix.from_dense(dense)
+        elif fmt == "DIA":
+            container = DIAMatrix.from_dense(dense)
+        else:
+            container = COOMatrix.from_dense(dense)
+        y = run_kernel(container, "spmv", x=x)
+        reference = dense_spmv(dense, x)
+        assert len(y) == len(reference)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(y, reference))
+
+    @settings(max_examples=10, deadline=None)
+    @given(sparse_matrices())
+    def test_conversion_preserves_spmv(self, dense):
+        from repro.kernels import run_kernel
+
+        coo = COOMatrix.from_dense(dense)
+        x = [((k * 3) % 4) / 4.0 + 0.2 for k in range(len(dense[0]))]
+        reference = run_kernel(coo, "spmv", x=x)
+        for fmt in ("CSR", "DIA"):
+            converted = convert(coo, fmt)
+            y = run_kernel(converted, "spmv", x=x)
+            assert all(abs(a - b) < 1e-9 for a, b in zip(y, reference))

@@ -1,0 +1,108 @@
+"""Tests for JSON descriptor serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.formats import all_formats, csr, mcoo, scoo
+from repro.io import (
+    DescriptorJSONError,
+    descriptor_from_dict,
+    descriptor_to_dict,
+    load_descriptor,
+    resolve_format,
+    save_descriptor,
+)
+from repro.synthesis import synthesize
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", all_formats(), ids=lambda f: f.name)
+    def test_every_library_format(self, fmt):
+        again = descriptor_from_dict(descriptor_to_dict(fmt))
+        assert again.name == fmt.name
+        assert again.sparse_to_dense == fmt.sparse_to_dense
+        assert again.data_access == fmt.data_access
+        assert again.uf_domains == fmt.uf_domains
+        assert again.monotonic == fmt.monotonic
+        assert again.ordering == fmt.ordering
+        assert again.shape_syms == fmt.shape_syms
+
+    def test_roundtripped_descriptor_synthesizes(self):
+        again = descriptor_from_dict(descriptor_to_dict(mcoo()))
+        conv = synthesize(scoo(), again)
+        assert "MORTON" in conv.source
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "csr.json"
+        save_descriptor(csr(), path)
+        again = load_descriptor(path)
+        assert again.index_ufs() == {"rowptr", "col2"}
+
+    def test_json_is_valid(self):
+        text = json.dumps(descriptor_to_dict(mcoo()))
+        data = json.loads(text)
+        assert data["name"] == "MCOO"
+        assert data["ordering"]["keys"] == ["MORTON(i, j)"]
+
+
+class TestErrors:
+    def test_missing_required_field(self):
+        with pytest.raises(DescriptorJSONError, match="sparse_to_dense"):
+            descriptor_from_dict({"name": "X", "data_access": "{[n] -> [m] : m = n}"})
+
+    def test_bad_ordering(self):
+        data = descriptor_to_dict(mcoo())
+        del data["ordering"]["keys"]
+        with pytest.raises(DescriptorJSONError):
+            descriptor_from_dict(data)
+
+    def test_invalid_descriptor_content(self):
+        data = descriptor_to_dict(csr())
+        data["uf_domains"] = {}  # drop declarations
+        data["uf_ranges"] = {}
+        with pytest.raises(DescriptorJSONError):
+            descriptor_from_dict(data)
+
+    def test_not_json(self):
+        with pytest.raises(DescriptorJSONError):
+            load_descriptor(io.StringIO("not json at all {"))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(DescriptorJSONError):
+            load_descriptor(io.StringIO("[1, 2, 3]"))
+
+
+class TestResolveFormat:
+    def test_library_name(self):
+        assert resolve_format("CSR").name == "CSR"
+
+    def test_json_path(self, tmp_path):
+        path = tmp_path / "fmt.json"
+        save_descriptor(mcoo(), path)
+        assert resolve_format(str(path)).name == "MCOO"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_format("NOPE")
+
+
+class TestCliIntegration:
+    def test_show_json_and_reload(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["show", "DIA", "--json"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "dia.json"
+        path.write_text(text)
+        assert main(["show", str(path)]) == 0
+        assert "off" in capsys.readouterr().out
+
+    def test_synthesize_from_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "csr.json"
+        save_descriptor(csr(), path)
+        assert main(["synthesize", "SCOO", str(path)]) == 0
+        assert "rowptr" in capsys.readouterr().out

@@ -1,0 +1,146 @@
+"""Unit tests for conjunctions: simplification, solving, projection."""
+
+import pytest
+
+from repro.ir import (
+    Conjunction,
+    ProjectionError,
+    Sym,
+    UFCall,
+    Var,
+    equals,
+    greater_equal,
+    less,
+    less_equal,
+    parse_set,
+)
+
+
+def conj_of(text: str) -> Conjunction:
+    """Parse a set and return its single conjunction (test helper)."""
+    return parse_set(text).single_conjunction
+
+
+class TestConstruction:
+    def test_trivial_constraints_dropped(self):
+        c = Conjunction([equals(Var("i"), Var("i")), less(Var("i"), Sym("N"))])
+        assert len(c) == 1
+
+    def test_duplicates_dropped(self):
+        c = Conjunction([less(Var("i"), Sym("N")), less(Var("i"), Sym("N"))])
+        assert len(c) == 1
+
+    def test_equality_duplicates_dropped_modulo_sign(self):
+        c = Conjunction([equals(Var("i"), Sym("N")), equals(Sym("N"), Var("i"))])
+        assert len(c) == 1
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(TypeError):
+            Conjunction([42])
+
+
+class TestSolving:
+    def test_defining_equality(self):
+        c = conj_of("{[k,j] : j = col(k)}")
+        assert c.defining_equality("j") == UFCall("col", [Var("k")]).as_expr()
+
+    def test_defining_equality_absent(self):
+        c = conj_of("{[k,j] : j <= col(k)}")
+        assert c.defining_equality("j") is None
+
+    def test_self_referential_equality_rejected(self):
+        c = Conjunction([equals(Var("j"), UFCall("f", [Var("j")]))])
+        assert c.defining_equality("j") is None
+
+    def test_lower_and_upper_bounds(self):
+        c = conj_of("{[i,k] : rowptr(i) <= k < rowptr(i+1)}")
+        lows = c.lower_bounds("k")
+        highs = c.upper_bounds("k")
+        assert lows == [UFCall("rowptr", [Var("i")]).as_expr()]
+        assert highs == [UFCall("rowptr", [Var("i") + 1]) - 1]
+
+    def test_constraints_on(self):
+        c = conj_of("{[i,k] : 0 <= i < N && rowptr(i) <= k}")
+        assert len(c.constraints_on("k")) == 1
+        assert len(c.constraints_on("i")) == 3
+
+
+class TestProjection:
+    def test_project_via_equality(self):
+        c = conj_of("{[i,j] : j = col(i) && 0 <= j < NC}")
+        out = c.project_out("j")
+        assert not out.mentions_var_anywhere("j")
+        # 0 <= col(i) < NC must survive
+        assert any("col" in str(x) for x in out)
+
+    def test_project_fourier_motzkin(self):
+        c = conj_of("{[i,k] : 0 <= k && k <= i && i <= 10}")
+        out = c.project_out("k")
+        # 0 <= i survives from pairing 0 <= k with k <= i
+        assert out.evaluate({"i": 0})
+        assert out.evaluate({"i": 10})
+        assert not out.mentions_var_anywhere("k")
+
+    def test_project_stuck_raises_when_strict(self):
+        c = Conjunction([equals(UFCall("f", [Var("k")]), Sym("N"))])
+        with pytest.raises(ProjectionError):
+            c.project_out("k", strict=True)
+
+    def test_project_stuck_overapproximates_when_lenient(self):
+        c = Conjunction(
+            [
+                equals(UFCall("f", [Var("k")]), Sym("N")),
+                less(Var("i"), Sym("M")),
+            ]
+        )
+        out = c.project_out("k", strict=False)
+        assert not out.mentions_var_anywhere("k")
+        assert len(out) == 1  # only the i constraint survives
+
+    def test_project_all(self):
+        c = conj_of("{[i,j] : 0 <= i < 5 && j = i + 1}")
+        out = c.project_out_all(["j", "i"])
+        assert len(out) == 0
+
+
+class TestEvaluation:
+    def test_affine_evaluation(self):
+        c = conj_of("{[i,j] : 0 <= i < N && j = i + 1}")
+        assert c.evaluate({"i": 2, "j": 3, "N": 5})
+        assert not c.evaluate({"i": 2, "j": 4, "N": 5})
+        assert not c.evaluate({"i": 5, "j": 6, "N": 5})
+
+    def test_uf_as_array(self):
+        c = conj_of("{[i,k] : rowptr(i) <= k < rowptr(i+1)}")
+        env = {"rowptr": [0, 2, 5]}
+        assert c.evaluate({**env, "i": 0, "k": 1})
+        assert not c.evaluate({**env, "i": 0, "k": 2})
+        assert c.evaluate({**env, "i": 1, "k": 4})
+
+    def test_uf_as_callable(self):
+        c = conj_of("{[i,j] : j = f(i)}")
+        assert c.evaluate({"f": lambda x: x * 2, "i": 3, "j": 6})
+
+    def test_missing_binding_raises(self):
+        c = conj_of("{[i] : 0 <= i < N}")
+        with pytest.raises(KeyError):
+            c.evaluate({"i": 0})
+
+    def test_mul_atom_evaluation(self):
+        c = conj_of("{[ii,d,kd] : kd = ND * ii + d}")
+        assert c.evaluate({"ii": 2, "d": 1, "kd": 7, "ND": 3})
+        assert not c.evaluate({"ii": 2, "d": 1, "kd": 8, "ND": 3})
+
+
+class TestRenaming:
+    def test_rename_vars(self):
+        c = conj_of("{[i] : 0 <= i < N}").rename_vars({"i": "x"})
+        assert c.var_names() == {"x"}
+
+    def test_rename_ufs(self):
+        c = conj_of("{[n,i] : i = row(n)}").rename_ufs({"row": "row1"})
+        assert c.uf_names() == {"row1"}
+
+    def test_substitute_vars(self):
+        c = conj_of("{[i,k] : k = f(i)}").substitute_vars({"i": Var("k2")})
+        assert c.var_names() == {"k", "k2"}

@@ -1,0 +1,132 @@
+"""Unit tests for constraints and bound classification."""
+
+import pytest
+
+from repro.ir import (
+    Eq,
+    Geq,
+    Sym,
+    UFCall,
+    Var,
+    bounds_on_var,
+    equals,
+    greater,
+    greater_equal,
+    less,
+    less_equal,
+)
+
+
+class TestConstructors:
+    def test_equals(self):
+        c = equals(Var("i"), Sym("N"))
+        assert isinstance(c, Eq)
+        assert c.expr == Var("i") - Sym("N")
+
+    def test_less_is_strict(self):
+        c = less(Var("i"), Sym("N"))
+        assert isinstance(c, Geq)
+        # i < N  =>  N - i - 1 >= 0
+        assert c.expr == Sym("N") - Var("i") - 1
+
+    def test_greater_is_strict(self):
+        c = greater(Var("i"), 0)
+        assert c.expr == Var("i") - 1
+
+    def test_less_equal(self):
+        c = less_equal(Var("i"), Sym("N"))
+        assert c.expr == Sym("N") - Var("i")
+
+    def test_greater_equal(self):
+        c = greater_equal(Var("i"), 0)
+        assert c.expr == Var("i").as_expr()
+
+
+class TestTriviality:
+    def test_trivial_eq(self):
+        assert equals(Var("i"), Var("i")).is_trivial()
+
+    def test_unsat_eq(self):
+        assert equals(1, 2).is_unsatisfiable()
+
+    def test_trivial_geq(self):
+        assert less_equal(0, 3).is_trivial()
+
+    def test_unsat_geq(self):
+        assert less_equal(3, 0).is_unsatisfiable()
+
+    def test_nontrivial(self):
+        c = less(Var("i"), Sym("N"))
+        assert not c.is_trivial()
+        assert not c.is_unsatisfiable()
+
+
+class TestEqNormalization:
+    def test_sign_insensitive_equality(self):
+        a = equals(Var("i"), Sym("N"))
+        b = equals(Sym("N"), Var("i"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_equalities_differ(self):
+        assert equals(Var("i"), Sym("N")) != equals(Var("i"), Sym("M"))
+
+
+class TestBoundsOnVar:
+    def test_eq_definition(self):
+        kind, e = bounds_on_var(equals(Var("j"), UFCall("col", [Var("k")])), "j")
+        assert kind == "eq"
+        assert e == UFCall("col", [Var("k")]).as_expr()
+
+    def test_eq_definition_negated_side(self):
+        kind, e = bounds_on_var(equals(UFCall("col", [Var("k")]), Var("j")), "j")
+        assert kind == "eq"
+        assert e == UFCall("col", [Var("k")]).as_expr()
+
+    def test_lower_bound(self):
+        kind, e = bounds_on_var(greater_equal(Var("k"), UFCall("rowptr", [Var("i")])), "k")
+        assert kind == "lower"
+        assert e == UFCall("rowptr", [Var("i")]).as_expr()
+
+    def test_upper_bound(self):
+        kind, e = bounds_on_var(less(Var("k"), UFCall("rowptr", [Var("i") + 1])), "k")
+        assert kind == "upper"
+        assert e == UFCall("rowptr", [Var("i") + 1]) - 1
+
+    def test_absent_var(self):
+        kind, e = bounds_on_var(less(Var("i"), Sym("N")), "k")
+        assert kind == "none"
+        assert e is None
+
+    def test_var_inside_uf_arg_not_top_level(self):
+        c = equals(UFCall("f", [Var("k")]), Sym("N"))
+        kind, _ = bounds_on_var(c, "k")
+        assert kind == "none"
+
+    def test_non_unit_coefficient_refused(self):
+        c = equals(2 * Var("i"), Sym("N"))
+        kind, _ = bounds_on_var(c, "i")
+        assert kind == "none"
+
+
+class TestSubstitution:
+    def test_substitute_preserves_type(self):
+        c = less(Var("i"), Sym("N")).substitute_vars({"i": Var("x")})
+        assert isinstance(c, Geq)
+        assert c.mentions_var("x")
+        assert not c.mentions_var("i")
+
+    def test_rename_ufs(self):
+        c = equals(UFCall("row", [Var("n")]), Var("i")).rename_ufs({"row": "row1"})
+        assert c.uf_names() == {"row1"}
+
+    def test_uf_calls_collected(self):
+        c = less_equal(UFCall("rowptr", [Var("i")]), Var("k"))
+        assert [u.name for u in c.uf_calls()] == ["rowptr"]
+
+
+class TestImmutability:
+    def test_constraint_immutable(self):
+        c = less(Var("i"), Sym("N"))
+        with pytest.raises(AttributeError):
+            c.expr = None

@@ -1,0 +1,169 @@
+"""Unit tests for the IEGenLib-style notation parser."""
+
+import pytest
+
+from repro.ir import (
+    Mul,
+    ParseError,
+    Sym,
+    UFCall,
+    Var,
+    parse_expr,
+    parse_relation,
+    parse_set,
+)
+from repro.ir.parser import tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t[0] for t in tokenize("{[i] -> [j] : j <= i}")]
+        assert kinds == ["{", "[", "name", "]", "->", "[", "name", "]", ":",
+                         "name", "<=", "name", "}", "eof"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("{[i] : i @ 3}")
+
+    def test_keywords(self):
+        kinds = [t[0] for t in tokenize("union and")]
+        assert kinds == ["union", "and", "eof"]
+
+
+class TestExprParsing:
+    def test_precedence(self):
+        e = parse_expr("2 * i + 3", ["i"])
+        assert e == 2 * Var("i") + 3
+
+    def test_unary_minus(self):
+        assert parse_expr("-i + 1", ["i"]) == 1 - Var("i")
+
+    def test_parentheses(self):
+        assert parse_expr("2 * (i + 1)", ["i"]) == 2 * Var("i") + 2
+
+    def test_uf_call_nested(self):
+        e = parse_expr("f(g(i) + 1)", ["i"])
+        inner = UFCall("g", [Var("i")])
+        assert e == UFCall("f", [inner + 1]).as_expr()
+
+    def test_multi_arg_uf(self):
+        e = parse_expr("MORTON(i, j)", ["i", "j"])
+        assert e == UFCall("MORTON", [Var("i"), Var("j")]).as_expr()
+
+    def test_non_tuple_name_is_sym(self):
+        e = parse_expr("i + N", ["i"])
+        assert e == Var("i") + Sym("N")
+
+    def test_sym_times_var_becomes_mul(self):
+        e = parse_expr("ND * ii + d", ["ii", "d"])
+        assert e == Mul(Sym("ND"), Var("ii")) + Var("d")
+
+    def test_var_times_sym_commutes(self):
+        e = parse_expr("ii * ND", ["ii"])
+        assert e == Mul(Sym("ND"), Var("ii")).as_expr()
+
+    def test_var_times_var_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("i * j", ["i", "j"])
+
+    def test_int_times_int_folds(self):
+        assert parse_expr("3 * 4") == 12
+
+
+class TestSetParsing:
+    def test_unconstrained(self):
+        s = parse_set("{[i,j]}")
+        assert s.tuple_vars == ("i", "j")
+        assert len(s.single_conjunction) == 0
+
+    def test_chained_comparison_expands(self):
+        s = parse_set("{[i] : 0 <= i < N}")
+        assert len(s.single_conjunction) == 2
+
+    def test_union(self):
+        s = parse_set("{[i] : i = 0} union {[i] : i = 1}")
+        assert len(s.conjunctions) == 2
+
+    def test_union_tuple_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i]} union {[j]}")
+
+    def test_and_keyword(self):
+        s = parse_set("{[i] : 0 <= i and i < N}")
+        assert len(s.single_conjunction) == 2
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i] : i}")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_set("{[i]} extra")
+
+
+class TestRelationParsing:
+    def test_basic(self):
+        r = parse_relation("{[i] -> [j] : j = i}")
+        assert r.in_vars == ("i",)
+        assert r.out_vars == ("j",)
+
+    def test_empty_output_tuple(self):
+        r = parse_relation("{[n, ii, jj] -> [n2] : n2 = n}")
+        assert r.out_arity == 1
+
+    def test_equality_double_equals(self):
+        r = parse_relation("{[i] -> [j] : j == i}")
+        assert r.contains((4,), (4,), {})
+
+    def test_set_rejected_as_relation(self):
+        with pytest.raises(ParseError):
+            parse_relation("{[i] : i = 0}")
+
+    def test_table1_coo_descriptor_parses(self):
+        text = (
+            "{[n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i"
+            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        )
+        r = parse_relation(text)
+        assert r.uf_names() == {"row1", "col1"}
+        assert r.sym_names() == {"NR", "NC", "NNZ"}
+
+    def test_table1_dia_descriptor_parses(self):
+        text = (
+            "{[ii, d, jj] -> [i, j] : i = ii && 0 <= i < NR && 0 <= d < ND"
+            " && j = i + off(d) && 0 <= j < NC}"
+        )
+        r = parse_relation(text)
+        assert r.uf_names() == {"off"}
+
+    def test_dia_data_access_with_product(self):
+        r = parse_relation("{[ii, d, jj] -> [kd] : kd = ND * ii + d}")
+        assert r.contains((2, 1, 9), (7,), {"ND": 3})
+
+
+class TestFloorDivParsing:
+    def test_basic(self):
+        from repro.ir import FloorDiv
+
+        e = parse_expr("(i) // 4", ["i"])
+        assert e == FloorDiv(Var("i"), 4).as_expr()
+
+    def test_roundtrip(self):
+        from repro.ir import FloorDiv
+
+        e = FloorDiv(Sym("N") - 1, 8) + 1
+        assert parse_expr(str(e)) == e
+
+    def test_numerator_expression(self):
+        from repro.ir import FloorDiv
+
+        e = parse_expr("(N - 1) // 8", [])
+        assert e == FloorDiv(Sym("N") - 1, 8).as_expr()
+
+    def test_non_literal_divisor_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("i // N", ["i"])
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("i // 0", ["i"])

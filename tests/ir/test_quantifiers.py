@@ -1,0 +1,81 @@
+"""Unit tests for universal quantifier descriptions."""
+
+import pytest
+
+from repro.ir import (
+    MonotonicQuantifier,
+    OrderingQuantifier,
+    UFCall,
+    Var,
+    lexicographic,
+    morton,
+)
+
+
+class TestMonotonic:
+    def test_nondecreasing_holds(self):
+        q = MonotonicQuantifier("rowptr")
+        assert q.holds_on([0, 0, 2, 5, 5])
+
+    def test_nondecreasing_violated(self):
+        q = MonotonicQuantifier("rowptr")
+        assert not q.holds_on([0, 2, 1])
+
+    def test_strict_rejects_plateau(self):
+        q = MonotonicQuantifier("off", strict=True)
+        assert q.holds_on([-2, 0, 3])
+        assert not q.holds_on([-2, 0, 0])
+
+    def test_str_shows_operator(self):
+        assert "e1 <= e2" in str(MonotonicQuantifier("rowptr"))
+        assert "e1 < e2" in str(MonotonicQuantifier("off", strict=True))
+
+    def test_equality_and_hash(self):
+        assert MonotonicQuantifier("f") == MonotonicQuantifier("f")
+        assert MonotonicQuantifier("f") != MonotonicQuantifier("f", strict=True)
+        assert hash(MonotonicQuantifier("f")) == hash(MonotonicQuantifier("f"))
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            MonotonicQuantifier("not a name")
+
+
+class TestOrdering:
+    def test_lexicographic_keys(self):
+        q = lexicographic(["i", "j"])
+        assert q.key_exprs == (Var("i").as_expr(), Var("j").as_expr())
+        assert q.strict
+
+    def test_morton_key(self):
+        q = morton(["i", "j"])
+        assert q.key_exprs == (UFCall("MORTON", [Var("i"), Var("j")]).as_expr(),)
+        assert q.uf_names() == {"MORTON"}
+
+    def test_key_must_use_dense_vars(self):
+        with pytest.raises(ValueError):
+            OrderingQuantifier(["i"], [Var("j")])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingQuantifier(["i"], [])
+
+    def test_display_matches_table1_shape(self):
+        q = morton(["i", "j"])
+        text = q.display("n", ["row_m", "col_m"])
+        assert "n1 < n2" in text
+        assert "MORTON(row_m(n1), col_m(n1))" in text
+        assert "MORTON(row_m(n2), col_m(n2))" in text
+
+    def test_display_lexicographic_tuple(self):
+        q = lexicographic(["i", "j"])
+        text = q.display("n", ["row1", "col1"])
+        assert "(row1(n1), col1(n1))" in text
+
+    def test_display_arity_check(self):
+        q = morton(["i", "j"])
+        with pytest.raises(ValueError):
+            q.display("n", ["row_m"])
+
+    def test_equality(self):
+        assert morton(["i", "j"]) == morton(["i", "j"])
+        assert morton(["i", "j"]) != lexicographic(["i", "j"])

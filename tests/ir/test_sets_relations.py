@@ -1,0 +1,207 @@
+"""Unit tests for IntSet and Relation algebra."""
+
+import pytest
+
+from repro.ir import (
+    IntSet,
+    Relation,
+    Var,
+    equals,
+    less,
+    parse_relation,
+    parse_set,
+    universe,
+)
+
+
+class TestIntSetBasics:
+    def test_duplicate_tuple_var_rejected(self):
+        with pytest.raises(ValueError):
+            IntSet(["i", "i"])
+
+    def test_universe_has_empty_conjunction(self):
+        u = universe(["i", "j"])
+        assert len(u.single_conjunction) == 0
+        assert u.contains((5, -3), {})
+
+    def test_str_roundtrip_through_parser(self):
+        s = parse_set("{[i,j] : 0 <= i < N && j = i + 1}")
+        again = parse_set(str(s))
+        assert again == s
+
+    def test_with_tuple_vars(self):
+        s = parse_set("{[i] : 0 <= i < N}").with_tuple_vars(["x"])
+        assert s.tuple_vars == ("x",)
+        assert s.contains((0,), {"N": 3})
+        assert not s.contains((3,), {"N": 3})
+
+    def test_intersect(self):
+        a = parse_set("{[i] : 0 <= i}")
+        b = parse_set("{[i] : i < 4}")
+        both = a.intersect(b)
+        assert both.contains((3,), {})
+        assert not both.contains((4,), {})
+
+    def test_union_membership(self):
+        a = parse_set("{[i] : i = 0}")
+        b = parse_set("{[i] : i = 5}")
+        u = a.union(b)
+        assert u.contains((0,), {})
+        assert u.contains((5,), {})
+        assert not u.contains((1,), {})
+
+    def test_project_out(self):
+        s = parse_set("{[i,j] : 0 <= i < 4 && j = i + 1}")
+        p = s.project_out("j")
+        assert p.tuple_vars == ("i",)
+        assert p.contains((2,), {})
+
+    def test_arity(self):
+        assert parse_set("{[a,b,c]}").arity == 3
+
+
+class TestEnumeration:
+    def test_rectangle(self):
+        s = parse_set("{[i,j] : 0 <= i < 2 && 0 <= j < 3}")
+        pts = sorted(s.enumerate_points({}))
+        assert pts == [(i, j) for i in range(2) for j in range(3)]
+
+    def test_symbolic_bound(self):
+        s = parse_set("{[i] : 0 <= i < N}")
+        assert sorted(s.enumerate_points({"N": 4})) == [(0,), (1,), (2,), (3,)]
+
+    def test_uf_bounds_csr_walk(self):
+        s = parse_set(
+            "{[i,k,j] : 0 <= i < N && rowptr(i) <= k < rowptr(i+1) && j = col(k)}"
+        )
+        env = {"N": 2, "rowptr": [0, 2, 3], "col": [1, 3, 0]}
+        pts = sorted(s.enumerate_points(env))
+        assert pts == [(0, 0, 1), (0, 1, 3), (1, 2, 0)]
+
+    def test_triangular(self):
+        s = parse_set("{[i,j] : 0 <= i < 3 && 0 <= j <= i}")
+        pts = list(s.enumerate_points({}))
+        assert len(pts) == 6
+
+    def test_empty(self):
+        s = parse_set("{[i] : 0 <= i < 0}")
+        assert list(s.enumerate_points({})) == []
+
+
+class TestRelationBasics:
+    def test_inverse_swaps_tuples(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1}")
+        inv = r.inverse()
+        assert inv.in_vars == ("j",)
+        assert inv.out_vars == ("i",)
+        assert inv.contains((3,), (2,), {})
+
+    def test_inverse_involution(self):
+        r = parse_relation("{[i,k] -> [j] : j = col(k) && 0 <= i < N}")
+        assert r.inverse().inverse() == r
+
+    def test_contains(self):
+        r = parse_relation("{[i] -> [j] : j = 2 * i}")
+        assert r.contains((3,), (6,), {})
+        assert not r.contains((3,), (7,), {})
+
+    def test_shared_names_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(["i"], ["i"])
+
+    def test_as_set(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1 && 0 <= i < 3}")
+        s = r.as_set()
+        assert s.tuple_vars == ("i", "j")
+        assert sorted(s.enumerate_points({})) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_str_roundtrip_through_parser(self):
+        r = parse_relation("{[n,ii] -> [i] : i = row(n) && ii = i}")
+        assert parse_relation(str(r)) == r
+
+
+class TestCompose:
+    def test_affine_compose(self):
+        first = parse_relation("{[i] -> [j] : j = i + 1}")
+        second = parse_relation("{[j] -> [k] : k = 2 * j}")
+        comp = second.compose(first)
+        assert comp.in_vars == ("i",)
+        assert comp.contains((3,), (8,), {})
+        assert not comp.contains((3,), (7,), {})
+
+    def test_compose_arity_check(self):
+        first = parse_relation("{[i] -> [a,b] : a = i && b = i}")
+        second = parse_relation("{[j] -> [k] : k = j}")
+        with pytest.raises(ValueError):
+            second.compose(first)
+
+    def test_compose_with_ufs_coo_to_csr(self):
+        coo = parse_relation(
+            "{[n,ii,jj] -> [i,j] : row1(n) = i && col1(n) = j && ii = i && jj = j"
+            " && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        )
+        csr_inv = parse_relation(
+            "{[ii2,k,jj2] -> [i,j] : ii2 = i && jj2 = j && col2(k) = j"
+            " && 0 <= ii2 < NR && rowptr(ii2) <= k < rowptr(ii2+1)}"
+        ).inverse()
+        comp = csr_inv.compose(coo)
+        assert comp.in_vars == ("n", "ii", "jj")
+        assert comp.out_vars == ("ii2", "k", "jj2")
+        # The dense mid tuple must be gone.
+        assert not (comp.var_names() & {"i", "j"})
+        # Semantics on a concrete instance: matrix [[0,a],[b,0]]
+        env = {
+            "NR": 2, "NC": 2, "NNZ": 2,
+            "row1": [0, 1], "col1": [1, 0],
+            "rowptr": [0, 1, 2], "col2": [1, 0],
+        }
+        assert comp.contains((0, 0, 1), (0, 0, 1), env)
+        assert comp.contains((1, 1, 0), (1, 1, 0), env)
+        assert not comp.contains((0, 0, 1), (1, 1, 0), env)
+
+    def test_compose_point_semantics_match_manual(self):
+        # f: i -> i+2 on 0<=i<4 ; g: j -> 3j. compose = 3(i+2)
+        f = parse_relation("{[i] -> [j] : j = i + 2 && 0 <= i < 4}")
+        g = parse_relation("{[j] -> [k] : k = 3 * j}")
+        comp = g.compose(f)
+        for i in range(4):
+            assert comp.contains((i,), (3 * (i + 2),), {})
+        assert not comp.contains((4,), (18,), {})
+
+
+class TestApplyToSet:
+    def test_loop_interchange_example(self):
+        # The Section 2.1 example: interchange [i,j] -> [j,i].
+        space = parse_set("{[i,j] : 0 <= i < M && 0 <= j < N}")
+        interchange = parse_relation("{[i,j] -> [jo,io] : jo = j && io = i}")
+        out = interchange.apply_to_set(space)
+        assert out.tuple_vars == ("jo", "io")
+        env = {"M": 2, "N": 3}
+        pts = sorted(out.enumerate_points(env))
+        assert pts == sorted((j, i) for i in range(2) for j in range(3))
+
+
+class TestDomainRange:
+    def test_domain(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1 && 0 <= i < 3}")
+        d = r.domain()
+        assert sorted(d.enumerate_points({})) == [(0,), (1,), (2,)]
+
+    def test_range(self):
+        r = parse_relation("{[i] -> [j] : j = i + 1 && 0 <= i < 3}")
+        rng = r.range()
+        assert sorted(rng.enumerate_points({})) == [(1,), (2,), (3,)]
+
+
+class TestFunctionality:
+    def test_function_detected(self):
+        r = parse_relation("{[n] -> [i,j] : i = row(n) && j = col(n)}")
+        assert r.is_function_syntactically()
+
+    def test_non_function_detected(self):
+        r = parse_relation("{[n] -> [i,j] : i = row(n)}")
+        assert not r.is_function_syntactically()
+
+    def test_chained_definitions(self):
+        r = parse_relation("{[n] -> [i,j] : i = row(n) && j = i + 1}")
+        assert r.is_function_syntactically()

@@ -1,0 +1,177 @@
+"""Unit tests for the symbolic expression layer."""
+
+import pytest
+
+from repro.ir import Expr, Mul, Sym, UFCall, Var, as_expr
+
+
+class TestAtoms:
+    def test_var_identity(self):
+        assert Var("i") == Var("i")
+        assert Var("i") != Var("j")
+        assert hash(Var("i")) == hash(Var("i"))
+
+    def test_var_is_not_sym(self):
+        assert Var("N") != Sym("N")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Var("not an identifier")
+        with pytest.raises(ValueError):
+            Sym("")
+        with pytest.raises(ValueError):
+            UFCall("2bad", [Var("i")])
+
+    def test_ufcall_needs_args(self):
+        with pytest.raises(ValueError):
+            UFCall("f", [])
+
+    def test_ufcall_coerces_args(self):
+        call = UFCall("rowptr", [Var("i") + 1])
+        assert call.args[0] == Var("i") + 1
+        assert call.arity == 1
+
+    def test_ufcall_equality_includes_args(self):
+        assert UFCall("f", [Var("i")]) == UFCall("f", [Var("i")])
+        assert UFCall("f", [Var("i")]) != UFCall("f", [Var("j")])
+        assert UFCall("f", [Var("i")]) != UFCall("g", [Var("i")])
+
+    def test_atoms_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Var("i").name = "j"
+        with pytest.raises(AttributeError):
+            Sym("N").name = "M"
+
+    def test_mul_requires_sym(self):
+        with pytest.raises(TypeError):
+            Mul(Var("i"), Var("j"))
+
+    def test_mul_str(self):
+        assert str(Mul(Sym("ND"), Var("ii"))) == "ND * (ii)"
+
+
+class TestExprArithmetic:
+    def test_addition_merges_terms(self):
+        e = Var("i") + Var("i")
+        assert e.coeff(Var("i")) == 2
+
+    def test_subtraction_cancels(self):
+        e = Var("i") + 3 - Var("i")
+        assert e.is_constant()
+        assert e.const == 3
+
+    def test_zero_coefficients_dropped(self):
+        e = Var("i") * 0 + 5
+        assert not list(e.atoms())
+
+    def test_scalar_multiplication(self):
+        e = (Var("i") + 2) * 3
+        assert e.const == 6
+        assert e.coeff(Var("i")) == 3
+
+    def test_negation(self):
+        e = -(Var("i") - Sym("N"))
+        assert e.coeff(Var("i")) == -1
+        assert e.coeff(Sym("N")) == 1
+
+    def test_expr_by_expr_multiplication_rejected(self):
+        with pytest.raises(TypeError):
+            (Var("i") + 1) * (Var("j") + 1)
+
+    def test_constant_expr_multiplication_allowed(self):
+        e = (Var("i") + 1) * as_expr(2)
+        assert e.coeff(Var("i")) == 2
+
+    def test_canonical_equality(self):
+        a = Var("i") + Sym("N") - 4
+        b = Sym("N") - 4 + Var("i")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_int_comparison(self):
+        assert as_expr(7) == 7
+        assert (Var("i") - Var("i") + 7) == 7
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+
+class TestExprInspection:
+    def test_var_names_descend_into_uf_args(self):
+        e = UFCall("rowptr", [Var("i") + 1]) + Var("k")
+        assert e.var_names() == {"i", "k"}
+
+    def test_var_names_descend_into_mul(self):
+        e = Mul(Sym("ND"), Var("ii") + Var("d")).as_expr()
+        assert e.var_names() == {"ii", "d"}
+        assert e.sym_names() == {"ND"}
+
+    def test_uf_calls_listed(self):
+        e = UFCall("f", [UFCall("g", [Var("i")])]) + 1
+        names = [c.name for c in e.uf_calls()]
+        assert names == ["f", "g"]
+
+    def test_coeff_and_without(self):
+        e = 2 * Var("i") + 3 * Sym("N") + 1
+        assert e.coeff(Var("i")) == 2
+        stripped = e.without(Var("i"))
+        assert stripped.coeff(Var("i")) == 0
+        assert stripped.coeff(Sym("N")) == 3
+
+
+class TestSubstitution:
+    def test_var_substitution(self):
+        e = Var("i") + Var("j")
+        out = e.substitute_vars({"i": Var("k") + 1})
+        assert out == Var("k") + Var("j") + 1
+
+    def test_substitution_reaches_uf_args(self):
+        e = UFCall("rowptr", [Var("i") + 1]).as_expr()
+        out = e.substitute_vars({"i": Var("x")})
+        assert out == UFCall("rowptr", [Var("x") + 1]).as_expr()
+
+    def test_uf_call_replacement_after_arg_rewrite(self):
+        target = UFCall("row", [Var("x")])
+        e = UFCall("row", [Var("i")]).as_expr()
+        out = e.substitute({Var("i"): Var("x"), target: Var("ii")})
+        assert out == Var("ii").as_expr()
+
+    def test_rename_vars(self):
+        e = Var("i") + UFCall("f", [Var("i")])
+        out = e.rename_vars({"i": "z"})
+        assert out.var_names() == {"z"}
+
+    def test_rename_ufs(self):
+        e = UFCall("row", [Var("n")]) + UFCall("col", [Var("n")])
+        out = e.rename_ufs({"row": "row1"})
+        assert out.uf_names() == {"row1", "col"}
+
+    def test_mul_sym_substituted_by_constant(self):
+        e = Mul(Sym("ND"), Var("ii")).as_expr() + Var("d")
+        out = e.substitute({Sym("ND"): 4})
+        assert out == 4 * Var("ii") + Var("d")
+
+    def test_mul_sym_substituted_by_sym(self):
+        e = Mul(Sym("ND"), Var("ii")).as_expr()
+        out = e.substitute({Sym("ND"): Sym("K")})
+        assert out == Mul(Sym("K"), Var("ii")).as_expr()
+
+    def test_mul_factor_substituted(self):
+        e = Mul(Sym("ND"), Var("ii")).as_expr()
+        out = e.substitute_vars({"ii": Var("x") + 1})
+        assert out == Mul(Sym("ND"), Var("x") + 1).as_expr()
+
+
+class TestPrinting:
+    def test_simple(self):
+        assert str(Var("i") + 1) == "i + 1"
+
+    def test_negative_coefficient(self):
+        assert str(-Var("i") + Sym("N")) == "-i + N"
+
+    def test_constant_only(self):
+        assert str(as_expr(-3)) == "-3"
+
+    def test_uf_call(self):
+        assert str(UFCall("rowptr", [Var("i") + 1]).as_expr()) == "rowptr(i + 1)"

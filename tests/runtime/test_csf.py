@@ -1,0 +1,134 @@
+"""Tests for the CSF (compressed sparse fiber) container and conversions."""
+
+import pytest
+
+from repro import convert
+from repro.datagen import synthetic_tensor3d
+from repro.formats import container_format, csf, get_format
+from repro.runtime import COOTensor3D, CSFTensor
+from repro.synthesis import SynthesisError, synthesize
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return synthetic_tensor3d((24, 20, 16), 200, seed=12)
+
+
+class TestAssembly:
+    def test_roundtrip(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        c.check()
+        assert c.to_dict() == tensor.to_dict()
+
+    def test_storage_is_lexicographic(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        flat = list(c.nonzeros())
+        coords = [(i, j, k) for i, j, k, _ in flat]
+        assert coords == sorted(coords)
+
+    def test_compression_counts(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        distinct_roots = len(set(tensor.row))
+        distinct_fibers = len(set(zip(tensor.row, tensor.col)))
+        assert c.nroots == distinct_roots
+        assert c.nfibers == distinct_fibers
+
+    def test_from_unsorted_coo(self):
+        t = COOTensor3D((4, 4, 4), [3, 0, 3], [1, 2, 1], [0, 1, 2],
+                        [1.0, 2.0, 3.0])
+        c = CSFTensor.from_coo(t)
+        c.check()
+        assert c.to_dict() == t.to_dict()
+
+    def test_single_entry(self):
+        t = COOTensor3D((2, 2, 2), [1], [0], [1], [5.0])
+        c = CSFTensor.from_coo(t)
+        c.check()
+        assert (c.nroots, c.nfibers, c.nnz) == (1, 1, 1)
+
+    def test_to_coo(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        back = c.to_coo()
+        back.check()
+        assert back.to_dict() == tensor.to_dict()
+
+
+class TestValidation:
+    def make(self):
+        t = COOTensor3D((4, 4, 4), [0, 0, 2], [1, 3, 0], [2, 1, 3],
+                        [1.0, 2.0, 3.0])
+        return CSFTensor.from_coo(t)
+
+    def test_bad_fptr(self):
+        c = self.make()
+        c.fptr[-1] += 1
+        with pytest.raises(ValueError):
+            c.check()
+
+    def test_unsorted_roots(self):
+        c = self.make()
+        c.rootidx.reverse()
+        with pytest.raises(ValueError):
+            c.check()
+
+    def test_unsorted_k(self):
+        t = COOTensor3D((4, 4, 4), [0, 0], [1, 1], [0, 3], [1.0, 2.0])
+        c = CSFTensor.from_coo(t)
+        c.kidx.reverse()
+        with pytest.raises(ValueError):
+            c.check()
+
+
+class TestDescriptor:
+    def test_in_library(self):
+        fmt = get_format("CSF")
+        assert fmt.rank == 3
+        assert fmt.index_ufs() == {"rootidx", "fptr", "fibidx", "kptr", "kidx"}
+
+    def test_container_format(self, tensor):
+        assert container_format(CSFTensor.from_coo(tensor)) == "CSF"
+
+    def test_strictly_monotonic_roots(self):
+        fmt = csf()
+        assert fmt.monotonic["rootidx"].strict
+        assert not fmt.monotonic["fptr"].strict
+
+
+class TestConversions:
+    def test_csf_to_scoo3d_identity_fast_path(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        from repro import get_conversion
+
+        conv = get_conversion("CSF", "SCOO3D")
+        assert "OrderedList" not in conv.source  # orderings match
+        out = convert(c, "SCOO3D")
+        assert (out.row, out.col, out.z) == (tensor.row, tensor.col, tensor.z)
+
+    def test_csf_to_mcoo3(self, tensor):
+        c = CSFTensor.from_coo(tensor)
+        out = convert(c, "MCOO3")
+        out.check()
+        assert out.to_dict() == tensor.to_dict()
+
+    def test_csf_destination_rejected(self):
+        # NROOT/NFIB are distinct-value counts the cases cannot derive.
+        from repro.formats import coo3d
+
+        with pytest.raises(SynthesisError):
+            synthesize(coo3d(sorted_lex=True), csf())
+
+
+class TestKernels:
+    def test_value_sum(self, tensor):
+        from repro.kernels import run_kernel
+
+        c = CSFTensor.from_coo(tensor)
+        total = run_kernel(c, "value_sum")
+        assert abs(total - sum(tensor.val)) < 1e-9
+
+    def test_scale(self, tensor):
+        from repro.kernels import run_kernel
+
+        c = CSFTensor.from_coo(tensor)
+        scaled = run_kernel(c, "scale", alpha=2.0)
+        assert all(abs(s - 2 * v) < 1e-12 for s, v in zip(scaled, c.val))

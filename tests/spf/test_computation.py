@@ -1,0 +1,195 @@
+"""Unit tests for the SPF-IR: schedules, statements, lowering, printing."""
+
+import pytest
+
+from repro.ir import parse_set
+from repro.spf import Computation, LoweringError, Schedule, Stmt
+
+
+class TestSchedule:
+    def test_default_shape(self):
+        s = Schedule.default(3, ["i", "j"])
+        assert s.entries == (3, "i", 0, "j", 0)
+        assert s.depth == 2
+
+    def test_static_and_loop_accessors(self):
+        s = Schedule([1, "i", 2, "k", 3])
+        assert s.static_at(0) == 1
+        assert s.loop_var_at(0) == "i"
+        assert s.static_at(1) == 2
+        assert s.loop_var_at(1) == "k"
+        assert s.static_at(2) == 3
+
+    def test_with_static(self):
+        s = Schedule.default(0, ["i"]).with_static(1, 7)
+        assert s.entries == (0, "i", 7)
+
+    def test_rename_loop_vars(self):
+        s = Schedule([0, "i", 0]).rename_loop_vars({"i": "x"})
+        assert s.loop_var_at(0) == "x"
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule([0, "i"])
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(["i", 0, "j"])
+        with pytest.raises(ValueError):
+            Schedule([0, 1, 2])
+
+
+class TestStmt:
+    def test_parses_space_string(self):
+        stmt = Stmt("x = 1", "{[i] : 0 <= i < N}")
+        assert stmt.space.tuple_vars == ("i",)
+
+    def test_schedule_depth_must_match(self):
+        with pytest.raises(ValueError):
+            Stmt("x = 1", "{[i] : 0 <= i < N}", [0, "i", 0, "j", 0])
+
+    def test_schedule_vars_must_match_space(self):
+        with pytest.raises(ValueError):
+            Stmt("x = 1", "{[i] : 0 <= i < N}", [0, "j", 0])
+
+    def test_rename_tuple_vars_updates_text(self):
+        stmt = Stmt("a[i] = b[i]", "{[i] : 0 <= i < N}", [0, "i", 0])
+        renamed = stmt.rename_tuple_vars({"i": "z"})
+        assert renamed.text == "a[z] = b[z]"
+        assert renamed.space.tuple_vars == ("z",)
+        assert renamed.schedule.loop_var_at(0) == "z"
+
+    def test_rename_is_word_boundary(self):
+        stmt = Stmt("ii = i + imax", "{[i] : 0 <= i < N}", [0, "i", 0])
+        renamed = stmt.rename_tuple_vars({"i": "q"})
+        assert renamed.text == "ii = q + imax"
+
+    def test_phase_preserved_by_rename(self):
+        stmt = Stmt("x = 1", "{[i] : 0 <= i < N}", phase=3)
+        assert stmt.rename_tuple_vars({"i": "z"}).phase == 3
+
+
+class TestLowering:
+    def test_rectangular_loop(self):
+        comp = Computation()
+        comp.new_stmt("out.append(i)", "{[i] : 0 <= i < N}")
+        code = comp.codegen()
+        assert "for i in range(0, N):" in code
+        assert "out.append(i)" in code
+
+    def test_csr_walk_matches_paper(self):
+        comp = Computation()
+        comp.new_stmt(
+            "out.append((i, j))",
+            "{[i,k,j] : 0 <= i < N && rowptr(i) <= k < rowptr(i+1)"
+            " && j = col(k)}",
+        )
+        code = comp.codegen()
+        assert "for k in range(rowptr[i], rowptr[i + 1]):" in code
+        assert "j = col[k]" in code
+
+    def test_c_output(self):
+        comp = Computation()
+        comp.new_stmt("x[i] = i", "{[i] : 0 <= i < N}")
+        code = comp.codegen(lang="c")
+        assert "for (int i = 0; i <= N - 1; i++) {" in code
+        assert "x[i] = i;" in code
+
+    def test_unknown_language_rejected(self):
+        comp = Computation()
+        comp.new_stmt("x = 1", "{[i] : 0 <= i < 1}")
+        with pytest.raises(ValueError):
+            comp.codegen(lang="fortran")
+
+    def test_zero_arity_statement(self):
+        comp = Computation()
+        comp.new_stmt("x = 5", "{[]}")
+        assert comp.codegen().strip() == "x = 5"
+
+    def test_statement_order_follows_insertion(self):
+        comp = Computation()
+        comp.new_stmt("first()", "{[]}")
+        comp.new_stmt("second()", "{[]}")
+        code = comp.codegen()
+        assert code.index("first") < code.index("second")
+
+    def test_missing_bound_raises(self):
+        comp = Computation()
+        comp.new_stmt("x = i", "{[i] : 0 <= i}")
+        with pytest.raises(LoweringError):
+            comp.codegen()
+
+    def test_guard_emitted_for_residual_constraint(self):
+        comp = Computation()
+        comp.new_stmt(
+            "out.append((i, j))",
+            "{[i,j] : 0 <= i < N && 0 <= j < N && i + j = N}",
+        )
+        code = comp.codegen()
+        assert "if (" in code
+
+    def test_guarded_equality_on_uf(self):
+        # The DIA linear-search pattern: a loop with a UF guard.
+        comp = Computation()
+        comp.new_stmt(
+            "hit(d)",
+            "{[n,d] : 0 <= n < NNZ && 0 <= d < ND && off(d) = col(n)}",
+        )
+        code = comp.codegen()
+        assert "for d in range(0, ND):" in code
+        assert "off[d] == col[n]" in code
+
+    def test_dead_let_pruned(self):
+        comp = Computation()
+        comp.new_stmt(
+            "use(k)",
+            "{[i,k,j] : 0 <= i < N && 0 <= k < M && j = col(k)}",
+        )
+        code = comp.codegen()
+        assert "j = col[k]" not in code
+
+    def test_live_let_kept(self):
+        comp = Computation()
+        comp.new_stmt(
+            "use(j)",
+            "{[i,k,j] : 0 <= i < N && 0 <= k < M && j = col(k)}",
+        )
+        code = comp.codegen()
+        assert "j = col[k]" in code
+
+    def test_executable_output(self):
+        comp = Computation()
+        comp.new_stmt(
+            "out.append((i, j))",
+            "{[i,k,j] : 0 <= i < N && rowptr(i) <= k < rowptr(i+1)"
+            " && j = col(k)}",
+        )
+        code = comp.codegen()
+        env = {"N": 2, "rowptr": [0, 2, 3], "col": [1, 3, 0], "out": []}
+        exec(code, {}, env)
+        assert env["out"] == [(0, 1), (0, 3), (1, 0)]
+
+
+class TestDataSpaces:
+    def test_readers_and_writers_tracked(self):
+        comp = Computation()
+        comp.new_stmt("a[i] = 1", "{[i] : 0 <= i < N}", writes=["a"])
+        comp.new_stmt("b[i] = a[i]", "{[i] : 0 <= i < N}", reads=["a"],
+                      writes=["b"])
+        spaces = comp.data_spaces()
+        assert spaces["a"]["writers"] == ["S0"]
+        assert spaces["a"]["readers"] == ["S1"]
+        assert spaces["b"]["writers"] == ["S1"]
+
+
+class TestFunctionWrapper:
+    def test_codegen_function_runs(self):
+        comp = Computation("double_all")
+        comp.new_stmt("b[i] = 2 * a[i]", "{[i] : 0 <= i < N}")
+        source = comp.codegen_function(
+            ["a", "N"], ["b"], preamble=["b = [0] * N"]
+        )
+        namespace = {}
+        exec(source, namespace)
+        out = namespace["double_all"]([1, 2, 3], 3)
+        assert out == {"b": [2, 4, 6]}

@@ -1,0 +1,164 @@
+"""Unit tests for expression/constraint printing and the AST printers."""
+
+import pytest
+
+from repro.ir import Mul, Sym, UFCall, Var, equals, less, less_equal, parse_expr
+from repro.spf import (
+    CPrinter,
+    ForLoop,
+    Guard,
+    LetEq,
+    Program,
+    PythonPrinter,
+    Raw,
+    Comment,
+    SymbolTable,
+    print_constraint,
+    print_expr,
+)
+
+
+SYMTAB = SymbolTable(functions=["MORTON"])
+
+
+class TestSymbolTable:
+    def test_default_is_array(self):
+        assert SymbolTable().kind_of("anything") == "array"
+
+    def test_registered_kinds(self):
+        st = SymbolTable(arrays=["rowptr"], functions=["MORTON"], objects=["P"])
+        assert st.kind_of("rowptr") == "array"
+        assert st.kind_of("MORTON") == "func"
+        assert st.kind_of("P") == "object"
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolTable(arrays=["f"], functions=["f"])
+
+
+class TestExprPrinting:
+    def test_affine(self):
+        assert print_expr(parse_expr("2 * i + N - 3", ["i"]), SYMTAB) == \
+            "2 * i + N - 3"
+
+    def test_uf_as_array(self):
+        e = UFCall("rowptr", [Var("i") + 1]).as_expr()
+        assert print_expr(e, SYMTAB) == "rowptr[i + 1]"
+
+    def test_uf_as_function(self):
+        e = UFCall("MORTON", [Var("i"), Var("j")]).as_expr()
+        assert print_expr(e, SYMTAB) == "MORTON(i, j)"
+
+    def test_multi_arg_array_python(self):
+        e = UFCall("table", [Var("i"), Var("j")]).as_expr()
+        assert print_expr(e, SYMTAB, "py") == "table[i, j]"
+
+    def test_multi_arg_array_c(self):
+        e = UFCall("table", [Var("i"), Var("j")]).as_expr()
+        assert print_expr(e, SYMTAB, "c") == "table[i][j]"
+
+    def test_mul_atom(self):
+        e = Mul(Sym("ND"), Var("ii")).as_expr() + Var("d")
+        assert print_expr(e, SYMTAB) == "d + ND * (ii)"
+
+    def test_constant(self):
+        assert print_expr(parse_expr("0"), SYMTAB) == "0"
+
+
+class TestConstraintPrinting:
+    def test_negative_terms_move_right(self):
+        c = less_equal(UFCall("rowptr", [Var("i")]), Var("k"))
+        assert print_constraint(c, SYMTAB) == "k >= rowptr[i]"
+
+    def test_equality(self):
+        c = equals(Var("j"), UFCall("col", [Var("k")]))
+        text = print_constraint(c, SYMTAB)
+        assert "==" in text
+        assert "j" in text and "col[k]" in text
+
+    def test_strict_constant_offset(self):
+        c = less(Var("i"), Sym("N"))  # i < N  =>  N - i - 1 >= 0
+        assert print_constraint(c, SYMTAB) == "N >= i + 1"
+
+
+class TestPythonPrinter:
+    def test_loop_bounds_single(self):
+        loop = ForLoop("i", [parse_expr("0")], [Sym("N") - 1], [Raw("f(i)")])
+        text = PythonPrinter(SYMTAB).print(loop)
+        assert text == "for i in range(0, N):\n    f(i)"
+
+    def test_loop_bounds_multiple(self):
+        loop = ForLoop(
+            "i", [parse_expr("0"), Sym("L")], [Sym("N") - 1, Sym("M")],
+            [Raw("f(i)")],
+        )
+        text = PythonPrinter(SYMTAB).print(loop)
+        assert "range(max(0, L), min(N, M + 1))" in text
+
+    def test_guard(self):
+        guard = Guard([equals(Var("i"), Sym("N"))], [Raw("g()")])
+        text = PythonPrinter(SYMTAB).print(guard)
+        assert text.startswith("if (i == N):")
+
+    def test_empty_body_pass(self):
+        loop = ForLoop("i", [parse_expr("0")], [parse_expr("3")], [])
+        assert PythonPrinter(SYMTAB).print(loop).endswith("pass")
+
+    def test_let_and_comment(self):
+        prog = Program([Comment("phase 1"), LetEq("j", Var("i") + 1)])
+        text = PythonPrinter(SYMTAB).print(prog)
+        assert "# phase 1" in text
+        assert "j = i + 1" in text
+
+    def test_multiline_raw_indented(self):
+        loop = ForLoop("i", [parse_expr("0")], [parse_expr("3")],
+                       [Raw("a = 1\nb = 2")])
+        lines = PythonPrinter(SYMTAB).print(loop).splitlines()
+        assert lines[1] == "    a = 1"
+        assert lines[2] == "    b = 2"
+
+
+class TestCPrinter:
+    def test_loop(self):
+        loop = ForLoop("i", [parse_expr("0")], [Sym("N") - 1], [Raw("f(i)")])
+        text = CPrinter(SYMTAB).print(loop)
+        assert "for (int i = 0; i <= N - 1; i++) {" in text
+        assert "f(i);" in text
+        assert text.rstrip().endswith("}")
+
+    def test_semicolon_not_duplicated(self):
+        text = CPrinter(SYMTAB).print(Raw("x = 1;"))
+        assert text == "x = 1;"
+
+    def test_nested_min_max(self):
+        loop = ForLoop(
+            "i", [parse_expr("0"), Sym("L")], [Sym("N"), Sym("M")], [Raw("f()")]
+        )
+        text = CPrinter(SYMTAB).print(loop)
+        assert "max(0, L)" in text
+        assert "min(N, M)" in text
+
+    def test_guard_uses_and(self):
+        guard = Guard(
+            [equals(Var("i"), Sym("N")), less(Var("j"), Sym("M"))],
+            [Raw("g()")],
+        )
+        text = CPrinter(SYMTAB).print(guard)
+        assert "&&" in text
+
+
+class TestForLoopValidation:
+    def test_needs_bounds(self):
+        with pytest.raises(ValueError):
+            ForLoop("i", [], [parse_expr("3")])
+        with pytest.raises(ValueError):
+            ForLoop("i", [parse_expr("0")], [])
+
+    def test_guard_needs_constraints(self):
+        with pytest.raises(ValueError):
+            Guard([], [Raw("x")])
+
+    def test_header_key_ignores_bound_order(self):
+        a = ForLoop("i", [parse_expr("0"), Sym("L")], [Sym("N")])
+        b = ForLoop("i", [Sym("L"), parse_expr("0")], [Sym("N")])
+        assert a.header_key() == b.header_key()

@@ -1,0 +1,61 @@
+"""Tests for the Table 2 introspection utilities."""
+
+from repro.formats import csr, dia, mcoo, scoo
+from repro.synthesis import constraints_per_unknown_uf, render_table2
+
+
+class TestCooToMcoo:
+    """The paper's running example: Table 2's columns must appear."""
+
+    def setup_method(self):
+        self.table = constraints_per_unknown_uf(scoo(), mcoo())
+
+    def test_unknown_ufs(self):
+        assert set(self.table) == {"row_m", "col_m", "P"}
+
+    def test_row_m_constraint(self):
+        # Table 2: row_1(n1) = row_m(n2)
+        assert any(
+            "row1(n)" in c and "row_m(n2)" in c for c in self.table["row_m"]
+        )
+
+    def test_col_m_constraint(self):
+        assert any(
+            "col1(n)" in c and "col_m(n2)" in c for c in self.table["col_m"]
+        )
+
+    def test_domains_listed(self):
+        assert any("domain(row_m)" in c for c in self.table["row_m"])
+
+    def test_permutation_column(self):
+        joined = " ".join(self.table["P"])
+        assert "P(i, j)" in joined
+        assert "MORTON" in joined
+
+
+class TestOtherConversions:
+    def test_csr_destination(self):
+        table = constraints_per_unknown_uf(scoo(), csr())
+        assert set(table) == {"rowptr", "col2", "P"}
+        rowptr = " ".join(table["rowptr"])
+        assert "rowptr(" in rowptr
+        assert "e1 <= e2" in rowptr  # the monotonic quantifier
+
+    def test_dia_destination(self):
+        table = constraints_per_unknown_uf(scoo(), dia())
+        assert set(table) == {"off"}  # no reordering quantifier, no P
+        off = " ".join(table["off"])
+        assert "off(d)" in off
+        assert "e1 < e2" in off  # strict monotonicity
+
+    def test_same_format_renames(self):
+        table = constraints_per_unknown_uf(scoo(), scoo())
+        assert "row12" in table and "col12" in table
+
+
+class TestRendering:
+    def test_render_table2(self):
+        text = render_table2(scoo(), mcoo())
+        assert "SCOO -> MCOO" in text
+        assert "row_m:" in text
+        assert "P:" in text

@@ -1,0 +1,179 @@
+"""Unit tests for constraint normalization and the 5 synthesis cases."""
+
+import pytest
+
+from repro.ir import Expr, UFCall, Var, equals, greater_equal, less_equal
+from repro.synthesis import (
+    Resolver,
+    classify,
+    normalize_for_uf,
+    select_plans,
+)
+from repro.synthesis.cases import UFStatementPlan
+
+
+def uf(name, *args):
+    return UFCall(name, list(args))
+
+
+class TestNormalize:
+    def test_equality_positive_side(self):
+        c = equals(uf("col2", Var("k")), uf("col1", Var("n")))
+        norm = normalize_for_uf(c, "col2")
+        assert norm is not None
+        assert norm.op == "="
+        assert norm.call == uf("col2", Var("k"))
+        assert norm.rhs == uf("col1", Var("n")).as_expr()
+
+    def test_equality_negated_side(self):
+        c = equals(uf("col1", Var("n")), uf("col2", Var("k")))
+        norm = normalize_for_uf(c, "col2")
+        assert norm is not None
+        assert norm.op == "="
+        assert norm.rhs == uf("col1", Var("n")).as_expr()
+
+    def test_lower_bound(self):
+        # rowptr(i) <= k  =>  rowptr(i) normalized with op '<='
+        c = less_equal(uf("rowptr", Var("i")), Var("k"))
+        norm = normalize_for_uf(c, "rowptr")
+        assert norm is not None
+        assert norm.op == "<="
+        assert norm.rhs == Var("k").as_expr()
+
+    def test_upper_bound(self):
+        # k < rowptr(i+1)  =>  rowptr(i+1) >= k + 1
+        from repro.ir import less
+
+        c = less(Var("k"), uf("rowptr", Var("i") + 1))
+        norm = normalize_for_uf(c, "rowptr")
+        assert norm is not None
+        assert norm.op == ">="
+        assert norm.rhs == Var("k") + 1
+
+    def test_absent_uf(self):
+        c = equals(Var("i"), Var("j"))
+        assert normalize_for_uf(c, "rowptr") is None
+
+    def test_two_occurrences_rejected(self):
+        c = equals(uf("f", Var("i")), uf("f", Var("j")))
+        assert normalize_for_uf(c, "f") is None
+
+    def test_self_referential_rejected(self):
+        c = equals(uf("f", uf("f", Var("i"))), Var("j"))
+        assert normalize_for_uf(c, "f") is None
+
+
+class TestResolver:
+    def test_identity(self):
+        r = Resolver({"n": Var("n").as_expr()})
+        assert r.resolve(Var("n") + 1) == Var("n") + 1
+
+    def test_substitution_chain(self):
+        r = Resolver(
+            {
+                "n": Var("n").as_expr(),
+                "ii": uf("row1", Var("n")).as_expr(),
+                "kk": Var("ii") + 1,
+            }
+        )
+        out = r.resolve(Var("kk").as_expr())
+        assert out == uf("row1", Var("n")) + 1
+
+    def test_unresolved_returns_none(self):
+        r = Resolver({"d": None, "n": Var("n").as_expr()})
+        assert r.resolve(Var("d") + Var("n")) is None
+
+    def test_unresolved_inside_uf_arg(self):
+        r = Resolver({"d": None})
+        assert r.resolve(uf("off", Var("d")).as_expr()) is None
+
+    def test_unmapped_vars_pass_through(self):
+        r = Resolver({})
+        assert r.resolve(Var("x") + 1) == Var("x") + 1
+
+
+class TestClassify:
+    def resolver(self):
+        return Resolver(
+            {
+                "n": Var("n").as_expr(),
+                "ii2": uf("row1", Var("n")).as_expr(),
+                "k": Var("k").as_expr(),  # bound position variable
+                "d": None,  # unresolved search variable
+            }
+        )
+
+    def test_case1_scatter(self):
+        norm = normalize_for_uf(
+            equals(uf("col2", Var("k")), uf("col1", Var("n"))), "col2"
+        )
+        plan = classify(norm, self.resolver())
+        assert plan is not None
+        assert plan.kind == "scatter"
+        assert plan.args == (Var("k").as_expr(),)
+
+    def test_case2_min(self):
+        norm = normalize_for_uf(
+            less_equal(uf("rowptr", Var("ii2")), Var("k")), "rowptr"
+        )
+        plan = classify(norm, self.resolver())
+        assert plan.kind == "min"
+        assert plan.args == (uf("row1", Var("n")).as_expr(),)
+        assert plan.value == Var("k").as_expr()
+
+    def test_case3_max(self):
+        norm = normalize_for_uf(
+            greater_equal(uf("rowptr", Var("ii2") + 1), Var("k") + 1), "rowptr"
+        )
+        plan = classify(norm, self.resolver())
+        assert plan.kind == "max"
+        assert plan.args == (uf("row1", Var("n")) + 1,)
+
+    def test_case5_insert(self):
+        # off(d) = col1(n) - row1(n): d is unresolved -> insert.
+        norm = normalize_for_uf(
+            equals(uf("off", Var("d")),
+                   uf("col1", Var("n")) - uf("row1", Var("n"))),
+            "off",
+        )
+        plan = classify(norm, self.resolver())
+        assert plan.kind == "insert"
+        assert plan.value == uf("col1", Var("n")) - uf("row1", Var("n"))
+
+    def test_unresolvable_value_gives_none(self):
+        # value references the unresolved d at top level: unusable.
+        norm = normalize_for_uf(
+            equals(uf("col2", Var("k")), Var("d")), "col2"
+        )
+        assert classify(norm, self.resolver()) is None
+
+    def test_inequality_with_unresolved_arg_gives_none(self):
+        norm = normalize_for_uf(
+            less_equal(uf("off", Var("d")), Var("k")), "off"
+        )
+        assert classify(norm, self.resolver()) is None
+
+
+class TestSelectPlans:
+    def plan(self, uf_name, kind):
+        return UFStatementPlan(uf_name, kind, (), Expr(0), case=0)
+
+    def test_one_plan_per_uf(self):
+        plans = [self.plan("rowptr", "min"), self.plan("rowptr", "max")]
+        chosen = select_plans(plans)
+        assert len(chosen) == 1
+
+    def test_preference_order(self):
+        plans = [
+            self.plan("u", "min"),
+            self.plan("u", "max"),
+            self.plan("u", "scatter"),
+            self.plan("u", "insert"),
+        ]
+        assert select_plans(plans)[0].kind == "insert"
+        assert select_plans(plans[:3])[0].kind == "scatter"
+        assert select_plans(plans[:2])[0].kind == "max"
+
+    def test_different_ufs_all_kept(self):
+        plans = [self.plan("a", "max"), self.plan("b", "min")]
+        assert len(select_plans(plans)) == 2

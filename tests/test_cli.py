@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.io import read_matrix, write_matrix
+from repro.runtime import COOMatrix, dense_equal
+
+
+DENSE = [
+    [1.0, 0.0, 2.0],
+    [0.0, 0.0, 3.0],
+    [4.0, 5.0, 0.0],
+]
+
+
+class TestFormats:
+    def test_lists_all(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA"):
+            assert name in out
+
+
+class TestShow:
+    def test_descriptor_printed(self, capsys):
+        assert main(["show", "CSR"]) == 0
+        out = capsys.readouterr().out
+        assert "rowptr" in out
+        assert "domain(" in out
+
+    def test_unknown_format(self):
+        with pytest.raises(KeyError):
+            main(["show", "ESB"])
+
+
+class TestSynthesize:
+    def test_basic(self, capsys):
+        assert main(["synthesize", "SCOO", "CSR"]) == 0
+        out = capsys.readouterr().out
+        assert "def scoo_to_csr" in out
+
+    def test_flags(self, capsys):
+        assert main(
+            ["synthesize", "SCOO", "DIA", "--binary-search", "--c", "--notes"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BSEARCH" in out
+        assert "display C" in out
+        assert "synthesis decisions" in out
+
+    def test_no_optimize(self, capsys):
+        assert main(["synthesize", "SCOO", "CSR", "--no-optimize"]) == 0
+        assert "OrderedList" in capsys.readouterr().out
+
+
+class TestKernel:
+    def test_spmv(self, capsys):
+        assert main(["kernel", "CSR", "spmv"]) == 0
+        out = capsys.readouterr().out
+        assert "def csr_spmv" in out
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["kernel", "CSR", "lu"])
+
+
+class TestConvert:
+    def make_input(self, tmp_path):
+        path = tmp_path / "in.mtx"
+        write_matrix(COOMatrix.from_dense(DENSE), path)
+        return path
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        src = self.make_input(tmp_path)
+        dst = tmp_path / "out.mtx"
+        assert main(
+            ["convert", str(src), str(dst), "--to", "CSR", "--verify"]
+        ) == 0
+        again = read_matrix(dst)
+        assert dense_equal(again.to_dense(), DENSE)
+        assert "verified" in capsys.readouterr().err
+
+    def test_convert_with_planner(self, tmp_path):
+        src = self.make_input(tmp_path)
+        dst = tmp_path / "out.mtx"
+        assert main(
+            ["convert", str(src), str(dst), "--to", "DIA", "--plan",
+             "--verify"]
+        ) == 0
+        assert dense_equal(read_matrix(dst).to_dense(), DENSE)
+
+    def test_binary_search_flag(self, tmp_path):
+        src = self.make_input(tmp_path)
+        dst = tmp_path / "out.mtx"
+        assert main(
+            ["convert", str(src), str(dst), "--to", "DIA",
+             "--binary-search", "--verify"]
+        ) == 0
+
+
+class TestArgparse:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,67 @@
+"""Tests for the differential-testing harness."""
+
+import random
+
+import pytest
+
+from repro.validation import (
+    DifferentialReport,
+    differential_test,
+    random_matrix,
+)
+
+
+class TestRandomMatrix:
+    def test_valid_and_sorted(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            m = random_matrix(rng)
+            m.check()
+            assert m.is_sorted_lexicographic()
+
+    def test_degenerate_shapes_occur(self):
+        rng = random.Random(1)
+        shapes = {(random_matrix(rng).nrows, random_matrix(rng).ncols)
+                  for _ in range(40)}
+        assert any(1 in s for s in shapes)
+
+
+class TestDifferentialTest:
+    def test_clean_run(self):
+        report = differential_test(trials=5, seed=3)
+        assert report.ok
+        assert report.conversions_checked > 5 * 5  # direct + chains
+        assert "OK" in report.summary()
+
+    def test_deterministic(self):
+        a = differential_test(trials=3, seed=7)
+        b = differential_test(trials=3, seed=7)
+        assert a.conversions_checked == b.conversions_checked
+
+    def test_no_chains(self):
+        with_chains = differential_test(trials=3, seed=5)
+        without = differential_test(trials=3, seed=5, chains=False)
+        assert without.conversions_checked < with_chains.conversions_checked
+
+    def test_custom_targets(self):
+        report = differential_test(trials=2, seed=2, targets=("CSR",),
+                                   chains=False)
+        assert report.ok
+        assert report.conversions_checked == 2
+
+
+class TestReport:
+    def test_failure_summary(self):
+        report = DifferentialReport(trials=1, conversions_checked=1,
+                                    failures=["x: dense image differs"])
+        assert not report.ok
+        assert "1 FAILURES" in report.summary()
+        assert "dense image differs" in report.summary()
+
+
+class TestCliSelftest:
+    def test_exit_code_zero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["selftest", "--trials", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
