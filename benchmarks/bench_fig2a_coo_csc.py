@@ -14,11 +14,11 @@ from conftest import MATRICES, inspector_inputs, synthesized
 
 
 @pytest.mark.parametrize("matrix", MATRICES)
-def test_ours(benchmark, coo_matrices, matrix):
-    conv = synthesized("SCOO", "CSC")
-    inputs = inspector_inputs(conv, coo_matrices[matrix])
+def test_ours(benchmark, coo_matrices, matrix, backend):
+    conv = synthesized("SCOO", "CSC", backend=backend)
+    inputs = inspector_inputs(conv, coo_matrices[matrix], backend)
     benchmark.group = f"fig2a COO_CSC {matrix}"
-    benchmark(lambda: conv(**inputs))
+    benchmark(lambda: conv.run_native(**inputs))
 
 
 @pytest.mark.parametrize("matrix", MATRICES)

@@ -13,11 +13,11 @@ from conftest import MATRICES, inspector_inputs, synthesized
 
 
 @pytest.mark.parametrize("matrix", MATRICES)
-def test_ours(benchmark, csr_matrices, matrix):
-    conv = synthesized("CSR", "CSC")
-    inputs = inspector_inputs(conv, csr_matrices[matrix])
+def test_ours(benchmark, csr_matrices, matrix, backend):
+    conv = synthesized("CSR", "CSC", backend=backend)
+    inputs = inspector_inputs(conv, csr_matrices[matrix], backend)
     benchmark.group = f"fig2b CSR_CSC {matrix}"
-    benchmark(lambda: conv(**inputs))
+    benchmark(lambda: conv.run_native(**inputs))
 
 
 @pytest.mark.parametrize("matrix", MATRICES)

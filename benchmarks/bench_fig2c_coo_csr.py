@@ -14,11 +14,11 @@ from conftest import MATRICES, inspector_inputs, synthesized
 
 
 @pytest.mark.parametrize("matrix", MATRICES)
-def test_ours(benchmark, coo_matrices, matrix):
-    conv = synthesized("SCOO", "CSR")
-    inputs = inspector_inputs(conv, coo_matrices[matrix])
+def test_ours(benchmark, coo_matrices, matrix, backend):
+    conv = synthesized("SCOO", "CSR", backend=backend)
+    inputs = inspector_inputs(conv, coo_matrices[matrix], backend)
     benchmark.group = f"fig2c COO_CSR {matrix}"
-    benchmark(lambda: conv(**inputs))
+    benchmark(lambda: conv.run_native(**inputs))
 
 
 @pytest.mark.parametrize("matrix", MATRICES)

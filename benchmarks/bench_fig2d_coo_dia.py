@@ -14,11 +14,11 @@ from conftest import DIA_MATRICES, inspector_inputs, synthesized
 
 
 @pytest.mark.parametrize("matrix", DIA_MATRICES)
-def test_ours_linear_search(benchmark, dia_matrices, matrix):
-    conv = synthesized("SCOO", "DIA")
-    inputs = inspector_inputs(conv, dia_matrices[matrix])
+def test_ours_linear_search(benchmark, dia_matrices, matrix, backend):
+    conv = synthesized("SCOO", "DIA", backend=backend)
+    inputs = inspector_inputs(conv, dia_matrices[matrix], backend)
     benchmark.group = f"fig2d COO_DIA {matrix}"
-    benchmark(lambda: conv(**inputs))
+    benchmark(lambda: conv.run_native(**inputs))
 
 
 @pytest.mark.parametrize("matrix", DIA_MATRICES)

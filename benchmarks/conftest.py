@@ -1,20 +1,25 @@
 """Shared fixtures for the benchmark suite.
 
-Workload sizes are controlled by ``REPRO_BENCH_SCALE`` (default 0.002, the
-fraction of each Table 3 matrix's published dimensions).  The default keeps
-the full suite tractable for interpreted converters; raise it to stress the
-same shapes at larger sizes.
+Workload sizes are controlled by ``REPRO_BENCH_SCALE`` (default 0.02, the
+fraction of each Table 3 matrix's published dimensions).  At 0.02 the
+matrices carry tens of thousands of nonzeros — large enough that converter
+runtime is dominated by per-nonzero work rather than call overhead, which
+is what the scalar-vs-vectorized backend comparison needs to be meaningful.
+Drop it back to 0.002 for a quick smoke pass of the interpreted converters.
+
+``REPRO_BENCH_BACKENDS`` selects the lowering backends benchmarked for the
+synthesized converters (comma-separated, default ``python,numpy``).
 """
 
 import os
 
 import pytest
 
-from repro import CSRMatrix, get_conversion
+from repro import convert, get_conversion
 from repro.datagen import load, load_tensor
 from repro.formats import container_to_env
 
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 TENSOR_SCALE = float(os.environ.get("REPRO_BENCH_TENSOR_SCALE", "0.00001"))
 
 #: Representative Table 3 matrices: one per structural family plus the two
@@ -36,9 +41,10 @@ def dia_matrices():
 
 @pytest.fixture(scope="session")
 def csr_matrices(coo_matrices):
+    # Built sparsely (from_dense would materialize O(nrows*ncols) cells,
+    # prohibitive for the large Table 3 shapes at timing scales).
     return {
-        name: CSRMatrix.from_dense(coo.to_dense())
-        for name, coo in coo_matrices.items()
+        name: convert(coo, "CSR") for name, coo in coo_matrices.items()
     }
 
 
@@ -47,10 +53,33 @@ def tensors():
     return {name: load_tensor(name, scale=TENSOR_SCALE) for name in TENSORS}
 
 
-def inspector_inputs(conversion, container):
-    """The positional-input dict for a synthesized conversion."""
+BACKENDS = tuple(
+    os.environ.get("REPRO_BENCH_BACKENDS", "python,numpy").split(",")
+)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Lowering backend for the synthesized converter under test."""
+    return request.param
+
+
+def inspector_inputs(conversion, container, backend="python"):
+    """The input dict for a synthesized conversion, in the backend's
+    native representation (numpy gets pre-converted coordinate arrays so
+    the list->array boundary is not charged to the inspector, mirroring
+    how the baselines receive their own preferred layouts)."""
     env = container_to_env(container)
-    return {p: env[p] for p in conversion.params}
+    inputs = {p: env[p] for p in conversion.params}
+    if backend == "numpy":
+        import numpy as np
+
+        for name, value in inputs.items():
+            if isinstance(value, list):
+                dtype = (np.float64 if value and isinstance(value[0], float)
+                         else np.int64)
+                inputs[name] = np.asarray(value, dtype=dtype)
+    return inputs
 
 
 def synthesized(src, dst, **kwargs):

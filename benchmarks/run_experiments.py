@@ -9,7 +9,7 @@ per matrix/tensor plus geometric-mean speedups.
 
 Usage::
 
-    python benchmarks/run_experiments.py [--scale 0.002] [--repeats 3]
+    python benchmarks/run_experiments.py [--scale 0.02] [--repeats 3]
     python benchmarks/run_experiments.py --experiment fig2c
 """
 
@@ -69,10 +69,14 @@ def show_table2() -> None:
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=0.002,
+    parser.add_argument("--scale", type=float, default=0.02,
                         help="fraction of each Table 3 matrix's true size")
     parser.add_argument("--tensor-scale", type=float, default=0.00001)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--backend", choices=["python", "numpy", "both"], default="both",
+        help="lowering backend(s) for the synthesized converters; 'both' "
+             "reports scalar and vectorized columns side by side")
     parser.add_argument(
         "--json", metavar="PATH",
         help="also write machine-readable results to this JSON file")
@@ -85,6 +89,8 @@ def main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
 
     wanted = args.experiment
+    backends = (("python", "numpy") if args.backend == "both"
+                else (args.backend,))
     collected: dict[str, dict] = {}
     runners = {
         "fig2a": run_fig2a,
@@ -104,7 +110,8 @@ def main(argv: list[str]) -> int:
         print("=" * 72)
         print(f"{key}  ({PAPER_CLAIMS[key]})")
         print("=" * 72)
-        result = runner(scale=args.scale, repeats=args.repeats)
+        result = runner(scale=args.scale, repeats=args.repeats,
+                        backends=backends)
         collected[key] = result.to_dict()
         print(result.report())
         print()

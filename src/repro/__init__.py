@@ -57,9 +57,10 @@ def get_conversion(
     *,
     optimize: bool = True,
     binary_search: bool = False,
+    backend: str = "python",
 ) -> SynthesizedConversion:
     """Synthesize (and cache) the inspector converting between two formats."""
-    key = (src_name.upper(), dst_name.upper(), optimize, binary_search)
+    key = (src_name.upper(), dst_name.upper(), optimize, binary_search, backend)
     cached = _CONVERSION_CACHE.get(key)
     if cached is None:
         cached = synthesize(
@@ -67,6 +68,7 @@ def get_conversion(
             get_format(dst_name),
             optimize=optimize,
             binary_search=binary_search,
+            backend=backend,
         )
         _CONVERSION_CACHE[key] = cached
     return cached
@@ -79,16 +81,23 @@ def convert(
     optimize: bool = True,
     binary_search: bool = False,
     assume_sorted: bool = True,
+    backend: str = "python",
 ):
     """Convert a runtime container to another format via synthesized code.
 
     The source descriptor is inferred from the container (sorted COO maps to
     SCOO unless ``assume_sorted=False``), the inspector is synthesized once
     and cached, and the outputs are packed back into the right container.
+    ``backend`` selects the lowering (``"python"`` scalar loops or ``"numpy"``
+    vectorized); both produce identical outputs.
     """
     src_name = container_format(container, assume_sorted=assume_sorted)
     conversion = get_conversion(
-        src_name, dst_name, optimize=optimize, binary_search=binary_search
+        src_name,
+        dst_name,
+        optimize=optimize,
+        binary_search=binary_search,
+        backend=backend,
     )
     env = container_to_env(container)
     inputs = {p: env[p] for p in conversion.params}

@@ -5,7 +5,8 @@ Commands:
 * ``formats`` — list the format library (Table 1 descriptors),
 * ``show FORMAT`` — print one descriptor in Table 1 notation,
 * ``synthesize SRC DST`` — print the generated inspector (Python and,
-  with ``--c``, display C) plus the synthesis decision log,
+  with ``--c``, display C) plus the synthesis decision log; ``--backend
+  numpy`` prints the vectorized lowering,
 * ``convert IN.mtx OUT.mtx --to FORMAT`` — convert a Matrix Market file
   through a synthesized inspector (multi-step planning with ``--plan``),
 * ``kernel FORMAT KIND`` — print a generated executor kernel,
@@ -50,6 +51,7 @@ def cmd_synthesize(args) -> int:
         resolve_format(args.dst),
         optimize=not args.no_optimize,
         binary_search=args.binary_search,
+        backend=args.backend,
     )
     print(conv.source)
     if args.c:
@@ -70,13 +72,19 @@ def cmd_convert(args) -> int:
     matrix = read_matrix(args.input)
     print(f"read {matrix} from {args.input}", file=sys.stderr)
     if args.plan:
-        result = default_planner().execute(matrix, args.to)
-        plan = default_planner().plan(
+        planner = default_planner(args.backend)
+        result = planner.execute(matrix, args.to)
+        plan = planner.plan(
             "SCOO" if matrix.is_sorted_lexicographic() else "COO", args.to
         )
         print(f"plan: {plan}", file=sys.stderr)
     else:
-        result = convert(matrix, args.to, binary_search=args.binary_search)
+        result = convert(
+            matrix,
+            args.to,
+            binary_search=args.binary_search,
+            backend=args.backend,
+        )
     if args.verify:
         if not dense_equal(result.to_dense(), matrix.to_dense()):
             print("VERIFICATION FAILED", file=sys.stderr)
@@ -106,7 +114,9 @@ def cmd_kernel(args) -> int:
 def cmd_selftest(args) -> int:
     from repro.validation import differential_test
 
-    report = differential_test(trials=args.trials, seed=args.seed)
+    report = differential_test(
+        trials=args.trials, seed=args.seed, backend=args.backend
+    )
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -137,6 +147,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="also print display C")
     p_synth.add_argument("--notes", action="store_true",
                          help="print the synthesis decision log")
+    p_synth.add_argument("--backend", choices=["python", "numpy"],
+                         default="python",
+                         help="lowering backend for the inspector")
 
     p_conv = sub.add_parser("convert", help="convert a MatrixMarket file")
     p_conv.add_argument("input")
@@ -147,12 +160,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="use the multi-step planner")
     p_conv.add_argument("--verify", action="store_true",
                         help="check the result against a dense reference")
+    p_conv.add_argument("--backend", choices=["python", "numpy"],
+                        default="python",
+                        help="lowering backend for the inspector")
 
     p_self = sub.add_parser(
         "selftest", help="differential-test all conversions on random data"
     )
     p_self.add_argument("--trials", type=int, default=20)
     p_self.add_argument("--seed", type=int, default=0)
+    p_self.add_argument("--backend", choices=["python", "numpy"],
+                        default="python",
+                        help="lowering backend for the inspectors under test")
 
     p_kern = sub.add_parser("kernel", help="print a generated executor")
     p_kern.add_argument("format")

@@ -36,9 +36,27 @@ def estimate_cost(conversion: SynthesizedConversion) -> float:
     Derived from the generated code's structure: each loop nest over the
     nonzeros costs one pass; comparison-sort permutations cost an extra
     log-factor pass; per-nonzero searches cost a diagonal-count factor.
-    The absolute scale is arbitrary — only relative comparisons matter.
+    The absolute scale is arbitrary — only relative comparisons matter, but
+    the two backends share one scale so a planner can weigh an interpreted
+    scalar pass (1.0) against a vectorized one (0.05: numpy's per-element
+    work is a couple of orders of magnitude cheaper).
     """
     source = conversion.source
+    if conversion.backend == "numpy":
+        # Residual ``for`` loops are the scalar-fallback nests; vectorized
+        # nests cost a small constant each (a handful of array passes).
+        stats = conversion.vector_stats or {}
+        cost = float(source.count("for "))
+        cost += 0.05 * stats.get("vectorized_nests", 0)
+        if "STABLE_POS(" in source or "DENSE_POS(" in source:
+            cost += 0.2  # lexsort rank
+        if "FILL_POS(" in source or "COUNT_POS(" in source:
+            cost += 0.05
+        if "BSEARCH_V(" in source:
+            cost += 0.05
+        if "if (" in source and "for d in range" in source:
+            cost += 4.0  # linear search survived in a fallback nest
+        return cost
     cost = float(source.count("for "))
     if "OrderedList(" in source:
         cost += 4.0  # comparison sort + hash lookups
@@ -80,8 +98,14 @@ class ConversionPlan:
 class ConversionPlanner:
     """Builds and queries the direct-conversion graph."""
 
-    def __init__(self, formats: Sequence[str] | None = None):
+    def __init__(
+        self,
+        formats: Sequence[str] | None = None,
+        *,
+        backend: str = "python",
+    ):
         self.format_names = tuple(formats or PLANNABLE_2D)
+        self.backend = backend
         self._edges: dict[tuple[str, str], Optional[float]] = {}
         self._conversions: dict[tuple[str, str], SynthesizedConversion] = {}
 
@@ -95,7 +119,9 @@ class ConversionPlanner:
             # Same-format "conversion" is a copy when synthesizable.
             pass
         try:
-            conversion = synthesize(get_format(src), get_format(dst))
+            conversion = synthesize(
+                get_format(src), get_format(dst), backend=self.backend
+            )
         except SynthesisError:
             self._edges[key] = None
             return None
@@ -196,30 +222,36 @@ class ConversionPlanner:
         return current
 
 
-_DEFAULT_PLANNER: Optional[ConversionPlanner] = None
+_DEFAULT_PLANNERS: dict[str, ConversionPlanner] = {}
 
 
-def default_planner() -> ConversionPlanner:
-    global _DEFAULT_PLANNER
-    if _DEFAULT_PLANNER is None:
-        _DEFAULT_PLANNER = ConversionPlanner()
-    return _DEFAULT_PLANNER
+def default_planner(backend: str = "python") -> ConversionPlanner:
+    planner = _DEFAULT_PLANNERS.get(backend)
+    if planner is None:
+        planner = _DEFAULT_PLANNERS[backend] = ConversionPlanner(
+            backend=backend
+        )
+    return planner
 
 
-_DEFAULT_3D: Optional[ConversionPlanner] = None
+_DEFAULT_3D: dict[str, ConversionPlanner] = {}
 
 
-def default_planner_3d() -> ConversionPlanner:
-    global _DEFAULT_3D
-    if _DEFAULT_3D is None:
-        _DEFAULT_3D = ConversionPlanner(PLANNABLE_3D)
-    return _DEFAULT_3D
+def default_planner_3d(backend: str = "python") -> ConversionPlanner:
+    planner = _DEFAULT_3D.get(backend)
+    if planner is None:
+        planner = _DEFAULT_3D[backend] = ConversionPlanner(
+            PLANNABLE_3D, backend=backend
+        )
+    return planner
 
 
-def convert_via_plan(container, dst: str):
+def convert_via_plan(container, dst: str, *, backend: str = "python"):
     """Convert through the cheapest available chain (module-level helper)."""
     src = container_format(container)
     planner = (
-        default_planner_3d() if src in PLANNABLE_3D else default_planner()
+        default_planner_3d(backend)
+        if src in PLANNABLE_3D
+        else default_planner(backend)
     )
     return planner.execute(container, dst)

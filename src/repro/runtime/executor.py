@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
-from .morton import morton, morton2, morton3
+from . import npvec
+from .morton import morton, morton2, morton3, morton2_vec, morton3_vec, morton_vec
 from .ordered_list import LexBucketPermutation, OrderedList, OrderedSet
 
 
@@ -34,38 +35,83 @@ def bsearch(arr, value) -> int:
     return -1
 
 
-def base_namespace() -> dict:
+#: Immutable parts of the execution namespace, built once at import time.
+#: ``base_namespace`` used to rebuild this dict (and the builtins dict) for
+#: every :class:`CompiledInspector`; now construction is a shallow copy.
+_BASE_BUILTINS: dict = {
+    "max": max,
+    "min": min,
+    "int": int,
+    "float": float,
+    "len": len,
+    "range": range,
+    "list": list,
+    "tuple": tuple,
+    "enumerate": enumerate,
+    "sorted": sorted,
+    "isinstance": isinstance,
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+}
+
+_BASE_NAMESPACE: dict = {
+    "__builtins__": _BASE_BUILTINS,
+    "MORTON": morton,
+    "MORTON2": morton2,
+    "MORTON3": morton3,
+    "BSEARCH": bsearch,
+    "OrderedList": OrderedList,
+    "OrderedSet": OrderedSet,
+    "LexBucketPermutation": LexBucketPermutation,
+}
+
+#: Extra helpers available to inspectors lowered by the numpy backend (see
+#: :mod:`repro.spf.codegen.vectorize`).  Scalar-fallback statements inside a
+#: vectorized inspector still use the scalar helpers above, so the numpy
+#: namespace is a superset of the base one.
+_NUMPY_EXTRAS: dict = {
+    "np": npvec.np,
+    "ASARRAY_INT": npvec.ASARRAY_INT,
+    "ASARRAY_FLOAT": npvec.ASARRAY_FLOAT,
+    "TOLIST": npvec.TOLIST,
+    "BOOLMASK": npvec.BOOLMASK,
+    "SEGMENTS": npvec.SEGMENTS,
+    "FILL_POS": npvec.FILL_POS,
+    "COUNT_POS": npvec.COUNT_POS,
+    "STABLE_POS": npvec.STABLE_POS,
+    "DENSE_POS": npvec.DENSE_POS,
+    "BSEARCH_V": npvec.BSEARCH_V,
+    "MORTON_V": morton_vec,
+    "MORTON2_V": morton2_vec,
+    "MORTON3_V": morton3_vec,
+}
+
+
+def base_namespace(backend: str = "python") -> dict:
     """The globals available to every generated inspector."""
-    return {
-        "__builtins__": {
-            "max": max,
-            "min": min,
-            "len": len,
-            "range": range,
-            "list": list,
-            "tuple": tuple,
-            "enumerate": enumerate,
-            "sorted": sorted,
-            "KeyError": KeyError,
-            "ValueError": ValueError,
-        },
-        "MORTON": morton,
-        "MORTON2": morton2,
-        "MORTON3": morton3,
-        "BSEARCH": bsearch,
-        "OrderedList": OrderedList,
-        "OrderedSet": OrderedSet,
-        "LexBucketPermutation": LexBucketPermutation,
-    }
+    namespace = dict(_BASE_NAMESPACE)
+    if backend == "numpy":
+        npvec.require_numpy()
+        namespace.update(_NUMPY_EXTRAS)
+    elif backend != "python":
+        raise ValueError(f"unknown lowering backend {backend!r}")
+    return namespace
 
 
 class CompiledInspector:
     """A compiled inspector function plus its source for inspection."""
 
-    def __init__(self, name: str, source: str, extra_env: Mapping | None = None):
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        extra_env: Mapping | None = None,
+        backend: str = "python",
+    ):
         self.name = name
         self.source = source
-        namespace = base_namespace()
+        self.backend = backend
+        namespace = base_namespace(backend)
         if extra_env:
             namespace.update(extra_env)
         try:
@@ -87,8 +133,34 @@ class CompiledInspector:
         return f"CompiledInspector({self.name!r})"
 
 
+#: Process-wide memo of compiled inspectors keyed on ``(name, source,
+#: backend)``.  Planners and benchmarks repeatedly synthesize the same
+#: conversions; identical source compiles (and execs) exactly once.
+_COMPILE_CACHE: dict[tuple[str, str, str], CompiledInspector] = {}
+
+
 def compile_inspector(
-    name: str, source: str, extra_env: Mapping | None = None
+    name: str,
+    source: str,
+    extra_env: Mapping | None = None,
+    backend: str = "python",
 ) -> CompiledInspector:
-    """Compile generated source into a callable inspector."""
-    return CompiledInspector(name, source, extra_env)
+    """Compile generated source into a callable inspector (memoized).
+
+    Calls with ``extra_env`` bypass the cache: the environment is part of
+    the compiled closure and mappings are not reliably hashable.
+    """
+    if extra_env:
+        return CompiledInspector(name, source, extra_env, backend=backend)
+    key = (name, source, backend)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is None:
+        cached = _COMPILE_CACHE[key] = CompiledInspector(
+            name, source, backend=backend
+        )
+    return cached
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized inspectors (mainly for tests)."""
+    _COMPILE_CACHE.clear()

@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+try:  # numpy is optional at import time; the vectorized helpers require it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the reference image ships numpy
+    _np = None
+
 
 def morton2(i: int, j: int) -> int:
     """Interleave bits of (i, j) into a single Z-order key."""
@@ -98,3 +103,62 @@ def demorton3(key: int) -> tuple[int, int, int]:
         key >>= 3
         shift += 1
     return i, j, k
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (NumPy) encodings
+#
+# The scalar functions above accept arbitrarily large Python ints.  The
+# vectorized forms below operate on int64 columns, interleaving with vector
+# shifts/masks over the bit positions actually present in the input.  When
+# the interleaved key would not fit in an int64 they fall back to the scalar
+# functions element-by-element, so results always match the scalar backend.
+# ---------------------------------------------------------------------------
+
+
+def _as_coord_column(col):
+    if _np is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("vectorized Morton encodings require numpy")
+    arr = _np.asarray(col, dtype=_np.int64)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("Morton coordinates must be non-negative")
+    return arr
+
+
+def _interleave_columns(cols):
+    """Interleave int64 coordinate columns; axis 0 gets the low bit."""
+    n = len(cols)
+    nbits = 0
+    for col in cols:
+        if col.size:
+            nbits = max(nbits, int(col.max()).bit_length())
+    if nbits * n > 62:
+        # Key would overflow int64: defer to the arbitrary-precision scalars.
+        out = _np.empty(cols[0].size, dtype=object)
+        for idx, coords in enumerate(zip(*(c.tolist() for c in cols))):
+            out[idx] = morton_nd(coords) if n > 3 else morton(*coords)
+        return out
+    key = _np.zeros(cols[0].shape, dtype=_np.int64)
+    for bit in range(nbits):
+        for axis, col in enumerate(cols):
+            key |= ((col >> bit) & 1) << (bit * n + axis)
+    return key
+
+
+def morton2_vec(i, j):
+    """Vectorized :func:`morton2` over int64 coordinate columns."""
+    return _interleave_columns([_as_coord_column(i), _as_coord_column(j)])
+
+
+def morton3_vec(i, j, k):
+    """Vectorized :func:`morton3` over int64 coordinate columns."""
+    return _interleave_columns(
+        [_as_coord_column(i), _as_coord_column(j), _as_coord_column(k)]
+    )
+
+
+def morton_vec(*cols):
+    """Vectorized :func:`morton` for any number of coordinate columns."""
+    if not cols:
+        raise ValueError("morton_vec needs at least one coordinate column")
+    return _interleave_columns([_as_coord_column(c) for c in cols])

@@ -21,6 +21,15 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Optional, Sequence
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the reference image ships numpy
+    _np = None
+
+#: Below this many items the python sort wins; above it the column-array
+#: argsort in :meth:`OrderedList.finalize` pays off.
+_NUMPY_SORT_THRESHOLD = 64
+
 
 class OrderedList:
     """Insert-then-rank permutation structure.
@@ -39,6 +48,7 @@ class OrderedList:
         key: Optional[Callable[..., object]] = None,
         op: str = "<",
         unique: bool = False,
+        vector_key: Optional[Callable[..., tuple]] = None,
     ):
         if in_arity < 1:
             raise ValueError("in_arity must be >= 1")
@@ -50,6 +60,10 @@ class OrderedList:
         self.out_arity = out_arity
         self.key = key
         self.op = op
+        #: Optional column-wise form of ``key``: takes int64 coordinate
+        #: columns, returns key columns.  Lets :meth:`finalize` compute all
+        #: keys in a few vector ops instead of one python call per tuple.
+        self.vector_key = vector_key
         #: When true, tuples with equal *keys* collapse onto one rank — the
         #: blocked-format case, where every nonzero of a block shares the
         #: block's position.  ``len`` then counts distinct keys.
@@ -66,7 +80,9 @@ class OrderedList:
             raise ValueError(
                 f"expected {self.in_arity} coordinates, got {len(coords)}"
             )
-        self._items.append(tuple(coords))
+        # coords is already a tuple here (either the *args tuple or the
+        # unwrapped caller tuple) — no per-insert copy needed.
+        self._items.append(coords)
         self._rank = None
 
     def __len__(self) -> int:
@@ -85,11 +101,7 @@ class OrderedList:
         if self.key is None:
             ordered = list(self._items)
         else:
-            ordered = sorted(
-                self._items,
-                key=lambda t: self.key(*t),
-                reverse=(self.op == ">"),
-            )
+            ordered = self._sorted_items()
         if self.unique:
             keyfn = self.key or (lambda *t: t)
             rank: dict[tuple[int, ...], int] = {}
@@ -107,15 +119,56 @@ class OrderedList:
             self._rank = {t: n for n, t in enumerate(ordered)}
         self._items = ordered
 
+    def _sorted_items(self) -> list[tuple[int, ...]]:
+        """Stable key sort of the inserted tuples.
+
+        Fast path: compute key *columns* and rank them with a single
+        ``np.lexsort`` (one vectorized pass when :attr:`vector_key` is set,
+        else one python key call per tuple but a C-level columnar sort)
+        instead of sorting python tuples.  Falls back to ``sorted`` for
+        descending order, tiny inputs, or keys that don't fit int64.
+        """
+        items = self._items
+        if (
+            _np is not None
+            and self.op == "<"
+            and len(items) >= _NUMPY_SORT_THRESHOLD
+        ):
+            try:
+                if self.vector_key is not None:
+                    coords = _np.asarray(items, dtype=_np.int64)
+                    key_cols = self.vector_key(*(coords[:, a] for a in range(coords.shape[1])))
+                else:
+                    key_rows = [self.key(*t) for t in items]
+                    key_cols = [
+                        _np.asarray(col, dtype=_np.int64)
+                        for col in zip(*key_rows)
+                    ]
+                order = _np.lexsort(tuple(reversed(list(key_cols))))
+                return [items[i] for i in order.tolist()]
+            except (OverflowError, TypeError, ValueError):
+                pass  # exotic key values: use the general path below
+        return sorted(items, key=lambda t: self.key(*t), reverse=(self.op == ">"))
+
     def lookup(self, *coords: int) -> int:
         """The destination position of an inserted tuple (the paper's P)."""
-        if self._rank is None:
+        rank = self._rank
+        if rank is None:
             self.finalize()
+            rank = self._rank
+        assert rank is not None
+        # *coords is already a tuple, which is the common-case dict key —
+        # no per-lookup tuple() allocation.
+        try:
+            return rank[coords]
+        except (KeyError, TypeError):
+            pass
         if len(coords) == 1 and isinstance(coords[0], tuple):
             coords = coords[0]
-        assert self._rank is not None
+        else:
+            coords = tuple(coords)
         try:
-            return self._rank[tuple(coords)]
+            return rank[coords]
         except KeyError:
             raise KeyError(f"{coords} was never inserted") from None
 
@@ -166,13 +219,37 @@ class LexBucketPermutation:
         self._total += 1
         self._starts = None
 
+    def insert_many(self, buckets: Sequence[int]) -> None:
+        """Bulk insert: histogram all bucket coordinates in one pass."""
+        if _np is not None and len(buckets) >= _NUMPY_SORT_THRESHOLD:
+            counts = _np.bincount(
+                _np.asarray(buckets, dtype=_np.int64) + 1,
+                minlength=len(self._counts),
+            )
+            if counts.shape[0] > len(self._counts):
+                raise IndexError("bucket coordinate out of range")
+            self._counts = [
+                c + d for c, d in zip(self._counts, counts.tolist())
+            ]
+            self._total += len(buckets)
+        else:
+            for b in buckets:
+                self._counts[b + 1] += 1
+            self._total += len(buckets)
+        self._starts = None
+
     def __len__(self) -> int:
         return self._total
 
     def finalize(self) -> None:
-        starts = self._counts.copy()
-        for b in range(self.nbuckets):
-            starts[b + 1] += starts[b]
+        if _np is not None and self.nbuckets >= _NUMPY_SORT_THRESHOLD:
+            starts = _np.cumsum(
+                _np.asarray(self._counts, dtype=_np.int64)
+            ).tolist()
+        else:
+            starts = self._counts.copy()
+            for b in range(self.nbuckets):
+                starts[b + 1] += starts[b]
         self._starts = starts
         self._fill = starts[:-1].copy() + [starts[-1]]
         self._served = 0

@@ -483,5 +483,25 @@ class Computation:
             self.name, params, self.lower(), returns, symtab, preamble
         )
 
+    def codegen_function_numpy(
+        self,
+        params: Sequence[str],
+        returns: Sequence[str],
+        symtab: SymbolTable | None = None,
+        preamble: Sequence[str] = (),
+    ):
+        """Generate a NumPy-vectorized function wrapping the computation.
+
+        Returns a :class:`~repro.spf.codegen.vectorize.NumpyLowering` with
+        the source and per-nest vectorization stats; unmatched nests fall
+        back to the scalar printer inside the emitted function.
+        """
+        from .codegen.vectorize import emit_numpy_function
+
+        symtab = symtab or SymbolTable()
+        return emit_numpy_function(
+            self.name, params, self.lower(), returns, symtab, preamble
+        )
+
     def __repr__(self):
         return f"Computation({self.name!r}, {len(self.stmts)} stmts)"

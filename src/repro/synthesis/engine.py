@@ -87,16 +87,44 @@ class SynthesizedConversion:
     symtab: SymbolTable
     uf_output_map: dict[str, str]
     notes: list[str] = field(default_factory=list)
+    #: Lowering backend this conversion was synthesized for: ``source`` is
+    #: the active backend's source, ``scalar_source`` always the scalar one.
+    backend: str = "python"
+    scalar_source: str = ""
+    #: ``{"vectorized_nests": n, "scalar_nests": m}`` for the numpy backend.
+    vector_stats: dict | None = None
     _compiled: object = None
 
     def compile(self):
         """Compile the generated inspector into a callable (cached)."""
         if self._compiled is None:
-            self._compiled = compile_inspector(self.name, self.source)
+            self._compiled = compile_inspector(
+                self.name, self.source, backend=self.backend
+            )
         return self._compiled
 
     def __call__(self, **inputs):
-        """Run the inspector; returns the dict of destination arrays."""
+        """Run the inspector; returns the dict of destination arrays.
+
+        Results are always plain python containers, whichever backend
+        lowered the inspector; use :meth:`run_native` to keep the numpy
+        backend's arrays.
+        """
+        result = self.run_native(**inputs)
+        if self.backend == "numpy":
+            from repro.runtime.npvec import MATERIALIZE
+
+            return MATERIALIZE(result)
+        return result
+
+    def run_native(self, **inputs):
+        """Run the inspector in its backend's native representation.
+
+        The numpy backend returns numpy arrays (scalar-fallback values pass
+        through as-is); the python backend returns lists.  Benchmarks time
+        this entry point so list<->array boundary conversion is not charged
+        to the inspector.
+        """
         fn = self.compile()
         ordered = [inputs[p] for p in self.params]
         return fn(*ordered)
@@ -422,8 +450,16 @@ def synthesize(
     optimize: bool = True,
     binary_search: bool = False,
     name: str | None = None,
+    backend: str = "python",
 ) -> SynthesizedConversion:
-    """Synthesize the inspector converting ``src`` tensors into ``dst``."""
+    """Synthesize the inspector converting ``src`` tensors into ``dst``.
+
+    ``backend`` selects the lowering: ``"python"`` emits the scalar
+    interpreted inspector, ``"numpy"`` the vectorized one (unmatched loop
+    nests fall back to scalar statements inside the same function).
+    """
+    if backend not in ("python", "numpy"):
+        raise ValueError(f"unknown lowering backend {backend!r}")
     if src.rank != dst.rank:
         raise SynthesisError(
             f"rank mismatch: {src.name} is {src.rank}-D, {dst.name} is "
@@ -1229,8 +1265,23 @@ def synthesize(
                 "linear search over monotonic UF replaced by binary search"
             )
 
-    source = comp.codegen_function(params, returns, symtab)
+    scalar_source = comp.codegen_function(params, returns, symtab)
     c_source = comp.codegen(symtab, lang="c")
+
+    source = scalar_source
+    vector_stats = None
+    if backend == "numpy":
+        lowering = comp.codegen_function_numpy(params, returns, symtab)
+        source = lowering.source
+        vector_stats = {
+            "vectorized_nests": lowering.vectorized_nests,
+            "scalar_nests": lowering.scalar_nests,
+        }
+        notes.append(
+            f"numpy backend: {lowering.vectorized_nests} vectorized nest(s), "
+            f"{lowering.scalar_nests} scalar fallback nest(s)"
+        )
+        notes.extend(f"numpy backend: {n}" for n in lowering.notes)
 
     return SynthesizedConversion(
         name=fn_name,
@@ -1244,4 +1295,7 @@ def synthesize(
         symtab=symtab,
         uf_output_map=uf_output_map,
         notes=notes,
+        backend=backend,
+        scalar_source=scalar_source,
+        vector_stats=vector_stats,
     )

@@ -50,19 +50,25 @@ class TandemResult:
     returns: tuple[str, ...]
     conversion_statements_removed: int
     conversion_eliminated: bool
+    #: Backend the conversion inspector was lowered with ("python"/"numpy").
+    backend: str = "python"
     notes: list[str] = field(default_factory=list)
     _naive: object = None
     _optimized: object = None
 
     def run_naive(self, **inputs):
         if self._naive is None:
-            self._naive = compile_inspector("tandem_naive", self.naive_source)
+            self._naive = compile_inspector(
+                "tandem_naive", self.naive_source, backend=self.backend
+            )
         return self._naive(*[inputs[p] for p in self.params])
 
     def run_optimized(self, **inputs):
         if self._optimized is None:
+            # The optimized pipeline is pure scalar code (the conversion is
+            # eliminated), but compile it in the same namespace for parity.
             self._optimized = compile_inspector(
-                "tandem_optimized", self.optimized_source
+                "tandem_optimized", self.optimized_source, backend=self.backend
             )
         return self._optimized(*[inputs[p] for p in self.params])
 
@@ -80,9 +86,16 @@ def tandem(
     src: FormatDescriptor,
     dst: FormatDescriptor,
     kernel_kind: str = "spmv",
+    *,
+    backend: str = "python",
 ) -> TandemResult:
-    """Build and optimize conversion + kernel across the boundary."""
-    conversion = synthesize(src, dst)
+    """Build and optimize conversion + kernel across the boundary.
+
+    ``backend`` selects the conversion inspector's lowering for the naive
+    pipeline; the tandem-optimized pipeline eliminates the conversion, so
+    its code is backend-independent.
+    """
+    conversion = synthesize(src, dst, backend=backend)
     dst_kernel = synthesize_kernel(dst, kernel_kind)
     src_kernel = synthesize_kernel(src, kernel_kind)
     notes: list[str] = []
@@ -197,5 +210,6 @@ def tandem(
         returns=returns,
         conversion_statements_removed=removed_conversion,
         conversion_eliminated=conversion_eliminated,
+        backend=backend,
         notes=notes,
     )

@@ -13,9 +13,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro import convert, dense_equal
-from repro.runtime import COOMatrix
-from repro.synthesis import SynthesisError
+from repro import container_to_env, convert, dense_equal
+from repro.formats import get_format
+from repro.runtime import COOMatrix, COOTensor3D
+from repro.synthesis import SynthesisError, synthesize
 
 DEFAULT_TARGETS = ("CSR", "CSC", "DIA", "MCOO", "SCOO", "BCSR")
 
@@ -61,6 +62,7 @@ def differential_test(
     targets: Sequence[str] = DEFAULT_TARGETS,
     seed: int = 0,
     chains: bool = True,
+    backend: str = "python",
 ) -> DifferentialReport:
     """Run the harness; every conversion must preserve the dense image."""
     rng = random.Random(seed)
@@ -74,7 +76,7 @@ def differential_test(
         for target in targets:
             label = f"trial {trial}: SCOO->{target} ({coo})"
             try:
-                out = convert(coo, target)
+                out = convert(coo, target, backend=backend)
             except SynthesisError as err:
                 report.failures.append(f"{label}: synthesis error: {err}")
                 continue
@@ -98,7 +100,7 @@ def differential_test(
                 continue
             label = f"trial {trial}: {fmt}->{target} (chained)"
             try:
-                out = convert(container, target)
+                out = convert(container, target, backend=backend)
             except SynthesisError as err:
                 report.failures.append(f"{label}: synthesis error: {err}")
                 continue
@@ -106,4 +108,118 @@ def differential_test(
             if not dense_equal(out.to_dense(), reference):
                 report.failures.append(f"{label}: dense image differs")
 
+    return report
+
+
+def random_tensor3d(rng: random.Random, max_dim: int = 8) -> COOTensor3D:
+    """A random sorted 3-D COO tensor with occasional degenerate shapes."""
+    ni, nj, nk = (rng.randint(1, max_dim) for _ in range(3))
+    nnz = rng.randint(0, 3 * max_dim)
+    seen = sorted(
+        {
+            (rng.randrange(ni), rng.randrange(nj), rng.randrange(nk))
+            for _ in range(nnz)
+        }
+    )
+    rows, cols, zs = ([list(axis) for axis in zip(*seen)] if seen
+                      else ([], [], []))
+    vals = [round(rng.uniform(-9, 9), 3) or 1.0 for _ in rows]
+    return COOTensor3D((ni, nj, nk), rows, cols, zs, vals)
+
+
+def _equivalence_containers(src: str, matrices):
+    """Build ``src``-format containers from raw COO inputs.
+
+    The source-only formats have no incoming conversion edges, so their
+    containers come from the direct constructors (``ELLMatrix.from_dense``,
+    ``CSFTensor.from_coo``); everything else goes through ``convert``.
+    Shapes a format cannot represent (e.g. a BCSR block size that does not
+    divide the dims) are skipped.
+    """
+    from repro.runtime.csf import CSFTensor
+    from repro.runtime.matrices import ELLMatrix
+
+    containers = []
+    for tag, coo in matrices:
+        try:
+            if src in ("COO", "SCOO", "COO3D", "SCOO3D"):
+                containers.append((tag, coo))
+            elif src == "ELL":
+                containers.append((tag, ELLMatrix.from_dense(coo.to_dense())))
+            elif src == "CSF":
+                containers.append((tag, CSFTensor.from_coo(coo)))
+            else:
+                containers.append((tag, convert(coo, src)))
+        except (SynthesisError, ValueError, KeyError):
+            continue
+    return containers
+
+
+def backend_equivalence_test(
+    trials: int = 4,
+    *,
+    seed: int = 0,
+    pairs: Sequence[tuple[str, str]] | None = None,
+) -> DifferentialReport:
+    """Assert the numpy lowering is bit-identical to the scalar lowering.
+
+    For every synthesizable conversion pair (or an explicit ``pairs``
+    list), both backends run on the same randomized inputs — including an
+    empty matrix, a 1x1 matrix, and unsorted COO with duplicate
+    coordinates — and their raw inspector output dicts must compare equal,
+    element for element.  This is a stronger check than
+    :func:`differential_test`'s dense-image comparison: padding, pointer
+    arrays, and permutation outputs must all match exactly.
+    """
+    from repro.planner import PLANNABLE_2D, PLANNABLE_3D
+
+    rng = random.Random(seed)
+    report = DifferentialReport(trials=trials, conversions_checked=0)
+
+    matrices = [(f"rand{i}", random_matrix(rng)) for i in range(trials)]
+    matrices.append(("empty", COOMatrix(4, 5, [], [], [])))
+    matrices.append(("single", COOMatrix(1, 1, [0], [0], [7.0])))
+    dup = COOMatrix(3, 3, [0, 0, 2, 2], [1, 1, 0, 0], [1.0, 2.0, 3.0, 4.0])
+    tensors = [(f"tens{i}", random_tensor3d(rng)) for i in range(trials)]
+    tensors.append(("empty3", COOTensor3D((2, 3, 4), [], [], [], [])))
+
+    if pairs is None:
+        pairs = [
+            (src, dst)
+            for names in (PLANNABLE_2D, PLANNABLE_3D)
+            for src in names
+            for dst in names
+            if src != dst
+        ]
+
+    for src, dst in pairs:
+        try:
+            scalar = synthesize(
+                get_format(src), get_format(dst), backend="python"
+            )
+            vector = synthesize(
+                get_format(src), get_format(dst), backend="numpy"
+            )
+        except SynthesisError:
+            continue
+        inputs_3d = src in ("COO3D", "SCOO3D", "MCOO3", "CSF")
+        cases = _equivalence_containers(
+            src, tensors if inputs_3d else matrices
+        )
+        if src in ("COO", "SCOO"):
+            cases.append(("dup", dup))
+        for tag, container in cases:
+            env = container_to_env(container)
+            scalar_out = scalar(**{p: env[p] for p in scalar.params})
+            env = container_to_env(container)
+            vector_out = vector(**{p: env[p] for p in vector.params})
+            report.conversions_checked += 1
+            if scalar_out != vector_out:
+                diff = [
+                    k for k in scalar_out
+                    if scalar_out[k] != vector_out.get(k)
+                ]
+                report.failures.append(
+                    f"{src}->{dst} on {tag}: outputs differ in {diff}"
+                )
     return report

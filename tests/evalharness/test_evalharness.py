@@ -93,6 +93,15 @@ class TestExperiments:
         assert set(result.speedups) == {"taco", "sparskit", "mkl"}
         assert all(v > 0 for v in result.speedups.values())
 
+    def test_multi_backend_columns(self):
+        result = run_conversion_experiment(
+            "COO_CSR", backends=("python", "numpy"), **self.SMALL
+        )
+        assert "ours_python_ms" in result.headers
+        assert "ours_numpy_ms" in result.headers
+        assert set(result.speedups) == {"taco", "sparskit", "mkl"}
+        assert any("numpy backend" in note for note in result.notes)
+
     def test_report_renders(self):
         result = run_fig2c(**self.SMALL)
         text = result.report()

@@ -1,0 +1,95 @@
+"""The numpy lowering backend must be bit-identical to the scalar backend.
+
+These tests are the acceptance gate for the vectorized lowering: for every
+synthesizable conversion pair, both backends run on the same inputs —
+randomized matrices, an empty matrix, and duplicate coordinates — and the
+raw inspector outputs (pointer arrays, permutations, padding and all) must
+compare equal element for element.
+"""
+
+import pytest
+
+from repro import COOMatrix, container_to_env, convert, dense_equal
+from repro.formats import get_format
+from repro.planner import PLANNABLE_2D, PLANNABLE_3D
+from repro.synthesis import SynthesisError, synthesize
+from repro.validation import backend_equivalence_test
+
+np = pytest.importorskip("numpy")
+
+
+def _synthesizable_pairs(names):
+    pairs = []
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            try:
+                synthesize(get_format(src), get_format(dst))
+            except SynthesisError:
+                continue
+            pairs.append((src, dst))
+    return pairs
+
+
+PAIRS_2D = _synthesizable_pairs(PLANNABLE_2D)
+PAIRS_3D = _synthesizable_pairs(PLANNABLE_3D)
+
+
+@pytest.mark.parametrize("src,dst", PAIRS_2D,
+                         ids=[f"{s}-{d}" for s, d in PAIRS_2D])
+def test_pair_equivalent_2d(src, dst):
+    report = backend_equivalence_test(trials=3, seed=11, pairs=[(src, dst)])
+    assert report.ok, report.failures
+    assert report.conversions_checked > 0
+
+
+@pytest.mark.parametrize("src,dst", PAIRS_3D,
+                         ids=[f"{s}-{d}" for s, d in PAIRS_3D])
+def test_pair_equivalent_3d(src, dst):
+    report = backend_equivalence_test(trials=3, seed=11, pairs=[(src, dst)])
+    assert report.ok, report.failures
+    assert report.conversions_checked > 0
+
+
+def test_empty_matrix_all_targets():
+    empty = COOMatrix(4, 5, [], [], [])
+    for dst in ("CSR", "CSC", "DIA", "MCOO"):
+        a = convert(empty, dst, backend="python")
+        b = convert(empty, dst, backend="numpy")
+        assert dense_equal(a.to_dense(), b.to_dense())
+
+
+def test_duplicate_coordinates_match():
+    # Unsorted COO with duplicate coordinates exercises the stable-rank
+    # helpers' tie handling; both backends must agree exactly.
+    dup = COOMatrix(3, 3, [0, 0, 2, 2], [1, 1, 0, 0], [1.0, 2.0, 3.0, 4.0])
+    for dst in ("CSR", "CSC"):
+        scalar = synthesize(get_format("COO"), get_format(dst))
+        vector = synthesize(get_format("COO"), get_format(dst),
+                            backend="numpy")
+        env = container_to_env(dup)
+        a = scalar(**{p: env[p] for p in scalar.params})
+        env = container_to_env(dup)
+        b = vector(**{p: env[p] for p in vector.params})
+        assert a == b
+
+
+def test_fallback_path_is_exercised():
+    # At least one format pair must go through the scalar fallback so the
+    # mixed vectorized/scalar emission stays covered: SCOO->BCSR retains
+    # scalar nests, and SCOO->DIA's linear search is the canonical one.
+    vec = synthesize(get_format("SCOO"), get_format("BCSR"),
+                     backend="numpy")
+    stats = vec.vector_stats or {}
+    assert stats.get("scalar_nests", 0) >= 1
+    assert stats.get("vectorized_nests", 0) >= 1
+
+
+def test_numpy_outputs_are_plain_python():
+    # MATERIALIZE must hand back the scalar backend's container types.
+    coo = COOMatrix(2, 2, [0, 1], [1, 0], [1.0, 2.0])
+    csr = convert(coo, "CSR", backend="numpy")
+    assert isinstance(csr.rowptr, list)
+    assert all(isinstance(v, int) for v in csr.rowptr)
+    assert all(isinstance(v, float) for v in csr.val)
