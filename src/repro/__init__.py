@@ -38,7 +38,12 @@ from .runtime import (
     MortonCOOTensor3D,
     dense_equal,
 )
-from .synthesis import SynthesisError, SynthesizedConversion, synthesize
+from .synthesis import (
+    SynthesisError,
+    SynthesizedConversion,
+    synthesize,
+    synthesize_cached,
+)
 from .planner import (
     ConversionPlan,
     ConversionPlanner,
@@ -47,8 +52,6 @@ from .planner import (
 )
 
 __version__ = "1.0.0"
-
-_CONVERSION_CACHE: dict = {}
 
 
 def get_conversion(
@@ -59,19 +62,19 @@ def get_conversion(
     binary_search: bool = False,
     backend: str = "python",
 ) -> SynthesizedConversion:
-    """Synthesize (and cache) the inspector converting between two formats."""
-    key = (src_name.upper(), dst_name.upper(), optimize, binary_search, backend)
-    cached = _CONVERSION_CACHE.get(key)
-    if cached is None:
-        cached = synthesize(
-            get_format(src_name),
-            get_format(dst_name),
-            optimize=optimize,
-            binary_search=binary_search,
-            backend=backend,
-        )
-        _CONVERSION_CACHE[key] = cached
-    return cached
+    """Synthesize (and cache) the inspector converting between two formats.
+
+    Backed by the synthesis memo and persistent inspector cache
+    (:mod:`repro.synthesis.cache`): the first call in a warm environment
+    loads generated source from disk instead of synthesizing.
+    """
+    return synthesize_cached(
+        get_format(src_name),
+        get_format(dst_name),
+        optimize=optimize,
+        binary_search=binary_search,
+        backend=backend,
+    )
 
 
 def convert(

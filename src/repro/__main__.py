@@ -10,7 +10,14 @@ Commands:
 * ``convert IN.mtx OUT.mtx --to FORMAT`` — convert a Matrix Market file
   through a synthesized inspector (multi-step planning with ``--plan``),
 * ``kernel FORMAT KIND`` — print a generated executor kernel,
-* ``selftest`` — differential-test every conversion on random matrices.
+* ``selftest`` — differential-test every conversion on random matrices,
+* ``cache stats|clear|warm`` — inspect, clear, or pre-populate the
+  persistent inspector cache (``$REPRO_CACHE_DIR``, default
+  ``~/.cache/repro-spf``).
+
+``--profile`` (any command) prints a phase-attributed timing report to
+stderr on exit: synthesis time split across compose/solve/codegen, IR memo
+hit rates, and inspector-cache hits and misses.
 
 For the paper's evaluation sweep use ``python benchmarks/run_experiments.py``.
 """
@@ -121,10 +128,46 @@ def cmd_selftest(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_cache(args) -> int:
+    from repro.synthesis import cache_stats, clear_disk_cache, warm
+
+    if args.action == "stats":
+        import json
+
+        stats = cache_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(f"cache root:    {stats['root']}")
+            print(f"code version:  {stats['code_version']}")
+            print(f"disk enabled:  {stats['disk_enabled']}")
+            print(f"entries:       {stats['entries']}")
+            print(f"stale entries: {stats['stale_entries']} (other versions)")
+            for key in sorted(stats["counters"]):
+                print(f"{key + ':':22s}{stats['counters'][key]}")
+        return 0
+    if args.action == "clear":
+        removed = clear_disk_cache(all_versions=args.all_versions)
+        print(f"removed {removed} cached inspector(s)", file=sys.stderr)
+        return 0
+    # warm
+    summary = warm(backend=args.backend, jobs=args.jobs)
+    print(
+        f"warmed {summary['synthesized']} conversions "
+        f"({summary['unsynthesizable']} pairs have no direct synthesis)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a phase-attributed timing report to stderr on exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -179,6 +222,25 @@ def main(argv: list[str] | None = None) -> int:
                                          "scale", "value_sum"])
     p_kern.add_argument("--c", action="store_true")
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or manage the persistent inspector cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    p_stats = cache_sub.add_parser("stats", help="print cache statistics")
+    p_stats.add_argument("--json", action="store_true")
+    p_clear = cache_sub.add_parser("clear", help="delete cached inspectors")
+    p_clear.add_argument(
+        "--all-versions", action="store_true",
+        help="also delete entries written by other code versions",
+    )
+    p_warm = cache_sub.add_parser(
+        "warm", help="pre-synthesize the planner's conversion graph"
+    )
+    p_warm.add_argument("--backend", choices=["python", "numpy"],
+                        default="python")
+    p_warm.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for parallel warming")
+
     args = parser.parse_args(argv)
     handlers = {
         "formats": cmd_formats,
@@ -187,8 +249,14 @@ def main(argv: list[str] | None = None) -> int:
         "convert": cmd_convert,
         "kernel": cmd_kernel,
         "selftest": cmd_selftest,
+        "cache": cmd_cache,
     }
-    return handlers[args.command](args)
+    status = handlers[args.command](args)
+    if args.profile:
+        from repro.evalharness.profiling import render_report
+
+        print(render_report(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,74 @@
+"""Dependency-free timer/counter registry core.
+
+This module is imported by the lowest layers (:mod:`repro.ir`, the
+synthesis engine, the executor), so it must not import anything else from
+the package.  The public profiling surface — reports, the ``--profile``
+CLI flag — lives in :mod:`repro.evalharness.profiling` and re-exports the
+process-wide :data:`PROF` registry defined here.
+
+Counters are best-effort under free threading: increments are plain dict
+updates (atomic under the GIL); a rare lost count is acceptable for
+profiling data.  Timers accumulate ``(total_seconds, calls)`` per name.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Registry:
+    """A process-wide set of named counters and accumulating timers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, list] = {}  # name -> [total_s, calls]
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @contextmanager
+    def timer(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            slot = self.timers.get(name)
+            if slot is None:
+                self.timers[name] = [elapsed, 1]
+            else:
+                slot[0] += elapsed
+                slot[1] += 1
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        slot = self.timers.get(name)
+        if slot is None:
+            self.timers[name] = [seconds, calls]
+        else:
+            slot[0] += seconds
+            slot[1] += calls
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-compatible copy of all counters and timers."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    name: {"seconds": total, "calls": calls}
+                    for name, (total, calls) in self.timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+
+
+#: The process-wide registry every layer records into.
+PROF = Registry()

@@ -1,0 +1,109 @@
+"""Phase-attributed profiling of the synthesis fast path.
+
+The low layers (:mod:`repro.ir`, the synthesis engine, the inspector
+cache) record counters and timers into the dependency-free registry in
+:mod:`repro._prof`; this module is the public surface over it — snapshot
+access, reset, and the rendered report behind the CLI's ``--profile``
+flag.
+
+Naming scheme of the recorded entries:
+
+* ``synthesis.<phase>`` timers — where synthesis wall time goes
+  (``compose``, ``solve``, ``population``, ``quantifiers``, ``optimize``,
+  ``codegen``; ``synthesis.total`` wraps a full cache-missing call),
+* ``ir.<op>`` timers and ``ir.<op>.hit`` / ``ir.<op>.miss`` counters —
+  the memoized relation-algebra operations,
+* ``cache.*`` counters — the synthesis memo and disk cache
+  (``cache.memo.hit``, ``cache.disk.hit``, ``cache.miss``,
+  ``cache.disk.write``) plus the ``cache.disk.load`` timer.
+"""
+
+from __future__ import annotations
+
+from repro._prof import PROF
+
+__all__ = [
+    "PROF",
+    "profile_snapshot",
+    "render_report",
+    "reset_profile",
+]
+
+
+def profile_snapshot() -> dict:
+    """A JSON-compatible copy of every recorded counter and timer."""
+    return PROF.snapshot()
+
+
+def reset_profile() -> None:
+    """Zero all counters and timers (between benchmark repetitions)."""
+    PROF.reset()
+
+
+def _hit_rates(counters: dict) -> list[tuple[str, int, int]]:
+    """(name, hits, misses) for every ``<name>.hit`` / ``<name>.miss`` pair."""
+    names = sorted(
+        {
+            key.rsplit(".", 1)[0]
+            for key in counters
+            if key.endswith((".hit", ".miss"))
+        }
+    )
+    return [
+        (
+            name,
+            counters.get(f"{name}.hit", 0),
+            counters.get(f"{name}.miss", 0),
+        )
+        for name in names
+    ]
+
+
+def render_report(snapshot: dict | None = None) -> str:
+    """Human-readable phase/cache report (the ``--profile`` output)."""
+    snap = snapshot if snapshot is not None else PROF.snapshot()
+    timers = snap["timers"]
+    counters = snap["counters"]
+    lines = ["== profile =="]
+
+    phase_names = sorted(t for t in timers if t.startswith("synthesis."))
+    if phase_names:
+        lines.append("-- synthesis phases --")
+        for name in phase_names:
+            entry = timers[name]
+            lines.append(
+                f"{name:26s}{entry['seconds'] * 1e3:10.2f} ms"
+                f"{entry['calls']:8d} calls"
+            )
+
+    other = sorted(t for t in timers if not t.startswith("synthesis."))
+    if other:
+        lines.append("-- other timers --")
+        for name in other:
+            entry = timers[name]
+            lines.append(
+                f"{name:26s}{entry['seconds'] * 1e3:10.2f} ms"
+                f"{entry['calls']:8d} calls"
+            )
+
+    rates = _hit_rates(counters)
+    if rates:
+        lines.append("-- memo / cache hit rates --")
+        for name, hits, misses in rates:
+            total = hits + misses
+            pct = 100.0 * hits / total if total else 0.0
+            lines.append(f"{name:26s}{hits:10d} /{total:10d}  ({pct:5.1f}%)")
+
+    plain = sorted(
+        key
+        for key in counters
+        if not key.endswith((".hit", ".miss"))
+    )
+    if plain:
+        lines.append("-- counters --")
+        for key in plain:
+            lines.append(f"{key:26s}{counters[key]:10d}")
+
+    if len(lines) == 1:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)

@@ -3,19 +3,63 @@
 from __future__ import annotations
 
 import math
+import statistics
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 
-def time_fn(fn: Callable, *args, repeats: int = 3, **kwargs) -> float:
-    """Best-of-``repeats`` wall time of ``fn(*args, **kwargs)`` in seconds."""
-    best = math.inf
+@dataclass(frozen=True)
+class TimingStats:
+    """Per-measurement summary from :func:`time_fn_stats` (seconds)."""
+
+    min: float
+    median: float
+    mean: float
+    repeats: int
+    samples: tuple[float, ...]
+
+
+def time_fn_stats(
+    fn: Callable, *args, repeats: int = 3, warmup: int = 1, **kwargs
+) -> TimingStats:
+    """Time ``fn(*args, **kwargs)`` and summarize the sample distribution.
+
+    Runs ``warmup`` unmeasured calls first (letting compile caches, memo
+    tables and branch-predictor state settle — the first call of a cached
+    inspector is dominated by one-time work), then ``repeats`` measured
+    calls on :func:`time.perf_counter`.  ``min`` is the steady-state
+    estimate (least noise-contaminated); ``median`` is the robust central
+    tendency benchmarks should report alongside it.
+    """
+    for _ in range(max(0, warmup)):
+        fn(*args, **kwargs)
+    samples = []
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
         fn(*args, **kwargs)
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return best
+        samples.append(time.perf_counter() - start)
+    return TimingStats(
+        min=min(samples),
+        median=statistics.median(samples),
+        mean=math.fsum(samples) / len(samples),
+        repeats=len(samples),
+        samples=tuple(samples),
+    )
+
+
+def time_fn(
+    fn: Callable, *args, repeats: int = 3, warmup: int = 1, **kwargs
+) -> float:
+    """Best-of-``repeats`` wall time of ``fn(*args, **kwargs)`` in seconds.
+
+    A thin wrapper over :func:`time_fn_stats` that keeps the historical
+    float return; one warm-up call runs before measurement (pass
+    ``warmup=0`` to time cold effects like cache population).
+    """
+    return time_fn_stats(
+        fn, *args, repeats=repeats, warmup=warmup, **kwargs
+    ).min
 
 
 def geomean(values: Iterable[float]) -> float:

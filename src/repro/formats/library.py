@@ -359,16 +359,28 @@ _FACTORIES = {
 }
 
 
+#: Built descriptors by name.  Descriptors are immutable in practice and
+#: building one re-parses every relation in its definition, so the library
+#: hands out one shared instance per name — which also lets identity-keyed
+#: caches downstream (format fingerprints, the synthesis memo) hit.
+_BUILT: dict[str, FormatDescriptor] = {}
+
+
 def get_format(name: str) -> FormatDescriptor:
-    """Look up a format descriptor by name (case-insensitive)."""
-    try:
-        return _FACTORIES[name.upper()]()
-    except KeyError:
-        raise KeyError(
-            f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
-        ) from None
+    """Look up a format descriptor by name (case-insensitive, memoized)."""
+    key = name.upper()
+    fmt = _BUILT.get(key)
+    if fmt is None:
+        try:
+            factory = _FACTORIES[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
+            ) from None
+        fmt = _BUILT[key] = factory()
+    return fmt
 
 
 def all_formats() -> list[FormatDescriptor]:
     """Every descriptor in the library (used by the Table 1 regeneration)."""
-    return [factory() for factory in _FACTORIES.values()]
+    return [get_format(name) for name in _FACTORIES]

@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro._prof import PROF
+
+from . import memo as _memo
 from .constraints import Constraint, Eq, Geq, bounds_on_var
 from .terms import Atom, Expr, ExprLike, FloorDiv, Mod, Mul, Sym, UFCall, Var
+
+_PROJECT_MEMO = _memo.table("conjunction.project_out")
+_SUBST_VARS_MEMO = _memo.table("conjunction.substitute_vars")
 
 
 class ProjectionError(Exception):
@@ -27,18 +33,21 @@ class ProjectionError(Exception):
 class Conjunction:
     """An immutable conjunction of :class:`Constraint` objects."""
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "_hash", "_vnames")
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
-        seen: list[Constraint] = []
+        # Dict-keyed dedup: hashes are cached on constraints, so this is
+        # O(n) instead of the O(n^2) membership scans it replaces.
+        seen: dict[Constraint, None] = {}
         for c in constraints:
             if not isinstance(c, Constraint):
                 raise TypeError(f"expected Constraint, got {c!r}")
             if c.is_trivial():
                 continue
-            if c not in seen:
-                seen.append(c)
+            seen.setdefault(c)
         object.__setattr__(self, "constraints", tuple(seen))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_vnames", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Conjunction is immutable")
@@ -50,13 +59,17 @@ class Conjunction:
         return len(self.constraints)
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, Conjunction)
             and set(other.constraints) == set(self.constraints)
         )
 
     def __hash__(self):
-        return hash(frozenset(self.constraints))
+        h = self._hash
+        if h is None:
+            h = hash(frozenset(self.constraints))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __str__(self):
         return " && ".join(str(c) for c in self.constraints) or "true"
@@ -78,7 +91,24 @@ class Conjunction:
         return Conjunction(c.substitute(mapping) for c in self.constraints)
 
     def substitute_vars(self, mapping: Mapping[str, ExprLike]) -> "Conjunction":
-        return Conjunction(c.substitute_vars(mapping) for c in self.constraints)
+        if not self.constraints or not _memo.ENABLED:
+            return Conjunction(
+                c.substitute_vars(mapping) for c in self.constraints
+            )
+        # Keyed on the ordered constraint tuple, not the (set-equal)
+        # conjunction: downstream solving is sensitive to constraint order,
+        # so set-equal-but-reordered conjunctions must not share entries.
+        key = (self.constraints, _memo.freeze_mapping(mapping))
+        cached = _memo.lookup(_SUBST_VARS_MEMO, "conj_substitute_vars", key)
+        if cached is None:
+            cached = _memo.store(
+                _SUBST_VARS_MEMO,
+                key,
+                Conjunction(
+                    c.substitute_vars(mapping) for c in self.constraints
+                ),
+            )
+        return cached
 
     def rename_vars(self, mapping: Mapping[str, str]) -> "Conjunction":
         return Conjunction(c.rename_vars(mapping) for c in self.constraints)
@@ -90,10 +120,13 @@ class Conjunction:
     # Inspection
     # ------------------------------------------------------------------
     def var_names(self) -> set[str]:
-        names: set[str] = set()
-        for c in self.constraints:
-            names |= c.var_names()
-        return names
+        vn = self._vnames
+        if vn is None:
+            vn = frozenset().union(
+                *(c.expr._var_name_set() for c in self.constraints)
+            ) if self.constraints else frozenset()
+            object.__setattr__(self, "_vnames", vn)
+        return set(vn)
 
     def sym_names(self) -> set[str]:
         names: set[str] = set()
@@ -102,12 +135,12 @@ class Conjunction:
         return names
 
     def uf_calls(self) -> list[UFCall]:
-        calls: list[UFCall] = []
+        # Dict-keyed dedup preserving first-seen order (calls hash cheaply).
+        calls: dict[UFCall, None] = {}
         for c in self.constraints:
             for call in c.uf_calls():
-                if call not in calls:
-                    calls.append(call)
-        return calls
+                calls.setdefault(call)
+        return list(calls)
 
     def uf_names(self) -> set[str]:
         return {call.name for call in self.uf_calls()}
@@ -173,7 +206,30 @@ class Conjunction:
            rewritten, raise :class:`ProjectionError` when ``strict``,
            otherwise drop every constraint still mentioning the variable
            (a sound over-approximation of the projection).
+
+        Projections (including the failing ones) are memoized on the ordered
+        constraint tuple — the result shape depends on which defining
+        equality is found first, so set-equal conjunctions with different
+        constraint order must not share memo entries.
         """
+        if not _memo.ENABLED:
+            with PROF.timer("ir.project_out"):
+                return self._project_out(name, strict=strict)
+        key = (self.constraints, name, strict)
+        cached = _memo.lookup(_PROJECT_MEMO, "project_out", key)
+        if cached is None:
+            with PROF.timer("ir.project_out"):
+                try:
+                    cached = self._project_out(name, strict=strict)
+                except ProjectionError as err:
+                    _memo.store(_PROJECT_MEMO, key, err)
+                    raise
+            _memo.store(_PROJECT_MEMO, key, cached)
+        elif isinstance(cached, ProjectionError):
+            raise cached
+        return cached
+
+    def _project_out(self, name: str, *, strict: bool = True) -> "Conjunction":
         definition = self.defining_equality(name)
         if definition is not None:
             result = self.substitute_vars({name: definition})

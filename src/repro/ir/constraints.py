@@ -13,27 +13,37 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from . import memo as _memo
 from .terms import Atom, Expr, ExprLike, UFCall, Var, as_expr
+
+_BOUNDS_MEMO = _memo.table("constraint.bounds_on_var")
 
 
 class Constraint:
     """Base class for normalized constraints.  ``expr`` relates to zero."""
 
-    __slots__ = ("expr",)
+    __slots__ = ("expr", "_hash")
 
     op = "?"
 
     def __init__(self, expr: ExprLike):
         object.__setattr__(self, "expr", as_expr(expr))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Constraint is immutable")
 
     def __eq__(self, other):
-        return type(other) is type(self) and other.expr == self.expr
+        return other is self or (
+            type(other) is type(self) and other.expr == self.expr
+        )
 
     def __hash__(self):
-        return hash((type(self).__name__, self.expr))
+        h = self._hash
+        if h is None:
+            h = hash((type(self).__name__, self.expr))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __str__(self):
         return f"{self.expr} {self.op} 0"
@@ -81,8 +91,12 @@ class Constraint:
 class Eq(Constraint):
     """``expr == 0``."""
 
-    __slots__ = ()
+    __slots__ = ("_norm_expr",)
     op = "="
+
+    def __init__(self, expr: ExprLike):
+        super().__init__(expr)
+        object.__setattr__(self, "_norm_expr", None)
 
     def is_trivial(self) -> bool:
         return self.expr.is_zero()
@@ -90,27 +104,40 @@ class Eq(Constraint):
     def is_unsatisfiable(self) -> bool:
         return self.expr.is_constant() and self.expr.const != 0
 
+    def _normalized_expr(self) -> Expr:
+        """Sign-canonical expression, computed once per constraint."""
+        e = self._norm_expr
+        if e is None:
+            e = self.expr
+            if e.terms:
+                if e.terms[0][1] < 0:
+                    e = -e
+            elif e.const < 0:
+                e = -e
+            object.__setattr__(self, "_norm_expr", e)
+        return e
+
     def normalized(self) -> "Eq":
         """Canonicalize sign so ``Eq(e)`` and ``Eq(-e)`` compare equal.
 
         The leading term (first in sorted order) gets a positive coefficient;
         a constant-only expression gets a non-negative constant.
         """
-        e = self.expr
-        if e.terms:
-            if e.terms[0][1] < 0:
-                e = -e
-        elif e.const < 0:
-            e = -e
-        return Eq(e)
+        return Eq(self._normalized_expr())
 
     def __eq__(self, other):
+        if other is self:
+            return True
         if not isinstance(other, Eq):
             return NotImplemented
-        return self.normalized().expr == other.normalized().expr
+        return self._normalized_expr() == other._normalized_expr()
 
     def __hash__(self):
-        return hash(("Eq", self.normalized().expr))
+        h = self._hash
+        if h is None:
+            h = hash(("Eq", self._normalized_expr()))
+            object.__setattr__(self, "_hash", h)
+        return h
 
 
 class Geq(Constraint):
@@ -169,6 +196,16 @@ def bounds_on_var(constraint: Constraint, name: str):
     Only unit coefficients are handled; the sparse formats in the paper never
     need scaled tuple variables, and refusing keeps the solver honest.
     """
+    if not _memo.ENABLED:
+        return _bounds_on_var(constraint, name)
+    key = (constraint, name)
+    cached = _memo.lookup(_BOUNDS_MEMO, "bounds_on_var", key)
+    if cached is None:
+        cached = _memo.store(_BOUNDS_MEMO, key, _bounds_on_var(constraint, name))
+    return cached
+
+
+def _bounds_on_var(constraint: Constraint, name: str):
     var = Var(name)
     coef = constraint.expr.coeff(var)
     if coef == 0:

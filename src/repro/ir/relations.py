@@ -11,16 +11,22 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Mapping, Sequence
 
+from . import memo as _memo
 from .conjunction import Conjunction, ProjectionError
 from .constraints import Constraint, Eq, equals
 from .terms import Expr, Var
 from .sets import IntSet
 
+_COMPOSE_MEMO = _memo.table("relation.compose")
+_APPLY_MEMO = _memo.table("relation.apply_to_set")
+_DOMAIN_MEMO = _memo.table("relation.domain_range")
+_RENAME_MEMO = _memo.table("relation.with_tuple_vars")
+
 
 class Relation:
     """A union of conjunctions over an input tuple and an output tuple."""
 
-    __slots__ = ("in_vars", "out_vars", "conjunctions")
+    __slots__ = ("in_vars", "out_vars", "conjunctions", "_hash", "_skey")
 
     def __init__(
         self,
@@ -43,6 +49,8 @@ class Relation:
         object.__setattr__(self, "in_vars", iv)
         object.__setattr__(self, "out_vars", ov)
         object.__setattr__(self, "conjunctions", conjs)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_skey", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Relation is immutable")
@@ -63,7 +71,7 @@ class Relation:
         return self.conjunctions[0]
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, Relation)
             and other.in_vars == self.in_vars
             and other.out_vars == self.out_vars
@@ -71,7 +79,25 @@ class Relation:
         )
 
     def __hash__(self):
-        return hash((self.in_vars, self.out_vars, frozenset(self.conjunctions)))
+        h = self._hash
+        if h is None:
+            h = hash(
+                (self.in_vars, self.out_vars, frozenset(self.conjunctions))
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def structural_key(self):
+        """Order-sensitive identity for memo keys (see IntSet.structural_key)."""
+        k = self._skey
+        if k is None:
+            k = (
+                self.in_vars,
+                self.out_vars,
+                tuple(c.constraints for c in self.conjunctions),
+            )
+            object.__setattr__(self, "_skey", k)
+        return k
 
     def __str__(self):
         head = f"[{', '.join(self.in_vars)}] -> [{', '.join(self.out_vars)}]"
@@ -93,8 +119,21 @@ class Relation:
         self, new_in: Sequence[str], new_out: Sequence[str]
     ) -> "Relation":
         new_in, new_out = tuple(new_in), tuple(new_out)
+        if (new_in, new_out) == (self.in_vars, self.out_vars):
+            return self
         if len(new_in) != self.in_arity or len(new_out) != self.out_arity:
             raise ValueError("arity mismatch in tuple renaming")
+        if not _memo.ENABLED:
+            return self._with_tuple_vars(new_in, new_out)
+        key = (self.structural_key(), new_in, new_out)
+        cached = _memo.lookup(_RENAME_MEMO, "rel_with_tuple_vars", key)
+        if cached is None:
+            cached = _memo.store(
+                _RENAME_MEMO, key, self._with_tuple_vars(new_in, new_out)
+            )
+        return cached
+
+    def _with_tuple_vars(self, new_in: tuple, new_out: tuple) -> "Relation":
         mapping = dict(zip(self.in_vars + self.out_vars, new_in + new_out))
         return Relation(
             new_in, new_out, (c.rename_vars(mapping) for c in self.conjunctions)
@@ -163,7 +202,18 @@ class Relation:
         a B variable cannot be eliminated exactly (it is trapped inside an
         uninterpreted function call) it is kept as an existential variable —
         sound, and what the synthesis engine expects — unless ``strict``.
+
+        Compositions are memoized on the interned operand pair.
         """
+        if not _memo.ENABLED:
+            return self._compose(inner, strict)
+        key = (self.structural_key(), inner.structural_key(), strict)
+        cached = _memo.lookup(_COMPOSE_MEMO, "compose", key)
+        if cached is None:
+            cached = _memo.store(_COMPOSE_MEMO, key, self._compose(inner, strict))
+        return cached
+
+    def _compose(self, inner: "Relation", strict: bool) -> "Relation":
         if inner.out_arity != self.in_arity:
             raise ValueError(
                 f"compose arity mismatch: inner out {inner.out_arity} != "
@@ -198,7 +248,21 @@ class Relation:
         return Relation(inner.in_vars, outer.out_vars, eliminated)
 
     def apply_to_set(self, domain: IntSet, *, strict: bool = False) -> IntSet:
-        """Image of ``domain`` under this relation (used for transformations)."""
+        """Image of ``domain`` under this relation (used for transformations).
+
+        Memoized on the interned (relation, set) pair.
+        """
+        if not _memo.ENABLED:
+            return self._apply_to_set(domain, strict)
+        key = (self.structural_key(), domain.structural_key(), strict)
+        cached = _memo.lookup(_APPLY_MEMO, "apply_to_set", key)
+        if cached is None:
+            cached = _memo.store(
+                _APPLY_MEMO, key, self._apply_to_set(domain, strict)
+            )
+        return cached
+
+    def _apply_to_set(self, domain: IntSet, strict: bool) -> IntSet:
         if domain.arity != self.in_arity:
             raise ValueError(
                 f"apply arity mismatch: set {domain.arity} != in {self.in_arity}"
@@ -234,14 +298,31 @@ class Relation:
         return IntSet(self.in_vars + self.out_vars, self.conjunctions)
 
     def domain(self, *, strict: bool = False) -> IntSet:
-        result = self.as_set()
-        for name in self.out_vars:
-            result = result.project_out(name, strict=strict)
-        return result
+        if not _memo.ENABLED:
+            return self._domain_or_range("domain", strict)
+        key = (self.structural_key(), "domain", strict)
+        cached = _memo.lookup(_DOMAIN_MEMO, "domain", key)
+        if cached is None:
+            cached = _memo.store(
+                _DOMAIN_MEMO, key, self._domain_or_range("domain", strict)
+            )
+        return cached
 
     def range(self, *, strict: bool = False) -> IntSet:
+        if not _memo.ENABLED:
+            return self._domain_or_range("range", strict)
+        key = (self.structural_key(), "range", strict)
+        cached = _memo.lookup(_DOMAIN_MEMO, "range", key)
+        if cached is None:
+            cached = _memo.store(
+                _DOMAIN_MEMO, key, self._domain_or_range("range", strict)
+            )
+        return cached
+
+    def _domain_or_range(self, which: str, strict: bool) -> IntSet:
+        drop = self.out_vars if which == "domain" else self.in_vars
         result = self.as_set()
-        for name in self.in_vars:
+        for name in drop:
             result = result.project_out(name, strict=strict)
         return result
 

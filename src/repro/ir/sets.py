@@ -12,15 +12,19 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from . import memo as _memo
 from .conjunction import Conjunction, _eval_expr
 from .constraints import Constraint
 from .terms import Expr, Var
+
+_RENAME_MEMO = _memo.table("set.with_tuple_vars")
+_PROJECT_MEMO = _memo.table("set.project_out")
 
 
 class IntSet:
     """A union of conjunctions over a named integer tuple."""
 
-    __slots__ = ("tuple_vars", "conjunctions")
+    __slots__ = ("tuple_vars", "conjunctions", "_hash", "_skey")
 
     def __init__(
         self,
@@ -40,6 +44,8 @@ class IntSet:
             conjs = (Conjunction(),)
         object.__setattr__(self, "tuple_vars", tv)
         object.__setattr__(self, "conjunctions", conjs)
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_skey", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("IntSet is immutable")
@@ -57,14 +63,34 @@ class IntSet:
         return self.conjunctions[0]
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, IntSet)
             and other.tuple_vars == self.tuple_vars
             and set(other.conjunctions) == set(self.conjunctions)
         )
 
     def __hash__(self):
-        return hash((self.tuple_vars, frozenset(self.conjunctions)))
+        h = self._hash
+        if h is None:
+            h = hash((self.tuple_vars, frozenset(self.conjunctions)))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def structural_key(self):
+        """Order-sensitive identity for memo keys.
+
+        ``__eq__`` treats conjunctions (and their constraints) as sets, but
+        memoized operations like projection are sensitive to constraint
+        order, so memo keys must distinguish set-equal reorderings.
+        """
+        k = self._skey
+        if k is None:
+            k = (
+                self.tuple_vars,
+                tuple(c.constraints for c in self.conjunctions),
+            )
+            object.__setattr__(self, "_skey", k)
+        return k
 
     def __str__(self):
         head = f"[{', '.join(self.tuple_vars)}]"
@@ -83,12 +109,25 @@ class IntSet:
     # Algebra
     # ------------------------------------------------------------------
     def with_tuple_vars(self, new_vars: Sequence[str]) -> "IntSet":
-        """Rename the tuple to ``new_vars`` (same arity)."""
+        """Rename the tuple to ``new_vars`` (same arity, memoized)."""
         new_vars = tuple(new_vars)
+        if new_vars == self.tuple_vars:
+            return self
         if len(new_vars) != self.arity:
             raise ValueError(
                 f"arity mismatch: {self.arity} tuple vars, got {len(new_vars)}"
             )
+        if not _memo.ENABLED:
+            return self._with_tuple_vars(new_vars)
+        key = (self.structural_key(), new_vars)
+        cached = _memo.lookup(_RENAME_MEMO, "set_with_tuple_vars", key)
+        if cached is None:
+            cached = _memo.store(
+                _RENAME_MEMO, key, self._with_tuple_vars(new_vars)
+            )
+        return cached
+
+    def _with_tuple_vars(self, new_vars: tuple) -> "IntSet":
         mapping = dict(zip(self.tuple_vars, new_vars))
         return IntSet(new_vars, (c.rename_vars(mapping) for c in self.conjunctions))
 
@@ -115,9 +154,20 @@ class IntSet:
         return IntSet(self.tuple_vars, self.conjunctions + other.conjunctions)
 
     def project_out(self, name: str, *, strict: bool = True) -> "IntSet":
-        """Remove a tuple variable, existentially quantifying it."""
+        """Remove a tuple variable, existentially quantifying it (memoized)."""
         if name not in self.tuple_vars:
             raise ValueError(f"{name!r} is not a tuple variable of {self}")
+        if not _memo.ENABLED:
+            return self._project_out(name, strict)
+        key = (self.structural_key(), name, strict)
+        cached = _memo.lookup(_PROJECT_MEMO, "set_project_out", key)
+        if cached is None:
+            cached = _memo.store(
+                _PROJECT_MEMO, key, self._project_out(name, strict)
+            )
+        return cached
+
+    def _project_out(self, name: str, strict: bool) -> "IntSet":
         new_vars = tuple(v for v in self.tuple_vars if v != name)
         return IntSet(
             new_vars,

@@ -13,11 +13,22 @@ Expressions are immutable and hashable, which lets constraint-level code use
 them as dictionary keys and set members.  Arithmetic keeps expressions in a
 canonical sorted-term form so structural equality coincides with algebraic
 equality for the affine fragment.
+
+Atoms and expressions are additionally *hash-consed*: constructing a
+structurally equal term returns the already-interned instance, so equality
+usually short-circuits on identity, hashes and sort keys are computed once
+per distinct term, and the algebraic operations (substitution, UF renaming)
+can be memoized on object identity (see :mod:`repro.ir.memo`).  Interning is
+an optimization, never a semantic requirement: structural equality remains
+the fallback, so externally constructed duplicates (unpickling, cleared
+tables) still compare equal.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from . import memo as _memo
 
 ExprLike = Union["Expr", "Atom", int]
 
@@ -57,23 +68,41 @@ class Atom:
 
 
 class Var(Atom):
-    """A tuple variable reference, identified by name."""
+    """A tuple variable reference, identified by name (interned)."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "_skey")
 
-    def __init__(self, name: str):
+    _interned: dict = {}
+
+    def __new__(cls, name: str):
+        self = cls._interned.get(name) if _memo.ENABLED else None
+        if self is not None:
+            return self
         if not name or not name.isidentifier():
             raise ValueError(f"invalid tuple variable name: {name!r}")
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Var", name)))
+        object.__setattr__(self, "_skey", (0, name))
+        if not _memo.ENABLED:
+            return self
+        # setdefault is atomic: a racing thread's duplicate loses and the
+        # single winner is returned to both.
+        return cls._interned.setdefault(name, self)
+
+    def __init__(self, name: str):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Var is immutable")
 
     def __eq__(self, other):
-        return isinstance(other, Var) and other.name == self.name
+        return other is self or (
+            isinstance(other, Var) and other.name == self.name
+        )
 
     def __hash__(self):
-        return hash(("Var", self.name))
+        return self._hash
 
     def __repr__(self):
         return f"Var({self.name!r})"
@@ -82,27 +111,43 @@ class Var(Atom):
         return self.name
 
     def sort_key(self) -> tuple:
-        return (0, self.name)
+        return self._skey
 
 
 class Sym(Atom):
-    """A symbolic constant such as ``NR`` or ``NNZ``."""
+    """A symbolic constant such as ``NR`` or ``NNZ`` (interned)."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "_skey")
 
-    def __init__(self, name: str):
+    _interned: dict = {}
+
+    def __new__(cls, name: str):
+        self = cls._interned.get(name) if _memo.ENABLED else None
+        if self is not None:
+            return self
         if not name or not name.isidentifier():
             raise ValueError(f"invalid symbolic constant name: {name!r}")
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Sym", name)))
+        object.__setattr__(self, "_skey", (1, name))
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(name, self)
+
+    def __init__(self, name: str):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Sym is immutable")
 
     def __eq__(self, other):
-        return isinstance(other, Sym) and other.name == self.name
+        return other is self or (
+            isinstance(other, Sym) and other.name == self.name
+        )
 
     def __hash__(self):
-        return hash(("Sym", self.name))
+        return self._hash
 
     def __repr__(self):
         return f"Sym({self.name!r})"
@@ -111,7 +156,7 @@ class Sym(Atom):
         return self.name
 
     def sort_key(self) -> tuple:
-        return (1, self.name)
+        return self._skey
 
 
 class UFCall(Atom):
@@ -121,9 +166,11 @@ class UFCall(Atom):
     code generation give it one (an index array or a user-defined function).
     """
 
-    __slots__ = ("name", "args")
+    __slots__ = ("name", "args", "_hash", "_skey")
 
-    def __init__(self, name: str, args: Sequence[ExprLike]):
+    _interned: dict = {}
+
+    def __new__(cls, name: str, args: Sequence[ExprLike]):
         if not name or not name.isidentifier():
             raise ValueError(f"invalid uninterpreted function name: {name!r}")
         if len(args) == 0:
@@ -131,21 +178,37 @@ class UFCall(Atom):
                 f"uninterpreted function {name!r} needs at least one argument; "
                 "use Sym for zero-arity symbolic constants"
             )
+        args = tuple(as_expr(a) for a in args)
+        key = (name, args)
+        self = cls._interned.get(key) if _memo.ENABLED else None
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "args", tuple(as_expr(a) for a in args))
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(("UFCall",) + key))
+        object.__setattr__(
+            self, "_skey", (2, name, tuple(a.sort_key() for a in args))
+        )
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(key, self)
+
+    def __init__(self, name, args):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("UFCall is immutable")
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, UFCall)
             and other.name == self.name
             and other.args == self.args
         )
 
     def __hash__(self):
-        return hash(("UFCall", self.name, self.args))
+        return self._hash
 
     def __repr__(self):
         return f"UFCall({self.name!r}, {list(self.args)!r})"
@@ -154,7 +217,7 @@ class UFCall(Atom):
         return f"{self.name}({', '.join(str(a) for a in self.args)})"
 
     def sort_key(self) -> tuple:
-        return (2, self.name, tuple(a.sort_key() for a in self.args))  # Expr keys
+        return self._skey
 
     @property
     def arity(self) -> int:
@@ -171,26 +234,42 @@ class Mul(Atom):
     code generation multiplies them out.
     """
 
-    __slots__ = ("sym", "factor")
+    __slots__ = ("sym", "factor", "_hash", "_skey")
 
-    def __init__(self, sym: "Sym", factor: ExprLike):
+    _interned: dict = {}
+
+    def __new__(cls, sym: "Sym", factor: ExprLike):
         if not isinstance(sym, Sym):
             raise TypeError(f"Mul needs a Sym as first factor, got {sym!r}")
+        factor = as_expr(factor)
+        key = (sym, factor)
+        self = cls._interned.get(key) if _memo.ENABLED else None
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         object.__setattr__(self, "sym", sym)
-        object.__setattr__(self, "factor", as_expr(factor))
+        object.__setattr__(self, "factor", factor)
+        object.__setattr__(self, "_hash", hash(("Mul",) + key))
+        object.__setattr__(self, "_skey", (3, sym.name, factor.sort_key()))
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(key, self)
+
+    def __init__(self, sym, factor):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Mul is immutable")
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, Mul)
             and other.sym == self.sym
             and other.factor == self.factor
         )
 
     def __hash__(self):
-        return hash(("Mul", self.sym, self.factor))
+        return self._hash
 
     def __repr__(self):
         return f"Mul({self.sym!r}, {self.factor!r})"
@@ -199,7 +278,7 @@ class Mul(Atom):
         return f"{self.sym} * ({self.factor})"
 
     def sort_key(self) -> tuple:
-        return (3, self.sym.name, self.factor.sort_key())
+        return self._skey
 
 
 class FloorDiv(Atom):
@@ -210,27 +289,43 @@ class FloorDiv(Atom):
     solver; evaluation and code generation interpret it.
     """
 
-    __slots__ = ("numer", "denom")
+    __slots__ = ("numer", "denom", "_hash", "_skey")
 
-    def __init__(self, numer: ExprLike, denom: int):
+    _interned: dict = {}
+
+    def __new__(cls, numer: ExprLike, denom: int):
         if not isinstance(denom, int) or denom <= 0:
             raise ValueError(f"FloorDiv denominator must be a positive int, "
                              f"got {denom!r}")
-        object.__setattr__(self, "numer", as_expr(numer))
+        numer = as_expr(numer)
+        key = (numer, denom)
+        self = cls._interned.get(key) if _memo.ENABLED else None
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "numer", numer)
         object.__setattr__(self, "denom", denom)
+        object.__setattr__(self, "_hash", hash(("FloorDiv",) + key))
+        object.__setattr__(self, "_skey", (4, denom, numer.sort_key()))
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(key, self)
+
+    def __init__(self, numer, denom):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("FloorDiv is immutable")
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, FloorDiv)
             and other.numer == self.numer
             and other.denom == self.denom
         )
 
     def __hash__(self):
-        return hash(("FloorDiv", self.numer, self.denom))
+        return self._hash
 
     def __repr__(self):
         return f"FloorDiv({self.numer!r}, {self.denom})"
@@ -239,7 +334,7 @@ class FloorDiv(Atom):
         return f"({self.numer}) // {self.denom}"
 
     def sort_key(self) -> tuple:
-        return (4, self.denom, self.numer.sort_key())
+        return self._skey
 
 
 class Mod(Atom):
@@ -250,27 +345,43 @@ class Mod(Atom):
     (BCSR) recover within-block coordinates.  Opaque to the solver.
     """
 
-    __slots__ = ("numer", "denom")
+    __slots__ = ("numer", "denom", "_hash", "_skey")
 
-    def __init__(self, numer: ExprLike, denom: int):
+    _interned: dict = {}
+
+    def __new__(cls, numer: ExprLike, denom: int):
         if not isinstance(denom, int) or denom <= 0:
             raise ValueError(f"Mod denominator must be a positive int, "
                              f"got {denom!r}")
-        object.__setattr__(self, "numer", as_expr(numer))
+        numer = as_expr(numer)
+        key = (numer, denom)
+        self = cls._interned.get(key) if _memo.ENABLED else None
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "numer", numer)
         object.__setattr__(self, "denom", denom)
+        object.__setattr__(self, "_hash", hash(("Mod",) + key))
+        object.__setattr__(self, "_skey", (5, denom, numer.sort_key()))
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(key, self)
+
+    def __init__(self, numer, denom):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Mod is immutable")
 
     def __eq__(self, other):
-        return (
+        return other is self or (
             isinstance(other, Mod)
             and other.numer == self.numer
             and other.denom == self.denom
         )
 
     def __hash__(self):
-        return hash(("Mod", self.numer, self.denom))
+        return self._hash
 
     def __repr__(self):
         return f"Mod({self.numer!r}, {self.denom})"
@@ -279,7 +390,7 @@ class Mod(Atom):
         return f"({self.numer}) % {self.denom}"
 
     def sort_key(self) -> tuple:
-        return (5, self.denom, self.numer.sort_key())
+        return self._skey
 
 
 def as_expr(value: ExprLike) -> "Expr":
@@ -295,17 +406,32 @@ def as_expr(value: ExprLike) -> "Expr":
     raise TypeError(f"cannot convert {value!r} to Expr")
 
 
+def _term_sort_key(term: tuple) -> tuple:
+    return term[0].sort_key()
+
+
 class Expr:
     """A normalized affine combination ``const + sum(coef * atom)``.
 
     Terms with coefficient zero are dropped and terms are kept sorted by the
     atoms' sort keys, so two algebraically equal affine expressions compare
-    equal structurally.
+    equal structurally.  Normalized expressions are interned: constructing
+    an algebraically equal expression returns the canonical instance.
     """
 
-    __slots__ = ("const", "terms")
+    __slots__ = (
+        "const",
+        "terms",
+        "_hash",
+        "_skey",
+        "_vnames",
+        "_ufcalls",
+        "_str",
+    )
 
-    def __init__(self, const: int = 0, terms: Iterable[tuple[Atom, int]] = ()):
+    _interned: dict = {}
+
+    def __new__(cls, const: int = 0, terms: Iterable[tuple[Atom, int]] = ()):
         merged: dict[Atom, int] = {}
         for atom, coef in terms:
             if not isinstance(atom, Atom):
@@ -313,14 +439,33 @@ class Expr:
             if coef == 0:
                 continue
             merged[atom] = merged.get(atom, 0) + coef
-        normalized = tuple(
-            sorted(
-                ((a, c) for a, c in merged.items() if c != 0),
-                key=lambda ac: ac[0].sort_key(),
+        if merged:
+            normalized = tuple(
+                sorted(
+                    ((a, c) for a, c in merged.items() if c != 0),
+                    key=_term_sort_key,
+                )
             )
-        )
-        object.__setattr__(self, "const", int(const))
+        else:
+            normalized = ()
+        key = (int(const), normalized)
+        self = cls._interned.get(key) if _memo.ENABLED else None
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "const", key[0])
         object.__setattr__(self, "terms", normalized)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_skey", None)
+        object.__setattr__(self, "_vnames", None)
+        object.__setattr__(self, "_ufcalls", None)
+        object.__setattr__(self, "_str", None)
+        if not _memo.ENABLED:
+            return self
+        return cls._interned.setdefault(key, self)
+
+    def __init__(self, const=0, terms=()):  # construction happens in __new__
+        pass
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Expr is immutable")
@@ -330,6 +475,10 @@ class Expr:
     # ------------------------------------------------------------------
     def __add__(self, other: ExprLike) -> "Expr":
         other = as_expr(other)
+        if not other.terms and not other.const:
+            return self
+        if not self.terms and not self.const:
+            return other
         return Expr(self.const + other.const, self.terms + other.terms)
 
     __radd__ = __add__
@@ -351,6 +500,8 @@ class Expr:
                 raise TypeError("Expr multiplication only supports integer scalars")
         if not isinstance(k, int):
             raise TypeError("Expr multiplication only supports integer scalars")
+        if k == 1:
+            return self
         return Expr(self.const * k, tuple((a, c * k) for a, c in self.terms))
 
     __rmul__ = __mul__
@@ -359,6 +510,8 @@ class Expr:
     # Equality / hashing
     # ------------------------------------------------------------------
     def __eq__(self, other):
+        if other is self:
+            return True
         if isinstance(other, int):
             other = Expr(const=other)
         if isinstance(other, Atom):
@@ -370,11 +523,15 @@ class Expr:
         )
 
     def __hash__(self):
-        return hash((self.const, self.terms))
+        return self._hash
 
     def sort_key(self) -> tuple:
         """Deterministic ordering key (used when nested in UF arguments)."""
-        return (self.const, tuple((a.sort_key(), c) for a, c in self.terms))
+        sk = self._skey
+        if sk is None:
+            sk = (self.const, tuple((a.sort_key(), c) for a, c in self.terms))
+            object.__setattr__(self, "_skey", sk)
+        return sk
 
     # ------------------------------------------------------------------
     # Inspection
@@ -405,20 +562,32 @@ class Expr:
             elif isinstance(atom, Mod):
                 yield from atom.numer.all_atoms()
 
+    def _var_name_set(self) -> frozenset[str]:
+        """Cached variable-name set (expressions are immutable)."""
+        vn = self._vnames
+        if vn is None:
+            vn = frozenset(
+                a.name for a in self.all_atoms() if isinstance(a, Var)
+            )
+            object.__setattr__(self, "_vnames", vn)
+        return vn
+
     def var_names(self) -> set[str]:
         """Names of tuple variables anywhere in the expression."""
-        return {a.name for a in self.all_atoms() if isinstance(a, Var)}
+        return set(self._var_name_set())
 
     def sym_names(self) -> set[str]:
         return {a.name for a in self.all_atoms() if isinstance(a, Sym)}
 
     def uf_calls(self) -> list[UFCall]:
         """UF calls anywhere in the expression, outermost first."""
-        calls = []
-        for atom in self.all_atoms():
-            if isinstance(atom, UFCall):
-                calls.append(atom)
-        return calls
+        calls = self._ufcalls
+        if calls is None:
+            calls = tuple(
+                a for a in self.all_atoms() if isinstance(a, UFCall)
+            )
+            object.__setattr__(self, "_ufcalls", calls)
+        return list(calls)
 
     def uf_names(self) -> set[str]:
         return {c.name for c in self.uf_calls()}
@@ -438,7 +607,7 @@ class Expr:
         return Expr(self.const, tuple((a, c) for a, c in self.terms if a != atom))
 
     def mentions_var(self, name: str) -> bool:
-        return name in self.var_names()
+        return name in self._var_name_set()
 
     # ------------------------------------------------------------------
     # Substitution
@@ -449,9 +618,31 @@ class Expr:
         The mapping keys are atoms (Var / Sym / UFCall); values are anything
         convertible by :func:`as_expr`.  Substitution applies the mapping to
         UF call arguments first, then checks whether the (rewritten) call
-        itself is mapped.
+        itself is mapped.  Results are memoized on the interned operands.
         """
-        result = Expr(const=self.const)
+        if not self.terms:
+            return self
+        if not _memo.ENABLED:
+            return self._substitute(mapping)
+        key = (self, _memo.freeze_mapping(mapping))
+        cached = _memo.lookup(_SUBST_MEMO, "substitute", key)
+        if cached is None:
+            cached = _memo.store(_SUBST_MEMO, key, self._substitute(mapping))
+        return cached
+
+    def _substitute(self, mapping: Mapping[Atom, ExprLike]) -> "Expr":
+        # Accumulate coefficients in a dict and build one Expr at the end
+        # (a `result + term` chain constructs a fresh interned Expr per
+        # term, which dominated synthesis profiles).
+        const = self.const
+        acc: dict[Atom, int] = {}
+
+        def _accumulate(expr: "Expr", coef: int) -> None:
+            nonlocal const
+            const += expr.const * coef
+            for a, c in expr.terms:
+                acc[a] = acc.get(a, 0) + c * coef
+
         for atom, coef in self.terms:
             if isinstance(atom, UFCall):
                 new_args = [a.substitute(mapping) for a in atom.args]
@@ -462,7 +653,7 @@ class Expr:
                 if new_sym is not None:
                     new_sym_expr = as_expr(new_sym)
                     if new_sym_expr.is_constant():
-                        result = result + new_factor * (new_sym_expr.const * coef)
+                        _accumulate(new_factor, new_sym_expr.const * coef)
                         continue
                     if (
                         not new_sym_expr.const
@@ -483,11 +674,12 @@ class Expr:
                 rewritten = Mod(atom.numer.substitute(mapping), atom.denom)
             else:
                 rewritten = atom
-            if rewritten in mapping:
-                result = result + as_expr(mapping[rewritten]) * coef
+            replacement = mapping.get(rewritten)
+            if replacement is not None:
+                _accumulate(as_expr(replacement), coef)
             else:
-                result = result + rewritten.as_expr() * coef
-        return result
+                acc[rewritten] = acc.get(rewritten, 0) + coef
+        return Expr(const, tuple(acc.items()))
 
     def substitute_vars(self, mapping: Mapping[str, ExprLike]) -> "Expr":
         """Convenience wrapper: substitute tuple variables by name."""
@@ -498,7 +690,20 @@ class Expr:
 
     def rename_ufs(self, mapping: Mapping[str, str]) -> "Expr":
         """Rename uninterpreted functions everywhere in the expression."""
-        result = Expr(const=self.const)
+        if not self.terms:
+            return self
+        if not _memo.ENABLED:
+            return self._rename_ufs(mapping)
+        key = (self, _memo.freeze_mapping(mapping))
+        cached = _memo.lookup(_RENAME_UFS_MEMO, "rename_ufs", key)
+        if cached is None:
+            cached = _memo.store(
+                _RENAME_UFS_MEMO, key, self._rename_ufs(mapping)
+            )
+        return cached
+
+    def _rename_ufs(self, mapping: Mapping[str, str]) -> "Expr":
+        acc: dict[Atom, int] = {}
         for atom, coef in self.terms:
             if isinstance(atom, UFCall):
                 new_args = [a.rename_ufs(mapping) for a in atom.args]
@@ -509,13 +714,16 @@ class Expr:
                 atom = FloorDiv(atom.numer.rename_ufs(mapping), atom.denom)
             elif isinstance(atom, Mod):
                 atom = Mod(atom.numer.rename_ufs(mapping), atom.denom)
-            result = result + atom.as_expr() * coef
-        return result
+            acc[atom] = acc.get(atom, 0) + coef
+        return Expr(self.const, tuple(acc.items()))
 
     # ------------------------------------------------------------------
     # Printing
     # ------------------------------------------------------------------
     def __str__(self):
+        cached = self._str
+        if cached is not None:
+            return cached
         if self.is_constant():
             return str(self.const)
         parts: list[str] = []
@@ -537,11 +745,16 @@ class Expr:
             parts.append(f"+ {self.const}")
         elif self.const < 0:
             parts.append(f"- {-self.const}")
-        return " ".join(parts)
+        text = " ".join(parts)
+        object.__setattr__(self, "_str", text)
+        return text
 
     def __repr__(self):
         return f"Expr({self})"
 
+
+_SUBST_MEMO = _memo.table("expr.substitute")
+_RENAME_UFS_MEMO = _memo.table("expr.rename_ufs")
 
 ZERO = Expr(0)
 ONE = Expr(1)

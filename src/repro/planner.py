@@ -21,7 +21,7 @@ from .formats import (
     get_format,
     outputs_to_container,
 )
-from .synthesis import SynthesisError, SynthesizedConversion, synthesize
+from .synthesis import SynthesisError, SynthesizedConversion, synthesize_cached
 
 #: Formats participating in planning.  Source-only formats (BCSR, CSF,
 #: ELL) are included: they simply have no incoming edges, so the planner
@@ -119,7 +119,10 @@ class ConversionPlanner:
             # Same-format "conversion" is a copy when synthesizable.
             pass
         try:
-            conversion = synthesize(
+            # The cached entry point guarantees each (src, dst, backend)
+            # pair is synthesized at most once per process, however many
+            # planners are built or plans are queried.
+            conversion = synthesize_cached(
                 get_format(src), get_format(dst), backend=self.backend
             )
         except SynthesisError:

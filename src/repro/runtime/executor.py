@@ -134,9 +134,13 @@ class CompiledInspector:
 
 
 #: Process-wide memo of compiled inspectors keyed on ``(name, source,
-#: backend)``.  Planners and benchmarks repeatedly synthesize the same
-#: conversions; identical source compiles (and execs) exactly once.
-_COMPILE_CACHE: dict[tuple[str, str, str], CompiledInspector] = {}
+#: backend, code_version)``.  Planners and benchmarks repeatedly synthesize
+#: the same conversions; identical source compiles (and execs) exactly
+#: once.  The code-version component mirrors the disk cache's partitioning:
+#: the runtime helpers baked into the execution namespace are part of this
+#: package, so a key that ignores them could serve a stale closure to code
+#: that reloads the package in place (importlib.reload-style workflows).
+_COMPILE_CACHE: dict[tuple[str, str, str, str], CompiledInspector] = {}
 
 
 def compile_inspector(
@@ -152,7 +156,9 @@ def compile_inspector(
     """
     if extra_env:
         return CompiledInspector(name, source, extra_env, backend=backend)
-    key = (name, source, backend)
+    from repro.codeversion import code_version_hash
+
+    key = (name, source, backend, code_version_hash())
     cached = _COMPILE_CACHE.get(key)
     if cached is None:
         cached = _COMPILE_CACHE[key] = CompiledInspector(

@@ -10,6 +10,14 @@ from .cases import (
 )
 from .engine import SynthesisError, SynthesizedConversion, synthesize
 from .analysis import constraints_per_unknown_uf, render_table2
+from .cache import (
+    cache_stats,
+    clear_disk_cache,
+    clear_memo,
+    format_fingerprint,
+    synthesize_cached,
+    warm,
+)
 from .tandem import TandemResult, tandem
 from .optimize import rewrite_linear_search
 
@@ -20,12 +28,18 @@ __all__ = [
     "SynthesizedConversion",
     "TandemResult",
     "UFStatementPlan",
+    "cache_stats",
     "classify",
+    "clear_disk_cache",
+    "clear_memo",
     "constraints_per_unknown_uf",
+    "format_fingerprint",
     "normalize_for_uf",
     "render_table2",
     "rewrite_linear_search",
     "select_plans",
     "synthesize",
+    "synthesize_cached",
     "tandem",
+    "warm",
 ]

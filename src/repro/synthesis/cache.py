@@ -1,0 +1,382 @@
+"""Synthesis memo and persistent inspector cache.
+
+Three layers make repeated synthesis cheap:
+
+1. the hash-consed IR with memoized set/relation algebra (:mod:`repro.ir`),
+2. a process-wide memo of :func:`synthesize` results keyed on format
+   fingerprints (this module),
+3. an on-disk cache of generated inspector source under
+   ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-spf``), keyed on the
+   (source format, destination format, options, backend) tuple and
+   partitioned by a hash of the package's own source code so a stale cache
+   can never serve code from an older version of the synthesizer.
+
+Disk entries are JSON payloads written atomically (tempfile +
+``os.replace``), so concurrent processes warming the same cache directory
+are safe.  A conversion loaded from disk carries the generated source,
+signature and metadata but not the in-memory SPF ``computation`` /
+``symtab`` (those are synthesis intermediates; callers that need them —
+like tandem synthesis — use :func:`repro.synthesis.synthesize` directly).
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro-spf``),
+* ``REPRO_CACHE_DISABLE=1`` — skip the disk layer entirely,
+* ``REPRO_CACHE_STATS_FILE=path`` — dump hit/miss counters as JSON at
+  process exit (used by CI to assert cache effectiveness).
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._prof import PROF
+from repro.codeversion import code_version_hash
+from repro.formats.descriptor import FormatDescriptor
+
+from .engine import SynthesisError, SynthesizedConversion
+from .engine import synthesize as _raw_synthesize
+
+#: Serialized SynthesizedConversion fields round-tripped through disk.
+_PAYLOAD_FIELDS = (
+    "name",
+    "src_format",
+    "dst_format",
+    "params",
+    "returns",
+    "source",
+    "c_source",
+    "scalar_source",
+    "uf_output_map",
+    "notes",
+    "backend",
+    "vector_stats",
+)
+
+_PAYLOAD_VERSION = 1
+
+#: Descriptor fingerprints, keyed on object identity.  The descriptor is
+#: kept in the value so a recycled ``id`` can never alias a dead object.
+_FP_CACHE: dict[int, tuple[FormatDescriptor, str]] = {}
+
+#: Process-wide memo of synthesis results (including failures).
+_MEMO: dict[tuple, SynthesizedConversion | SynthesisError] = {}
+
+
+def format_fingerprint(fmt: FormatDescriptor) -> str:
+    """A stable content hash of a format descriptor.
+
+    Serializes the descriptor through the JSON schema (textual relation
+    notation), so two descriptor objects with identical semantics share a
+    fingerprint even across processes.
+    """
+    cached = _FP_CACHE.get(id(fmt))
+    if cached is not None and cached[0] is fmt:
+        return cached[1]
+    from repro.io.descriptor_json import descriptor_to_dict
+
+    blob = json.dumps(descriptor_to_dict(fmt), sort_keys=True)
+    fp = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    _FP_CACHE[id(fmt)] = (fmt, fp)
+    return fp
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+def cache_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-spf"
+
+
+def cache_dir() -> Path:
+    """Version-partitioned cache directory for the current source tree."""
+    return cache_root() / code_version_hash()[:16]
+
+
+def disk_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE_DISABLE", "") not in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+def _entry_path(key: tuple) -> Path:
+    src_fp, dst_fp, optimize, binary_search, backend, name = key
+    flags = f"{int(optimize)}{int(binary_search)}"
+    tail = hashlib.sha256(repr(key).encode()).hexdigest()[:12]
+    return cache_dir() / f"{src_fp}.{dst_fp}.{backend}.{flags}.{tail}.json"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _store_disk(
+    key: tuple, conv: SynthesizedConversion | SynthesisError
+) -> None:
+    if isinstance(conv, SynthesisError):
+        # Negative entries save warm processes from re-running the doomed
+        # (and often slowest) synthesis attempts; they are just as safe as
+        # positive ones — the key covers format content and code version.
+        payload = {"synthesis_error": str(conv)}
+    else:
+        payload = {f: getattr(conv, f) for f in _PAYLOAD_FIELDS}
+        payload["params"] = list(conv.params)
+        payload["returns"] = list(conv.returns)
+    payload["version"] = _PAYLOAD_VERSION
+    payload["code_version"] = code_version_hash()
+    try:
+        _atomic_write_json(_entry_path(key), payload)
+        PROF.incr("cache.disk.write")
+    except OSError:
+        PROF.incr("cache.disk.write_error")
+
+
+def _load_disk(
+    key: tuple,
+) -> SynthesizedConversion | SynthesisError | None:
+    path = _entry_path(key)
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != _PAYLOAD_VERSION:
+        return None
+    if payload.get("code_version") != code_version_hash():
+        return None  # belt and braces: the directory is already versioned
+    if "synthesis_error" in payload:
+        return SynthesisError(payload["synthesis_error"])
+    return SynthesizedConversion(
+        name=payload["name"],
+        src_format=payload["src_format"],
+        dst_format=payload["dst_format"],
+        computation=None,
+        params=tuple(payload["params"]),
+        returns=tuple(payload["returns"]),
+        source=payload["source"],
+        c_source=payload["c_source"],
+        symtab=None,
+        uf_output_map=dict(payload["uf_output_map"]),
+        notes=list(payload["notes"]),
+        backend=payload["backend"],
+        scalar_source=payload["scalar_source"],
+        vector_stats=payload["vector_stats"],
+    )
+
+
+# ----------------------------------------------------------------------
+# The cached synthesis entry point
+# ----------------------------------------------------------------------
+def synthesize_cached(
+    src: FormatDescriptor,
+    dst: FormatDescriptor,
+    *,
+    optimize: bool = True,
+    binary_search: bool = False,
+    name: str | None = None,
+    backend: str = "python",
+    use_disk: bool = True,
+) -> SynthesizedConversion:
+    """:func:`repro.synthesis.synthesize` behind the memo and disk cache.
+
+    Results (including :class:`SynthesisError` failures) are memoized for
+    the process; successful results are persisted to the disk cache so a
+    later process skips synthesis entirely and only loads + execs source.
+    """
+    key = (
+        format_fingerprint(src),
+        format_fingerprint(dst),
+        optimize,
+        binary_search,
+        backend,
+        name,
+    )
+    cached = _MEMO.get(key)
+    if cached is not None:
+        PROF.incr("cache.memo.hit")
+        if isinstance(cached, SynthesisError):
+            raise cached
+        return cached
+
+    if use_disk and disk_enabled():
+        with PROF.timer("cache.disk.load"):
+            loaded = _load_disk(key)
+        if loaded is not None:
+            PROF.incr("cache.disk.hit")
+            _MEMO[key] = loaded
+            if isinstance(loaded, SynthesisError):
+                raise loaded
+            return loaded
+
+    PROF.incr("cache.miss")
+    try:
+        with PROF.timer("synthesis.total"):
+            conv = _raw_synthesize(
+                src,
+                dst,
+                optimize=optimize,
+                binary_search=binary_search,
+                name=name,
+                backend=backend,
+            )
+    except SynthesisError as err:
+        _MEMO[key] = err
+        if use_disk and disk_enabled():
+            _store_disk(key, err)
+        raise
+    _MEMO[key] = conv
+    if use_disk and disk_enabled():
+        _store_disk(key, conv)
+    return conv
+
+
+def clear_memo() -> None:
+    """Drop the in-process synthesis memo (mainly for tests)."""
+    _MEMO.clear()
+
+
+def clear_disk_cache(*, all_versions: bool = False) -> int:
+    """Delete cached entries; returns the number of files removed.
+
+    By default only the current code version's partition is cleared;
+    ``all_versions=True`` removes every version partition under the root.
+    """
+    removed = 0
+    roots = [cache_root()] if all_versions else [cache_dir()]
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def cache_stats() -> dict:
+    """Counters plus on-disk shape of the cache, for the CLI and CI."""
+    snap = PROF.snapshot()
+    counters = {
+        k: v for k, v in snap["counters"].items() if k.startswith("cache.")
+    }
+    root = cache_root()
+    current = cache_dir()
+    entries = (
+        sorted(p.name for p in current.glob("*.json"))
+        if current.is_dir()
+        else []
+    )
+    stale = 0
+    if root.is_dir():
+        for sub in root.iterdir():
+            if sub.is_dir() and sub != current:
+                stale += sum(1 for _ in sub.glob("*.json"))
+    return {
+        "root": str(root),
+        "code_version": code_version_hash()[:16],
+        "disk_enabled": disk_enabled(),
+        "entries": len(entries),
+        "stale_entries": stale,
+        "memo_entries": len(_MEMO),
+        "counters": counters,
+    }
+
+
+# ----------------------------------------------------------------------
+# Warming
+# ----------------------------------------------------------------------
+def _planner_pairs(backend: str) -> list[tuple[str, str, str]]:
+    from repro.planner import PLANNABLE_2D, PLANNABLE_3D
+
+    pairs = []
+    for group in (PLANNABLE_2D, PLANNABLE_3D):
+        for a in group:
+            for b in group:
+                if a != b:
+                    pairs.append((a, b, backend))
+    return pairs
+
+
+def _warm_pair(job: tuple[str, str, str]) -> tuple[str, str, bool]:
+    """Synthesize one pair into the shared disk cache (worker-safe)."""
+    from repro.formats import get_format
+
+    src, dst, backend = job
+    try:
+        synthesize_cached(get_format(src), get_format(dst), backend=backend)
+        return (src, dst, True)
+    except SynthesisError:
+        return (src, dst, False)
+
+
+def warm(
+    *,
+    backend: str = "python",
+    jobs: int = 1,
+    pairs: Sequence[tuple[str, str]] | None = None,
+) -> dict:
+    """Pre-synthesize the planner's conversion graph into the disk cache.
+
+    ``jobs > 1`` fans the pairs out over worker processes; atomic writes
+    make concurrent population of one cache directory safe.  Returns a
+    ``{"synthesized": n, "unsynthesizable": m}`` summary.
+    """
+    if pairs is None:
+        jobs_list = _planner_pairs(backend)
+    else:
+        jobs_list = [(a, b, backend) for a, b in pairs]
+    ok = bad = 0
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for _, _, success in pool.map(_warm_pair, jobs_list):
+                ok += success
+                bad += not success
+    else:
+        for job in jobs_list:
+            _, _, success = _warm_pair(job)
+            ok += success
+            bad += not success
+    return {"synthesized": ok, "unsynthesizable": bad}
+
+
+# ----------------------------------------------------------------------
+# CI support: dump counters at exit when asked to.
+# ----------------------------------------------------------------------
+_stats_file = os.environ.get("REPRO_CACHE_STATS_FILE")
+if _stats_file:  # pragma: no cover - exercised by the CI cache job
+
+    @atexit.register
+    def _dump_stats(path=_stats_file):
+        try:
+            _atomic_write_json(Path(path), cache_stats())
+        except OSError:
+            pass

@@ -18,9 +18,11 @@ destination ordering — and loop fusion) and lowered to executable Python.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro._prof import PROF
 from repro.formats.descriptor import FormatDescriptor
 from repro.ir import (
     Conjunction,
@@ -468,6 +470,10 @@ def synthesize(
     notes: list[str] = []
     fn_name = name or f"{src.name.lower()}_to_{dst.name.lower()}"
 
+    # Phase attribution: explicit marks (not nested ``with`` blocks) so the
+    # long build section keeps its indentation; see repro.evalharness.profiling.
+    _mark = time.perf_counter()
+
     dst_r, uf_map = _disambiguate(dst, src)
     uf_output_map = {orig: new for orig, new in uf_map.items()}
 
@@ -478,6 +484,8 @@ def synthesize(
         conj, set(dst_r.sparse_vars), dst_r.index_ufs(), notes
     )
     notes.append(f"composed relation: {Relation(composed.in_vars, composed.out_vars, [conj])}")
+    PROF.add_time("synthesis.compose", time.perf_counter() - _mark)
+    _mark = time.perf_counter()
 
     src_space = _source_space(src)
     src_vars = src.sparse_vars
@@ -632,6 +640,8 @@ def synthesize(
                     f"insert-populated UF {plan.uf!r} needs a strict "
                     "monotonic quantifier to fix element positions"
                 )
+    PROF.add_time("synthesis.solve", time.perf_counter() - _mark)
+    _mark = time.perf_counter()
 
     # ------------------------------------------------------------------
     # Build the computation.
@@ -1239,6 +1249,9 @@ def synthesize(
         + [DEST_DATA]
     )
 
+    PROF.add_time("synthesis.build", time.perf_counter() - _mark)
+    _mark = time.perf_counter()
+
     # ------------------------------------------------------------------
     # Optimization pipeline (Section 3.3).
     # ------------------------------------------------------------------
@@ -1264,6 +1277,8 @@ def synthesize(
             notes.append(
                 "linear search over monotonic UF replaced by binary search"
             )
+    PROF.add_time("synthesis.optimize", time.perf_counter() - _mark)
+    _mark = time.perf_counter()
 
     scalar_source = comp.codegen_function(params, returns, symtab)
     c_source = comp.codegen(symtab, lang="c")
@@ -1282,6 +1297,7 @@ def synthesize(
             f"{lowering.scalar_nests} scalar fallback nest(s)"
         )
         notes.extend(f"numpy backend: {n}" for n in lowering.notes)
+    PROF.add_time("synthesis.codegen", time.perf_counter() - _mark)
 
     return SynthesizedConversion(
         name=fn_name,

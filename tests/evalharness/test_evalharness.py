@@ -19,6 +19,7 @@ from repro.evalharness import (
     table5_rows,
     this_work_support,
     time_fn,
+    time_fn_stats,
 )
 
 
@@ -27,9 +28,22 @@ class TestTiming:
         assert time_fn(lambda: sum(range(100))) > 0
 
     def test_time_fn_passes_args(self):
+        # One warm-up call plus two measured calls.
         calls = []
         time_fn(calls.append, 1, repeats=2)
+        assert calls == [1, 1, 1]
+
+    def test_time_fn_no_warmup(self):
+        calls = []
+        time_fn(calls.append, 1, repeats=2, warmup=0)
         assert calls == [1, 1]
+
+    def test_time_fn_stats(self):
+        stats = time_fn_stats(lambda: sum(range(100)), repeats=5)
+        assert stats.repeats == 5
+        assert len(stats.samples) == 5
+        assert 0 < stats.min <= stats.median <= max(stats.samples)
+        assert stats.min == min(stats.samples)
 
     def test_geomean(self):
         assert geomean([1, 4]) == pytest.approx(2.0)

@@ -55,7 +55,12 @@ class TestDeadSpaces:
         assert dead_spaces(sample(), ["out", "junk"]) == set()
 
     def test_synthesized_conversion_has_no_dead_spaces(self):
-        conv = get_conversion("SCOO", "CSR")
+        # Raw synthesize, not get_conversion: a conversion served from the
+        # persistent inspector cache carries source only (computation=None).
+        from repro import get_format
+        from repro.synthesis import synthesize
+
+        conv = synthesize(get_format("SCOO"), get_format("CSR"))
         # After DCE the remaining graph must be fully live.
         dead = dead_spaces(conv.computation, conv.returns)
         # Source arrays are inputs, not produced, so exclude them.
