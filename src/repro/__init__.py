@@ -18,6 +18,15 @@ Section 3.2 algorithm), :mod:`repro.runtime` (containers and the executor),
 :mod:`repro.datagen` and :mod:`repro.evalharness` (the evaluation).
 """
 
+from .errors import (
+    BoundsError,
+    DenseMismatchError,
+    DuplicateCoordinateError,
+    ShapeError,
+    StructureError,
+    UnsortedInputError,
+    ValidationError,
+)
 from .formats import (
     FormatDescriptor,
     all_formats,
@@ -85,6 +94,7 @@ def convert(
     binary_search: bool = False,
     assume_sorted: bool = True,
     backend: str = "python",
+    validate: str = "inputs",
 ):
     """Convert a runtime container to another format via synthesized code.
 
@@ -93,7 +103,20 @@ def convert(
     and cached, and the outputs are packed back into the right container.
     ``backend`` selects the lowering (``"python"`` scalar loops or ``"numpy"``
     vectorized); both produce identical outputs.
+
+    ``validate`` gates the conversion (:mod:`repro.verify.gate`):
+    ``"inputs"`` (the default) runs the source container's :meth:`check`
+    and — under ``assume_sorted=True`` — a cheap monotonicity scan, raising
+    :class:`~repro.errors.ValidationError` on malformed input instead of
+    emitting a silently corrupt container; ``"full"`` additionally checks
+    the output and its dense image; ``"off"`` trusts the caller (benchmark
+    mode — an unsorted plain COO then simply binds to the sorting COO
+    descriptor as before).
     """
+    from repro.verify import gate
+
+    level = gate.normalize_level(validate)
+    gate.check_input(container, level=level, assume_sorted=assume_sorted)
     src_name = container_format(container, assume_sorted=assume_sorted)
     conversion = get_conversion(
         src_name,
@@ -105,13 +128,16 @@ def convert(
     env = container_to_env(container)
     inputs = {p: env[p] for p in conversion.params}
     outputs = conversion(**inputs)
-    return outputs_to_container(
+    result = outputs_to_container(
         dst_name, outputs, conversion.uf_output_map, env
     )
+    gate.check_output(result, container, level=level)
+    return result
 
 
 __all__ = [
     "BCSRMatrix",
+    "BoundsError",
     "COOMatrix",
     "COOTensor3D",
     "CSCMatrix",
@@ -119,12 +145,18 @@ __all__ = [
     "ConversionPlan",
     "ConversionPlanner",
     "DIAMatrix",
+    "DenseMismatchError",
+    "DuplicateCoordinateError",
     "ELLMatrix",
     "FormatDescriptor",
     "MortonCOOMatrix",
     "MortonCOOTensor3D",
+    "ShapeError",
+    "StructureError",
     "SynthesisError",
     "SynthesizedConversion",
+    "UnsortedInputError",
+    "ValidationError",
     "all_formats",
     "container_format",
     "container_to_env",

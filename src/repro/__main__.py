@@ -11,6 +11,9 @@ Commands:
   through a synthesized inspector (multi-step planning with ``--plan``),
 * ``kernel FORMAT KIND`` — print a generated executor kernel,
 * ``selftest`` — differential-test every conversion on random matrices,
+* ``fuzz`` — property-based differential fuzzing: adversarial and
+  malformed inputs through every synthesizable format pair x backend x
+  optimize flag, with minimal-case shrinking and a JSON failure report,
 * ``cache stats|clear|warm`` — inspect, clear, or pre-populate the
   persistent inspector cache (``$REPRO_CACHE_DIR``, default
   ``~/.cache/repro-spf``).
@@ -78,12 +81,16 @@ def cmd_convert(args) -> int:
 
     matrix = read_matrix(args.input)
     print(f"read {matrix} from {args.input}", file=sys.stderr)
+    # Files carry no sortedness promise: detect, so unsorted .mtx input
+    # routes through the sorting COO descriptor instead of being rejected.
+    sorted_input = matrix.is_sorted_lexicographic()
     if args.plan:
         planner = default_planner(args.backend)
-        result = planner.execute(matrix, args.to)
-        plan = planner.plan(
-            "SCOO" if matrix.is_sorted_lexicographic() else "COO", args.to
+        result = planner.execute(
+            matrix, args.to, assume_sorted=sorted_input,
+            validate=args.validate,
         )
+        plan = planner.plan("SCOO" if sorted_input else "COO", args.to)
         print(f"plan: {plan}", file=sys.stderr)
     else:
         result = convert(
@@ -91,6 +98,8 @@ def cmd_convert(args) -> int:
             args.to,
             binary_search=args.binary_search,
             backend=args.backend,
+            assume_sorted=sorted_input,
+            validate=args.validate,
         )
     if args.verify:
         if not dense_equal(result.to_dense(), matrix.to_dense()):
@@ -125,6 +134,35 @@ def cmd_selftest(args) -> int:
         trials=args.trials, seed=args.seed, backend=args.backend
     )
     print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify import fuzz
+
+    backends = (
+        ("python", "numpy") if args.backend == "both" else (args.backend,)
+    )
+    optimize_levels = {
+        "both": (True, False), "on": (True,), "off": (False,)
+    }[args.optimize]
+    ranks = {"both": (2, 3), "2": (2,), "3": (3,)}[args.rank]
+    report = fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        backends=backends,
+        optimize_levels=optimize_levels,
+        ranks=ranks,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+    )
+    print(report.summary())
+    if args.report:
+        import json
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote failure report to {args.report}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -206,6 +244,10 @@ def main(argv: list[str] | None = None) -> int:
     p_conv.add_argument("--backend", choices=["python", "numpy"],
                         default="python",
                         help="lowering backend for the inspector")
+    p_conv.add_argument("--validate", choices=["off", "inputs", "full"],
+                        default="inputs",
+                        help="runtime validation gate: check inputs "
+                             "(default), also outputs (full), or nothing")
 
     p_self = sub.add_parser(
         "selftest", help="differential-test all conversions on random data"
@@ -215,6 +257,28 @@ def main(argv: list[str] | None = None) -> int:
     p_self.add_argument("--backend", choices=["python", "numpy"],
                         default="python",
                         help="lowering backend for the inspectors under test")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: adversarial inputs through every "
+             "format pair, cross-checked against dense semantics, "
+             "hand-written baselines, and the other backend",
+    )
+    p_fuzz.add_argument("--cases", type=int, default=200,
+                        help="conversion-case budget (default 200)")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--backend", choices=["python", "numpy", "both"],
+                        default="both")
+    p_fuzz.add_argument("--optimize", choices=["on", "off", "both"],
+                        default="both",
+                        help="which optimize flags to fuzz (default both)")
+    p_fuzz.add_argument("--rank", choices=["2", "3", "both"], default="both")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    p_fuzz.add_argument("--max-failures", type=int, default=25,
+                        help="stop after this many failures")
+    p_fuzz.add_argument("--report", metavar="PATH",
+                        help="write a machine-readable JSON failure report")
 
     p_kern = sub.add_parser("kernel", help="print a generated executor")
     p_kern.add_argument("format")
@@ -249,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
         "convert": cmd_convert,
         "kernel": cmd_kernel,
         "selftest": cmd_selftest,
+        "fuzz": cmd_fuzz,
         "cache": cmd_cache,
     }
     status = handlers[args.command](args)

@@ -204,9 +204,20 @@ class ConversionPlanner:
         return ConversionPlan(tuple(chain), steps)
 
     # ------------------------------------------------------------------
-    def execute(self, container, dst: str):
-        """Plan and run the conversion chain on a concrete container."""
-        src = container_format(container)
+    def execute(self, container, dst: str, *, assume_sorted: bool = True,
+                validate: str = "inputs"):
+        """Plan and run the conversion chain on a concrete container.
+
+        ``validate`` gates the chain like :func:`repro.convert`: the
+        source container is checked before the first step, and at
+        ``"full"`` every intermediate and the final result are checked
+        against the source's dense semantics.
+        """
+        from repro.verify import gate
+
+        level = gate.normalize_level(validate)
+        gate.check_input(container, level=level, assume_sorted=assume_sorted)
+        src = container_format(container, assume_sorted=assume_sorted)
         if src not in self.format_names:
             # A rank-specific planner may be needed; pick by the source.
             raise SynthesisError(
@@ -222,6 +233,7 @@ class ConversionPlanner:
             current = outputs_to_container(
                 step.dst, outputs, conversion.uf_output_map, env
             )
+            gate.check_output(current, container, level=level)
         return current
 
 
@@ -249,12 +261,21 @@ def default_planner_3d(backend: str = "python") -> ConversionPlanner:
     return planner
 
 
-def convert_via_plan(container, dst: str, *, backend: str = "python"):
+def convert_via_plan(
+    container,
+    dst: str,
+    *,
+    backend: str = "python",
+    assume_sorted: bool = True,
+    validate: str = "inputs",
+):
     """Convert through the cheapest available chain (module-level helper)."""
-    src = container_format(container)
+    src = container_format(container, assume_sorted=assume_sorted)
     planner = (
         default_planner_3d(backend)
         if src in PLANNABLE_3D
         else default_planner(backend)
     )
-    return planner.execute(container, dst)
+    return planner.execute(
+        container, dst, assume_sorted=assume_sorted, validate=validate
+    )

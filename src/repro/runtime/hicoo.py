@@ -19,11 +19,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import (
+    BoundsError,
+    ShapeError,
+    StructureError,
+    UnsortedInputError,
+)
+
 from .morton import morton3
-from .tensors3d import COOTensor3D
+from .tensors3d import COOTensor3D, _ValidatedTensor
 
 
-class HiCOOTensor:
+class HiCOOTensor(_ValidatedTensor):
     """Blocked 3-D sparse tensor with compact per-block element indices."""
 
     format_name = "HICOO"
@@ -58,23 +65,36 @@ class HiCOOTensor:
 
     def check(self) -> None:
         if self.block_bits < 1:
-            raise ValueError("block_bits must be >= 1")
+            raise ShapeError("block_bits must be >= 1", container=repr(self))
         if len(self.bptr) != self.nblocks + 1:
-            raise ValueError("bptr must have nblocks + 1 entries")
+            raise ShapeError(
+                "bptr must have nblocks + 1 entries", container=repr(self)
+            )
         if self.bptr[0] != 0 or self.bptr[-1] != self.nnz:
-            raise ValueError("bptr must start at 0 and end at nnz")
+            raise StructureError(
+                f"bptr must start at 0 and end at nnz={self.nnz}",
+                container=repr(self),
+            )
         if any(a > b for a, b in zip(self.bptr, self.bptr[1:])):
-            raise ValueError("bptr must be non-decreasing")
+            raise StructureError(
+                "bptr must be non-decreasing", container=repr(self)
+            )
         if len(self.eind) != self.nnz:
-            raise ValueError("one element index triple per nonzero required")
+            raise ShapeError(
+                "one element index triple per nonzero required",
+                container=repr(self),
+            )
         side = self.block_side
         for block, (bi, bj, bk) in enumerate(self.bind):
             for p in range(self.bptr[block], self.bptr[block + 1]):
                 ei, ej, ek = self.eind[p]
                 if not (0 <= ei < side and 0 <= ej < side and 0 <= ek < side):
-                    raise ValueError(
+                    raise BoundsError(
                         f"element offset {self.eind[p]} outside block side "
-                        f"{side}"
+                        f"{side}",
+                        coordinate=self.eind[p],
+                        position=p,
+                        container=repr(self),
                     )
                 i = (bi << self.block_bits) + ei
                 j = (bj << self.block_bits) + ej
@@ -84,13 +104,22 @@ class HiCOOTensor:
                     and 0 <= j < self.dims[1]
                     and 0 <= k < self.dims[2]
                 ):
-                    raise ValueError(
-                        f"coordinate ({i}, {j}, {k}) out of bounds"
+                    raise BoundsError(
+                        f"coordinate ({i}, {j}, {k}) out of bounds",
+                        coordinate=(i, j, k),
+                        position=p,
+                        container=repr(self),
                     )
         # Blocks must follow the Morton curve (HiCOO's storage order).
         keys = [morton3(*b) for b in self.bind]
-        if any(a >= b for a, b in zip(keys, keys[1:])):
-            raise ValueError("blocks not in strictly increasing Morton order")
+        for n, (a, b) in enumerate(zip(keys, keys[1:]), start=1):
+            if a >= b:
+                raise UnsortedInputError(
+                    f"blocks not in strictly increasing Morton order at "
+                    f"block {n}",
+                    position=n,
+                    container=repr(self),
+                )
 
     # ------------------------------------------------------------------
     def nonzeros(self):

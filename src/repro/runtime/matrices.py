@@ -13,6 +13,15 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from repro.errors import (
+    BoundsError,
+    DenseMismatchError,
+    DuplicateCoordinateError,
+    ShapeError,
+    StructureError,
+    UnsortedInputError,
+)
+
 from .morton import morton2
 
 Dense = list  # list[list[float]]
@@ -22,7 +31,46 @@ def _dense_zeros(nrows: int, ncols: int) -> Dense:
     return [[0.0] * ncols for _ in range(nrows)]
 
 
-class COOMatrix:
+class _ValidatedMatrix:
+    """Shared validation surface for the 2-D containers."""
+
+    def check(self) -> None:  # pragma: no cover - every subclass overrides
+        raise NotImplementedError
+
+    def check_against_dense(self, reference: Dense, *, tol: float = 0.0):
+        """Validate invariants *and* compare the dense image to ``reference``.
+
+        Raises :class:`~repro.errors.ValidationError` subclasses: structural
+        violations surface from :meth:`check`, and the first differing cell
+        surfaces as a :class:`~repro.errors.DenseMismatchError` naming the
+        coordinate and both values.
+        """
+        self.check()
+        actual = self.to_dense()
+        if len(actual) != len(reference) or (
+            actual and reference and len(actual[0]) != len(reference[0])
+        ):
+            raise DenseMismatchError(
+                f"dense image is "
+                f"{len(actual)}x{len(actual[0]) if actual else 0}, reference "
+                f"is {len(reference)}x"
+                f"{len(reference[0]) if reference else 0}",
+                container=repr(self),
+            )
+        for i, (ra, rb) in enumerate(zip(actual, reference)):
+            for j, (x, y) in enumerate(zip(ra, rb)):
+                if abs(x - y) > tol:
+                    raise DenseMismatchError(
+                        f"dense image differs at ({i}, {j}): "
+                        f"stored {x!r}, reference {y!r}",
+                        coordinate=(i, j),
+                        expected=y,
+                        actual=x,
+                        container=repr(self),
+                    )
+
+
+class COOMatrix(_ValidatedMatrix):
     """Coordinate format: parallel ``row`` / ``col`` / ``val`` arrays."""
 
     format_name = "COO"
@@ -47,17 +95,47 @@ class COOMatrix:
 
     def check(self) -> None:
         if not (len(self.row) == len(self.col) == len(self.val)):
-            raise ValueError("row/col/val lengths differ")
-        for i, j in zip(self.row, self.col):
+            raise ShapeError(
+                f"row/col/val lengths differ "
+                f"({len(self.row)}/{len(self.col)}/{len(self.val)})",
+                container=repr(self),
+            )
+        seen: dict[tuple[int, int], int] = {}
+        for n, (i, j) in enumerate(zip(self.row, self.col)):
             if not (0 <= i < self.nrows and 0 <= j < self.ncols):
-                raise ValueError(f"coordinate ({i}, {j}) out of bounds")
-        if len(set(zip(self.row, self.col))) != self.nnz:
-            raise ValueError("duplicate coordinates")
+                raise BoundsError(
+                    f"coordinate ({i}, {j}) at position {n} is outside "
+                    f"{self.nrows}x{self.ncols}",
+                    coordinate=(i, j),
+                    position=n,
+                    container=repr(self),
+                )
+            first = seen.setdefault((i, j), n)
+            if first != n:
+                raise DuplicateCoordinateError(
+                    f"coordinate ({i}, {j}) stored at positions "
+                    f"{first} and {n}",
+                    coordinate=(i, j),
+                    positions=(first, n),
+                    container=repr(self),
+                )
 
     def is_sorted_lexicographic(self) -> bool:
         """Row-major sorted — the assumption Figure 2 makes for sources."""
-        pairs = list(zip(self.row, self.col))
-        return all(a <= b for a, b in zip(pairs, pairs[1:]))
+        return self.first_unsorted_position() is None
+
+    def first_unsorted_position(self) -> int | None:
+        """Position of the first entry breaking lexicographic order.
+
+        The cheap monotonicity scan the validation gate runs before
+        trusting ``assume_sorted=True``; ``None`` when the data is sorted.
+        """
+        prev = None
+        for n, pair in enumerate(zip(self.row, self.col)):
+            if prev is not None and pair < prev:
+                return n
+            prev = pair
+        return None
 
     def sorted_lexicographic(self) -> "COOMatrix":
         order = sorted(range(self.nnz), key=lambda n: (self.row[n], self.col[n]))
@@ -103,8 +181,14 @@ class MortonCOOMatrix(COOMatrix):
     def check(self) -> None:
         super().check()
         keys = [morton2(i, j) for i, j in zip(self.row, self.col)]
-        if any(a >= b for a, b in zip(keys, keys[1:])):
-            raise ValueError("entries not in strictly increasing Morton order")
+        for n, (a, b) in enumerate(zip(keys, keys[1:]), start=1):
+            if a >= b:
+                raise UnsortedInputError(
+                    f"entries not in strictly increasing Morton order at "
+                    f"position {n}",
+                    position=n,
+                    container=repr(self),
+                )
 
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "MortonCOOMatrix":
@@ -120,7 +204,7 @@ class MortonCOOMatrix(COOMatrix):
         )
 
 
-class CSRMatrix:
+class CSRMatrix(_ValidatedMatrix):
     """Compressed sparse row: ``rowptr`` (len nrows+1), ``col``, ``val``."""
 
     format_name = "CSR"
@@ -145,19 +229,48 @@ class CSRMatrix:
 
     def check(self) -> None:
         if len(self.rowptr) != self.nrows + 1:
-            raise ValueError("rowptr must have nrows + 1 entries")
+            raise ShapeError(
+                f"rowptr must have nrows + 1 = {self.nrows + 1} entries, "
+                f"got {len(self.rowptr)}",
+                container=repr(self),
+            )
         if self.rowptr[0] != 0 or self.rowptr[-1] != self.nnz:
-            raise ValueError("rowptr must start at 0 and end at nnz")
+            raise StructureError(
+                f"rowptr must start at 0 and end at nnz={self.nnz}, got "
+                f"[{self.rowptr[0]}, ..., {self.rowptr[-1]}]",
+                container=repr(self),
+            )
         if any(a > b for a, b in zip(self.rowptr, self.rowptr[1:])):
-            raise ValueError("rowptr must be non-decreasing")
+            raise StructureError(
+                "rowptr must be non-decreasing", container=repr(self)
+            )
         if len(self.col) != len(self.val):
-            raise ValueError("col/val lengths differ")
+            raise ShapeError(
+                f"col/val lengths differ ({len(self.col)}/{len(self.val)})",
+                container=repr(self),
+            )
         for i in range(self.nrows):
             cols = self.col[self.rowptr[i] : self.rowptr[i + 1]]
-            if any(not (0 <= j < self.ncols) for j in cols):
-                raise ValueError(f"column out of bounds in row {i}")
-            if any(a >= b for a, b in zip(cols, cols[1:])):
-                raise ValueError(f"columns not strictly increasing in row {i}")
+            for j in cols:
+                if not (0 <= j < self.ncols):
+                    raise BoundsError(
+                        f"column {j} out of bounds in row {i}",
+                        coordinate=(i, j),
+                        container=repr(self),
+                    )
+            for a, b in zip(cols, cols[1:]):
+                if a == b:
+                    raise DuplicateCoordinateError(
+                        f"duplicate column index {a} in row {i}",
+                        coordinate=(i, a),
+                        container=repr(self),
+                    )
+                if a > b:
+                    raise UnsortedInputError(
+                        f"columns not strictly increasing in row {i}: "
+                        f"{a} before {b}",
+                        container=repr(self),
+                    )
 
     def to_dense(self) -> Dense:
         dense = _dense_zeros(self.nrows, self.ncols)
@@ -189,7 +302,7 @@ class CSRMatrix:
         return f"CSRMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
 
 
-class CSCMatrix:
+class CSCMatrix(_ValidatedMatrix):
     """Compressed sparse column: ``colptr`` (len ncols+1), ``row``, ``val``."""
 
     format_name = "CSC"
@@ -214,17 +327,48 @@ class CSCMatrix:
 
     def check(self) -> None:
         if len(self.colptr) != self.ncols + 1:
-            raise ValueError("colptr must have ncols + 1 entries")
+            raise ShapeError(
+                f"colptr must have ncols + 1 = {self.ncols + 1} entries, "
+                f"got {len(self.colptr)}",
+                container=repr(self),
+            )
         if self.colptr[0] != 0 or self.colptr[-1] != self.nnz:
-            raise ValueError("colptr must start at 0 and end at nnz")
+            raise StructureError(
+                f"colptr must start at 0 and end at nnz={self.nnz}, got "
+                f"[{self.colptr[0]}, ..., {self.colptr[-1]}]",
+                container=repr(self),
+            )
         if any(a > b for a, b in zip(self.colptr, self.colptr[1:])):
-            raise ValueError("colptr must be non-decreasing")
+            raise StructureError(
+                "colptr must be non-decreasing", container=repr(self)
+            )
+        if len(self.row) != len(self.val):
+            raise ShapeError(
+                f"row/val lengths differ ({len(self.row)}/{len(self.val)})",
+                container=repr(self),
+            )
         for j in range(self.ncols):
             rows = self.row[self.colptr[j] : self.colptr[j + 1]]
-            if any(not (0 <= i < self.nrows) for i in rows):
-                raise ValueError(f"row out of bounds in column {j}")
-            if any(a >= b for a, b in zip(rows, rows[1:])):
-                raise ValueError(f"rows not strictly increasing in column {j}")
+            for i in rows:
+                if not (0 <= i < self.nrows):
+                    raise BoundsError(
+                        f"row {i} out of bounds in column {j}",
+                        coordinate=(i, j),
+                        container=repr(self),
+                    )
+            for a, b in zip(rows, rows[1:]):
+                if a == b:
+                    raise DuplicateCoordinateError(
+                        f"duplicate row index {a} in column {j}",
+                        coordinate=(a, j),
+                        container=repr(self),
+                    )
+                if a > b:
+                    raise UnsortedInputError(
+                        f"rows not strictly increasing in column {j}: "
+                        f"{a} before {b}",
+                        container=repr(self),
+                    )
 
     def to_dense(self) -> Dense:
         dense = _dense_zeros(self.nrows, self.ncols)
@@ -251,7 +395,7 @@ class CSCMatrix:
         return f"CSCMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
 
 
-class DIAMatrix:
+class DIAMatrix(_ValidatedMatrix):
     """Diagonal format: sorted ``off`` array + row-major diagonal data.
 
     ``data`` is laid out exactly as the paper's data access relation
@@ -279,12 +423,30 @@ class DIAMatrix:
         return len(self.off)
 
     def check(self) -> None:
-        if any(a >= b for a, b in zip(self.off, self.off[1:])):
-            raise ValueError("off must be strictly increasing")
-        if any(not (-self.nrows < o < self.ncols) for o in self.off):
-            raise ValueError("offset out of the valid diagonal range")
+        for a, b in zip(self.off, self.off[1:]):
+            if a == b:
+                raise DuplicateCoordinateError(
+                    f"duplicate diagonal offset {a}", container=repr(self)
+                )
+            if a > b:
+                raise UnsortedInputError(
+                    f"off must be strictly increasing: {a} before {b}",
+                    container=repr(self),
+                )
+        for o in self.off:
+            if not (-self.nrows < o < self.ncols):
+                raise BoundsError(
+                    f"offset {o} outside the valid diagonal range "
+                    f"({-(self.nrows - 1)} .. {self.ncols - 1})",
+                    coordinate=o,
+                    container=repr(self),
+                )
         if len(self.data) != self.nrows * self.ndiags:
-            raise ValueError("data must have nrows * ndiags entries")
+            raise ShapeError(
+                f"data must have nrows * ndiags = "
+                f"{self.nrows * self.ndiags} entries, got {len(self.data)}",
+                container=repr(self),
+            )
 
     def to_dense(self) -> Dense:
         dense = _dense_zeros(self.nrows, self.ncols)
@@ -325,7 +487,7 @@ class DIAMatrix:
         )
 
 
-class BCSRMatrix:
+class BCSRMatrix(_ValidatedMatrix):
     """Blocked CSR with dense ``bsize`` x ``bsize`` blocks (Figure 1's BCSR).
 
     ``browptr``/``bcol`` compress the block rows; each block stores its
@@ -360,15 +522,53 @@ class BCSRMatrix:
 
     def check(self) -> None:
         if self.bsize < 1:
-            raise ValueError("block size must be positive")
+            raise ShapeError(
+                "block size must be positive", container=repr(self)
+            )
         if len(self.browptr) != self.nblockrows + 1:
-            raise ValueError("browptr must have nblockrows + 1 entries")
+            raise ShapeError(
+                f"browptr must have nblockrows + 1 = {self.nblockrows + 1} "
+                f"entries, got {len(self.browptr)}",
+                container=repr(self),
+            )
         if self.browptr[0] != 0 or self.browptr[-1] != self.nblocks:
-            raise ValueError("browptr must start at 0 and end at nblocks")
+            raise StructureError(
+                f"browptr must start at 0 and end at nblocks="
+                f"{self.nblocks}",
+                container=repr(self),
+            )
         if any(a > b for a, b in zip(self.browptr, self.browptr[1:])):
-            raise ValueError("browptr must be non-decreasing")
+            raise StructureError(
+                "browptr must be non-decreasing", container=repr(self)
+            )
         if len(self.data) != self.nblocks * self.bsize * self.bsize:
-            raise ValueError("data must hold bsize*bsize entries per block")
+            raise ShapeError(
+                "data must hold bsize*bsize entries per block",
+                container=repr(self),
+            )
+        nbc = -(-self.ncols // self.bsize)
+        for bi in range(self.nblockrows):
+            bcols = self.bcol[self.browptr[bi] : self.browptr[bi + 1]]
+            for bj in bcols:
+                if not (0 <= bj < nbc):
+                    raise BoundsError(
+                        f"block column {bj} out of bounds in block row {bi}",
+                        coordinate=(bi, bj),
+                        container=repr(self),
+                    )
+            for a, b in zip(bcols, bcols[1:]):
+                if a == b:
+                    raise DuplicateCoordinateError(
+                        f"duplicate block column {a} in block row {bi}",
+                        coordinate=(bi, a),
+                        container=repr(self),
+                    )
+                if a > b:
+                    raise UnsortedInputError(
+                        f"block columns not strictly increasing in block "
+                        f"row {bi}: {a} before {b}",
+                        container=repr(self),
+                    )
 
     def to_dense(self) -> Dense:
         dense = _dense_zeros(self.nrows, self.ncols)
@@ -423,7 +623,7 @@ class BCSRMatrix:
         )
 
 
-class ELLMatrix:
+class ELLMatrix(_ValidatedMatrix):
     """ELLPACK: fixed entries-per-row with column padding (extension format)."""
 
     format_name = "ELL"
@@ -447,12 +647,30 @@ class ELLMatrix:
     def check(self) -> None:
         expected = self.nrows * self.width
         if len(self.col) != expected or len(self.val) != expected:
-            raise ValueError("col/val must have nrows * width entries")
+            raise ShapeError(
+                f"col/val must have nrows * width = {expected} entries, "
+                f"got {len(self.col)}/{len(self.val)}",
+                container=repr(self),
+            )
         for i in range(self.nrows):
+            seen: set[int] = set()
             for w in range(self.width):
                 j = self.col[i * self.width + w]
-                if j != self.PAD and not (0 <= j < self.ncols):
-                    raise ValueError(f"column out of bounds at row {i}")
+                if j == self.PAD:
+                    continue
+                if not (0 <= j < self.ncols):
+                    raise BoundsError(
+                        f"column {j} out of bounds at row {i}",
+                        coordinate=(i, j),
+                        container=repr(self),
+                    )
+                if j in seen:
+                    raise DuplicateCoordinateError(
+                        f"duplicate column index {j} in row {i}",
+                        coordinate=(i, j),
+                        container=repr(self),
+                    )
+                seen.add(j)
 
     def to_dense(self) -> Dense:
         dense = _dense_zeros(self.nrows, self.ncols)

@@ -7,12 +7,53 @@ z-Morton sort).
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import (
+    BoundsError,
+    DenseMismatchError,
+    DuplicateCoordinateError,
+    ShapeError,
+    UnsortedInputError,
+)
 
 from .morton import morton3
 
 
-class COOTensor3D:
+class _ValidatedTensor:
+    """Shared validation surface for the 3-D containers.
+
+    The dense reference for a sparse tensor is its coordinate map
+    (``to_dict()``), not a materialized rank-3 array.
+    """
+
+    def check(self) -> None:  # pragma: no cover - every subclass overrides
+        raise NotImplementedError
+
+    def check_against_dense(
+        self,
+        reference: Mapping[tuple[int, int, int], float],
+        *,
+        tol: float = 0.0,
+    ) -> None:
+        """Validate invariants and compare ``to_dict()`` to ``reference``."""
+        self.check()
+        actual = self.to_dict()
+        for coord in set(actual) | set(reference):
+            x = actual.get(coord, 0.0)
+            y = reference.get(coord, 0.0)
+            if abs(x - y) > tol:
+                raise DenseMismatchError(
+                    f"coordinate map differs at {coord}: stored {x!r}, "
+                    f"reference {y!r}",
+                    coordinate=coord,
+                    expected=y,
+                    actual=x,
+                    container=repr(self),
+                )
+
+
+class COOTensor3D(_ValidatedTensor):
     """3-D coordinate format with parallel ``row`` / ``col`` / ``z`` arrays.
 
     Mode names follow the paper's COO3D descriptor: ``row_1``, ``col_1`` and
@@ -42,16 +83,33 @@ class COOTensor3D:
     def check(self) -> None:
         lengths = {len(self.row), len(self.col), len(self.z), len(self.val)}
         if len(lengths) != 1:
-            raise ValueError("coordinate/value arrays have differing lengths")
-        for i, j, k in zip(self.row, self.col, self.z):
+            raise ShapeError(
+                "coordinate/value arrays have differing lengths",
+                container=repr(self),
+            )
+        seen: dict[tuple[int, int, int], int] = {}
+        for n, (i, j, k) in enumerate(zip(self.row, self.col, self.z)):
             if not (
                 0 <= i < self.dims[0]
                 and 0 <= j < self.dims[1]
                 and 0 <= k < self.dims[2]
             ):
-                raise ValueError(f"coordinate ({i}, {j}, {k}) out of bounds")
-        if len(set(zip(self.row, self.col, self.z))) != self.nnz:
-            raise ValueError("duplicate coordinates")
+                raise BoundsError(
+                    f"coordinate ({i}, {j}, {k}) at position {n} is outside "
+                    f"{self.dims}",
+                    coordinate=(i, j, k),
+                    position=n,
+                    container=repr(self),
+                )
+            first = seen.setdefault((i, j, k), n)
+            if first != n:
+                raise DuplicateCoordinateError(
+                    f"coordinate ({i}, {j}, {k}) stored at positions "
+                    f"{first} and {n}",
+                    coordinate=(i, j, k),
+                    positions=(first, n),
+                    container=repr(self),
+                )
 
     def nonzeros(self) -> Iterator[tuple[int, int, int, float]]:
         return zip(self.row, self.col, self.z, self.val)
@@ -61,6 +119,18 @@ class COOTensor3D:
         return {
             (i, j, k): v for i, j, k, v in self.nonzeros()
         }
+
+    def first_unsorted_position(self) -> int | None:
+        """Position of the first entry breaking lexicographic order."""
+        prev = None
+        for n, triple in enumerate(zip(self.row, self.col, self.z)):
+            if prev is not None and triple < prev:
+                return n
+            prev = triple
+        return None
+
+    def is_sorted_lexicographic(self) -> bool:
+        return self.first_unsorted_position() is None
 
     def sorted_lexicographic(self) -> "COOTensor3D":
         order = sorted(
@@ -89,8 +159,14 @@ class MortonCOOTensor3D(COOTensor3D):
         keys = [
             morton3(i, j, k) for i, j, k in zip(self.row, self.col, self.z)
         ]
-        if any(a >= b for a, b in zip(keys, keys[1:])):
-            raise ValueError("entries not in strictly increasing Morton order")
+        for n, (a, b) in enumerate(zip(keys, keys[1:]), start=1):
+            if a >= b:
+                raise UnsortedInputError(
+                    f"entries not in strictly increasing Morton order at "
+                    f"position {n}",
+                    position=n,
+                    container=repr(self),
+                )
 
     @classmethod
     def from_coo(cls, coo: COOTensor3D) -> "MortonCOOTensor3D":

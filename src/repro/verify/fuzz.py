@@ -1,0 +1,847 @@
+"""Property-based differential fuzzing of the synthesized conversions.
+
+The standing oracle for the synthesis stack: generate adversarial random
+inputs (empty, single row/column, fully dense, dense rows, single
+diagonal, tall/wide rectangles, power-law and banded structure, unsorted
+orders, plus deliberately *malformed* duplicate/out-of-bounds/unsorted
+containers) and push them through every synthesizable format pair x
+lowering backend x optimize flag, cross-checking:
+
+* **dense semantics** — the converted container's invariants and dense
+  image versus the input's (via the ``validate="full"`` gate *and* an
+  independent comparison against the generator's dense reference),
+* **hand-written baselines** — exact output-array equality against the
+  TACO/MKL/SPARSKIT-style reference converters where one exists,
+* **backend agreement** — the numpy lowering's container must match the
+  scalar lowering's, array for array,
+* **the validation gate** — malformed inputs must raise
+  :class:`~repro.errors.ValidationError`, never return a container or
+  escape as a raw ``IndexError``.
+
+Runs are deterministic per ``seed``; every failure is shrunk to a minimal
+reproducing input (greedy nonzero removal + dimension trimming) and
+reported machine-readably (:meth:`FuzzReport.to_dict`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.formats import get_format
+from repro.runtime import (
+    BCSRMatrix,
+    COOMatrix,
+    COOTensor3D,
+    CSCMatrix,
+    CSFTensor,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+    MortonCOOMatrix,
+    MortonCOOTensor3D,
+    dense_equal,
+)
+from repro.synthesis import SynthesisError, synthesize_cached
+
+Dense = list
+
+#: Conversion sources/destinations covered by the fuzzer.  Sources span
+#: every container with a descriptor; destinations are the formats
+#: ``outputs_to_container`` can materialize.
+SOURCES_2D = ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR", "ELL")
+DESTS_2D = ("SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR")
+SOURCES_3D = ("COO3D", "SCOO3D", "MCOO3", "CSF")
+DESTS_3D = ("SCOO3D", "MCOO3")
+
+BCSR_BSIZE = 2  # the block size outputs_to_container materializes
+
+
+# ----------------------------------------------------------------------
+# Adversarial input generation
+
+
+def _rand_val(rng: random.Random) -> float:
+    return round(rng.uniform(-9, 9), 3) or 1.0
+
+
+def _dense_from_cells(nrows, ncols, cells, rng) -> Dense:
+    dense = [[0.0] * ncols for _ in range(nrows)]
+    for i, j in cells:
+        dense[i][j] = _rand_val(rng)
+    return dense
+
+
+def _gen_empty(rng):
+    return _dense_from_cells(rng.randint(1, 6), rng.randint(1, 6), [], rng)
+
+
+def _gen_single_cell(rng):
+    nr, nc = rng.randint(1, 6), rng.randint(1, 6)
+    return _dense_from_cells(
+        nr, nc, [(rng.randrange(nr), rng.randrange(nc))], rng
+    )
+
+
+def _gen_single_row(rng):
+    nc = rng.randint(1, 10)
+    cells = [(0, j) for j in range(nc) if rng.random() < 0.6]
+    return _dense_from_cells(1, nc, cells, rng)
+
+
+def _gen_single_col(rng):
+    nr = rng.randint(1, 10)
+    cells = [(i, 0) for i in range(nr) if rng.random() < 0.6]
+    return _dense_from_cells(nr, 1, cells, rng)
+
+
+def _gen_fully_dense(rng):
+    nr, nc = rng.randint(1, 5), rng.randint(1, 5)
+    return _dense_from_cells(
+        nr, nc, [(i, j) for i in range(nr) for j in range(nc)], rng
+    )
+
+
+def _gen_dense_rows(rng):
+    nr, nc = rng.randint(2, 6), rng.randint(2, 8)
+    cells = []
+    for i in range(nr):
+        if rng.random() < 0.5:  # a fully dense row
+            cells.extend((i, j) for j in range(nc))
+        elif rng.random() < 0.5:
+            cells.append((i, rng.randrange(nc)))
+    return _dense_from_cells(nr, nc, cells, rng)
+
+
+def _gen_single_diagonal(rng):
+    nr, nc = rng.randint(2, 8), rng.randint(2, 8)
+    off = rng.randint(-(nr - 1), nc - 1)
+    cells = [
+        (i, i + off) for i in range(nr) if 0 <= i + off < nc
+    ]
+    return _dense_from_cells(nr, nc, cells, rng)
+
+
+def _gen_tall(rng):
+    nr, nc = rng.randint(6, 12), rng.randint(1, 3)
+    cells = {
+        (rng.randrange(nr), rng.randrange(nc))
+        for _ in range(rng.randint(0, nr))
+    }
+    return _dense_from_cells(nr, nc, sorted(cells), rng)
+
+
+def _gen_wide(rng):
+    nr, nc = rng.randint(1, 3), rng.randint(6, 12)
+    cells = {
+        (rng.randrange(nr), rng.randrange(nc))
+        for _ in range(rng.randint(0, nc))
+    }
+    return _dense_from_cells(nr, nc, sorted(cells), rng)
+
+
+def _gen_power_law(rng):
+    from repro.datagen import power_law
+
+    nr, nc = rng.randint(4, 10), rng.randint(4, 10)
+    coo = power_law(nr, nc, rng.randint(1, nr * 2),
+                    seed=rng.randrange(1 << 30))
+    return coo.to_dense()
+
+
+def _gen_banded(rng):
+    from repro.datagen import banded
+
+    nr, nc = rng.randint(3, 9), rng.randint(3, 9)
+    offsets = sorted(
+        {rng.randint(-(nr - 1), nc - 1) for _ in range(rng.randint(1, 3))}
+    )
+    coo = banded(nr, nc, offsets, density=rng.choice((1.0, 0.6)),
+                 seed=rng.randrange(1 << 30))
+    return coo.to_dense()
+
+
+def _gen_uniform(rng):
+    nr, nc = rng.randint(2, 10), rng.randint(2, 10)
+    ncells = nr * nc
+    nnz = rng.randint(0, min(ncells, 24))
+    cells = rng.sample(
+        [(c // nc, c % nc) for c in range(ncells)], nnz
+    )
+    return _dense_from_cells(nr, nc, cells, rng)
+
+
+CASE_KINDS_2D: tuple[tuple[str, Callable], ...] = (
+    ("empty", _gen_empty),
+    ("single_cell", _gen_single_cell),
+    ("single_row", _gen_single_row),
+    ("single_col", _gen_single_col),
+    ("fully_dense", _gen_fully_dense),
+    ("dense_rows", _gen_dense_rows),
+    ("single_diagonal", _gen_single_diagonal),
+    ("tall", _gen_tall),
+    ("wide", _gen_wide),
+    ("power_law", _gen_power_law),
+    ("banded", _gen_banded),
+    ("uniform", _gen_uniform),
+)
+
+
+def _gen_tensor(rng, kind: str) -> COOTensor3D:
+    """A random 3-D tensor; ``kind`` selects a degenerate family."""
+    if kind == "empty3":
+        dims = tuple(rng.randint(1, 4) for _ in range(3))
+        return COOTensor3D(dims, [], [], [], [])
+    if kind == "fiber":  # all nonzeros share one (i, j) fiber
+        dims = (rng.randint(1, 3), rng.randint(1, 3), rng.randint(2, 8))
+        i, j = rng.randrange(dims[0]), rng.randrange(dims[1])
+        ks = sorted(
+            rng.sample(range(dims[2]), rng.randint(1, dims[2]))
+        )
+        return COOTensor3D(
+            dims, [i] * len(ks), [j] * len(ks), ks,
+            [_rand_val(rng) for _ in ks],
+        )
+    dims = tuple(rng.randint(1, 6) for _ in range(3))
+    seen = sorted(
+        {
+            (rng.randrange(dims[0]), rng.randrange(dims[1]),
+             rng.randrange(dims[2]))
+            for _ in range(rng.randint(0, 12))
+        }
+    )
+    rows, cols, zs = (
+        [list(axis) for axis in zip(*seen)] if seen else ([], [], [])
+    )
+    return COOTensor3D(dims, rows, cols, zs, [_rand_val(rng) for _ in rows])
+
+
+CASE_KINDS_3D = ("empty3", "fiber", "uniform3")
+
+
+def _shuffle_coo(coo: COOMatrix, rng) -> COOMatrix:
+    order = list(range(coo.nnz))
+    rng.shuffle(order)
+    return COOMatrix(
+        coo.nrows, coo.ncols,
+        [coo.row[n] for n in order],
+        [coo.col[n] for n in order],
+        [coo.val[n] for n in order],
+    )
+
+
+def _make_source_2d(src: str, dense: Dense, rng) -> object | None:
+    """Build the source container *independently* of the code under test."""
+    coo = COOMatrix.from_dense(dense)
+    if src == "COO":
+        return _shuffle_coo(coo, rng)
+    if src == "SCOO":
+        return coo
+    if src == "MCOO":
+        return MortonCOOMatrix.from_coo(coo)
+    if src == "CSR":
+        return CSRMatrix.from_dense(dense)
+    if src == "CSC":
+        return CSCMatrix.from_dense(dense)
+    if src == "DIA":
+        return DIAMatrix.from_dense(dense)
+    if src == "BCSR":
+        return BCSRMatrix.from_dense(dense, BCSR_BSIZE)
+    if src == "ELL":
+        return ELLMatrix.from_dense(dense)
+    raise KeyError(src)
+
+
+def _make_source_3d(src: str, tensor: COOTensor3D, rng) -> object:
+    coo = tensor.sorted_lexicographic()
+    if src == "COO3D":
+        order = list(range(coo.nnz))
+        rng.shuffle(order)
+        return COOTensor3D(
+            coo.dims,
+            [coo.row[n] for n in order],
+            [coo.col[n] for n in order],
+            [coo.z[n] for n in order],
+            [coo.val[n] for n in order],
+        )
+    if src == "SCOO3D":
+        return coo
+    if src == "MCOO3":
+        return MortonCOOTensor3D.from_coo(coo)
+    if src == "CSF":
+        return CSFTensor.from_coo(coo)
+    raise KeyError(src)
+
+
+# ----------------------------------------------------------------------
+# Oracles
+
+
+def _baseline_outputs(src: str, dst: str, container) -> list:
+    """Hand-written reference conversions for (src, dst), when they exist."""
+    from repro.baselines import mkl_style, sparskit_style, taco_style
+
+    refs = []
+    if src in ("COO", "SCOO"):
+        coo = (
+            container
+            if container.is_sorted_lexicographic()
+            else container.sorted_lexicographic()
+        )
+        if dst == "CSR":
+            refs = [taco_style.coo_to_csr(coo), mkl_style.coo_to_csr(coo),
+                    sparskit_style.coocsr(coo)]
+        elif dst == "CSC":
+            refs = [taco_style.coo_to_csc(coo), mkl_style.coo_to_csc(coo),
+                    sparskit_style.coocsc(coo)]
+        elif dst == "DIA":
+            refs = [taco_style.coo_to_dia(coo), mkl_style.coo_to_dia(coo),
+                    sparskit_style.coodia(coo)]
+    elif src == "CSR":
+        if dst == "CSC":
+            refs = [taco_style.csr_to_csc(container),
+                    mkl_style.csr_to_csc(container),
+                    sparskit_style.csrcsc(container)]
+        elif dst == "DIA":
+            refs = [taco_style.csr_to_dia(container),
+                    sparskit_style.csrdia(container)]
+    return refs
+
+
+_ARRAY_FIELDS = {
+    "CSR": ("rowptr", "col", "val"),
+    "CSC": ("colptr", "row", "val"),
+    "DIA": ("off", "data"),
+    "SCOO": ("row", "col", "val"),
+    "MCOO": ("row", "col", "val"),
+    "BCSR": ("browptr", "bcol", "data"),
+    "SCOO3D": ("row", "col", "z", "val"),
+    "COO3D": ("row", "col", "z", "val"),
+    "MCOO3": ("row", "col", "z", "val"),
+}
+
+
+def _arrays_differ(dst: str, a, b) -> Optional[str]:
+    for name in _ARRAY_FIELDS.get(dst, ()):
+        if list(getattr(a, name)) != list(getattr(b, name)):
+            return name
+    return None
+
+
+# ----------------------------------------------------------------------
+# Reporting
+
+
+@dataclass
+class FuzzFailure:
+    """One surviving discrepancy, shrunk to a minimal reproducing input."""
+
+    case: int
+    kind: str
+    src: str
+    dst: str
+    backend: str
+    optimize: bool
+    stage: str  # convert | structure | dense | baseline | backend | gate
+    message: str
+    input_repr: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "backend": self.backend,
+            "optimize": self.optimize,
+            "stage": self.stage,
+            "message": self.message,
+            "input": self.input_repr,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Machine-readable outcome of a fuzzing run."""
+
+    seed: int
+    cases_requested: int
+    cases_run: int = 0
+    conversions_checked: int = 0
+    gate_probes: int = 0
+    combos_total: int = 0
+    combos_covered: int = 0
+    skipped_pairs: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases_requested": self.cases_requested,
+            "cases_run": self.cases_run,
+            "conversions_checked": self.conversions_checked,
+            "gate_probes": self.gate_probes,
+            "combos_total": self.combos_total,
+            "combos_covered": self.combos_covered,
+            "skipped_pairs": list(self.skipped_pairs),
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        lines = [
+            f"fuzz: seed {self.seed}, {self.cases_run} cases, "
+            f"{self.conversions_checked} conversions and "
+            f"{self.gate_probes} gate probes checked, "
+            f"{self.combos_covered}/{self.combos_total} "
+            f"pair/backend/optimize combos covered — {status}"
+        ]
+        if self.skipped_pairs:
+            lines.append(
+                f"  ({len(self.skipped_pairs)} pairs have no direct "
+                f"synthesis: {', '.join(self.skipped_pairs)})"
+            )
+        if self.combos_covered < self.combos_total:
+            lines.append(
+                "  WARNING: case budget below combo count — raise --cases "
+                "for exhaustive pair coverage"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL case {failure.case} [{failure.stage}] "
+                f"{failure.src}->{failure.dst} backend={failure.backend} "
+                f"optimize={failure.optimize} ({failure.kind}): "
+                f"{failure.message}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Case execution
+
+
+def _input_repr(container) -> dict:
+    if hasattr(container, "to_dense"):
+        return {
+            "dense": container.to_dense(),
+            "container": repr(container),
+        }
+    return {
+        "dims": list(container.dims),
+        "entries": sorted(
+            (list(c), v) for c, v in container.to_dict().items()
+        ),
+        "container": repr(container),
+    }
+
+
+def _run_case_2d(dense: Dense, src: str, dst: str, backend: str,
+                 optimize: bool, rng) -> Optional[tuple[str, str]]:
+    """Run one conversion case; return (stage, message) on discrepancy."""
+    from repro import convert
+
+    container = _make_source_2d(src, dense, rng)
+    try:
+        out = convert(
+            container, dst,
+            backend=backend,
+            optimize=optimize,
+            assume_sorted=(src != "COO"),
+            validate="full",
+        )
+    except ValidationError as err:
+        return "convert", f"well-formed input rejected: {err}"
+    except Exception as err:  # noqa: BLE001 - any escape is a finding
+        return "convert", f"{type(err).__name__}: {err}"
+    try:
+        out.check()
+    except ValidationError as err:
+        return "structure", str(err)
+    if not dense_equal(out.to_dense(), dense):
+        return "dense", "dense image differs from the generator reference"
+    try:
+        refs = _baseline_outputs(src, dst, container)
+    except Exception as err:  # noqa: BLE001 - baseline crash is a finding
+        return "baseline", f"baseline raised {type(err).__name__}: {err}"
+    for ref in refs:
+        differing = _arrays_differ(dst, out, ref)
+        if differing is not None:
+            return (
+                "baseline",
+                f"synthesized {differing} differs from "
+                f"{type(ref).__name__} baseline",
+            )
+    if backend == "numpy":
+        scalar = convert(
+            container, dst,
+            backend="python",
+            optimize=optimize,
+            assume_sorted=(src != "COO"),
+            validate="off",
+        )
+        differing = _arrays_differ(dst, out, scalar)
+        if differing is not None:
+            return (
+                "backend",
+                f"numpy lowering's {differing} differs from the scalar "
+                f"lowering",
+            )
+    return None
+
+
+def _run_case_3d(tensor: COOTensor3D, src: str, dst: str, backend: str,
+                 optimize: bool, rng) -> Optional[tuple[str, str]]:
+    from repro import convert
+
+    container = _make_source_3d(src, tensor, rng)
+    reference = tensor.to_dict()
+    try:
+        out = convert(
+            container, dst,
+            backend=backend,
+            optimize=optimize,
+            assume_sorted=(src != "COO3D"),
+            validate="full",
+        )
+    except ValidationError as err:
+        return "convert", f"well-formed input rejected: {err}"
+    except Exception as err:  # noqa: BLE001
+        return "convert", f"{type(err).__name__}: {err}"
+    try:
+        out.check_against_dense(reference)
+    except ValidationError as err:
+        return "dense", str(err)
+    if backend == "numpy":
+        scalar = convert(
+            container, dst,
+            backend="python",
+            optimize=optimize,
+            assume_sorted=(src != "COO3D"),
+            validate="off",
+        )
+        differing = _arrays_differ(dst, out, scalar)
+        if differing is not None:
+            return (
+                "backend",
+                f"numpy lowering's {differing} differs from the scalar "
+                f"lowering",
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+
+
+def _shrink_dense(dense: Dense, predicate, *, budget: int = 200) -> Dense:
+    """Greedy minimization: zero out nonzeros, then trim trailing dims."""
+    current = [row[:] for row in dense]
+    attempts = 0
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        # 1. Try zeroing each nonzero.
+        for i, row in enumerate(current):
+            for j, v in enumerate(row):
+                if v == 0.0 or attempts >= budget:
+                    continue
+                candidate = [r[:] for r in current]
+                candidate[i][j] = 0.0
+                attempts += 1
+                if predicate(candidate):
+                    current = candidate
+                    improved = True
+        # 2. Try dropping the last row / column.
+        while len(current) > 1 and attempts < budget:
+            candidate = [r[:] for r in current[:-1]]
+            attempts += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+            else:
+                break
+        while current and len(current[0]) > 1 and attempts < budget:
+            candidate = [r[:-1] for r in current]
+            attempts += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+            else:
+                break
+    return current
+
+
+def _shrink_tensor(tensor: COOTensor3D, predicate, *,
+                   budget: int = 120) -> COOTensor3D:
+    """Greedy minimization for 3-D cases: drop entries, shrink dims."""
+    current = tensor
+    attempts = 0
+    improved = True
+    while improved and attempts < budget:
+        improved = False
+        for n in range(current.nnz):
+            if attempts >= budget:
+                break
+            keep = [m for m in range(current.nnz) if m != n]
+            candidate = COOTensor3D(
+                current.dims,
+                [current.row[m] for m in keep],
+                [current.col[m] for m in keep],
+                [current.z[m] for m in keep],
+                [current.val[m] for m in keep],
+            )
+            attempts += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+        for axis in range(3):
+            if attempts >= budget or current.dims[axis] <= 1:
+                continue
+            dims = list(current.dims)
+            dims[axis] -= 1
+            axis_coords = (current.row, current.col, current.z)[axis]
+            if any(c >= dims[axis] for c in axis_coords):
+                continue
+            candidate = COOTensor3D(
+                tuple(dims), current.row, current.col, current.z,
+                current.val,
+            )
+            attempts += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+    return current
+
+
+# ----------------------------------------------------------------------
+# Gate probes: malformed inputs must raise ValidationError
+
+
+def _gate_probes(rng) -> list[tuple[str, object, dict]]:
+    """(label, malformed container, convert kwargs) triples for the gate."""
+    dup = COOMatrix(3, 3, [0, 0, 1], [1, 1, 2], [1.0, 2.0, 3.0])
+    oob_row = COOMatrix(2, 2, [0, 5], [0, 1], [1.0, 2.0])
+    oob_col = COOMatrix(2, 2, [0, 1], [0, -3], [1.0, 2.0])
+    unsorted = COOMatrix(3, 3, [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+    ragged = COOMatrix(2, 2, [0], [0, 1], [1.0])
+    bad_csr_dup = CSRMatrix(2, 3, [0, 2, 3], [1, 1, 2], [1.0, 2.0, 3.0])
+    bad_csr_unsorted = CSRMatrix(2, 3, [0, 2, 3], [2, 0, 1],
+                                 [1.0, 2.0, 3.0])
+    bad_csr_ptr = CSRMatrix(2, 3, [0, 3, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+    bad_csc = CSCMatrix(3, 2, [0, 2, 3], [1, 1, 2], [1.0, 2.0, 3.0])
+    bad_dia = DIAMatrix(2, 2, [1, 0], [0.0] * 4)
+    dup3 = COOTensor3D((2, 2, 2), [0, 0], [1, 1], [1, 1], [1.0, 2.0])
+    oob3 = COOTensor3D((2, 2, 2), [0, 3], [0, 0], [0, 0], [1.0, 2.0])
+    unsorted3 = COOTensor3D((2, 2, 2), [1, 0], [0, 0], [0, 0], [1.0, 2.0])
+    return [
+        ("coo-duplicate", dup, {"dst": "CSR"}),
+        ("coo-out-of-bounds-row", oob_row, {"dst": "CSR"}),
+        ("coo-out-of-bounds-col", oob_col, {"dst": "CSC"}),
+        ("coo-unsorted-claimed-sorted", unsorted, {"dst": "CSR"}),
+        ("coo-ragged-arrays", ragged, {"dst": "CSR"}),
+        ("csr-duplicate-columns", bad_csr_dup, {"dst": "CSC"}),
+        ("csr-unsorted-columns", bad_csr_unsorted, {"dst": "CSC"}),
+        ("csr-nonmonotonic-rowptr", bad_csr_ptr, {"dst": "CSC"}),
+        ("csc-duplicate-rows", bad_csc, {"dst": "CSR"}),
+        ("dia-unsorted-offsets", bad_dia, {"dst": "CSR"}),
+        ("coo3d-duplicate", dup3, {"dst": "MCOO3"}),
+        ("coo3d-out-of-bounds", oob3, {"dst": "MCOO3"}),
+        ("coo3d-unsorted-claimed-sorted", unsorted3, {"dst": "MCOO3"}),
+    ]
+
+
+def _run_gate_probe(label, container, kwargs, backend) -> Optional[str]:
+    from repro import convert
+
+    try:
+        convert(container, kwargs["dst"], backend=backend,
+                validate="inputs")
+    except ValidationError:
+        return None
+    except Exception as err:  # noqa: BLE001 - wrong exception type
+        return (
+            f"gate probe {label}: expected ValidationError, got "
+            f"{type(err).__name__}: {err}"
+        )
+    return (
+        f"gate probe {label}: malformed input was converted without a "
+        f"ValidationError"
+    )
+
+
+# ----------------------------------------------------------------------
+# The driver
+
+
+def _synthesizable_pairs(sources, dests, backends, optimize_levels,
+                         skipped: list) -> list:
+    combos = []
+    seen_skipped = set()
+    for optimize in optimize_levels:
+        for src in sources:
+            for dst in dests:
+                if src == dst:
+                    continue
+                for backend in backends:
+                    try:
+                        synthesize_cached(
+                            get_format(src), get_format(dst),
+                            optimize=optimize, backend=backend,
+                        )
+                    except SynthesisError:
+                        pair = f"{src}->{dst}"
+                        if pair not in seen_skipped:
+                            seen_skipped.add(pair)
+                            skipped.append(pair)
+                        continue
+                    combos.append((src, dst, backend, optimize))
+    return combos
+
+
+def fuzz(
+    cases: int = 200,
+    *,
+    seed: int = 0,
+    backends: Sequence[str] = ("python", "numpy"),
+    optimize_levels: Sequence[bool] = (True, False),
+    ranks: Sequence[int] = (2, 3),
+    sources_2d: Sequence[str] = SOURCES_2D,
+    dests_2d: Sequence[str] = DESTS_2D,
+    shrink: bool = True,
+    max_failures: int = 25,
+) -> FuzzReport:
+    """Run the differential fuzzer; see the module docstring for the oracles.
+
+    ``cases`` bounds the number of (input, src, dst, backend, optimize)
+    executions; combos are scheduled round-robin with pair x backend
+    coverage completing first, so ``cases >= combos_total`` guarantees
+    every synthesizable pair runs under every backend and optimize flag.
+    The fixed malformed-input gate probes always run, for every backend.
+    """
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed, cases_requested=cases)
+
+    combos = []
+    if 2 in ranks:
+        combos.extend(
+            _synthesizable_pairs(sources_2d, dests_2d, backends,
+                                 optimize_levels, report.skipped_pairs)
+        )
+    if 3 in ranks:
+        combos.extend(
+            _synthesizable_pairs(SOURCES_3D, DESTS_3D, backends,
+                                 optimize_levels, report.skipped_pairs)
+        )
+    report.combos_total = len(combos)
+    if not combos:
+        return report
+
+    # Fixed gate probes: malformed inputs must raise, on every backend.
+    for backend in backends:
+        for label, container, kwargs in _gate_probes(rng):
+            report.gate_probes += 1
+            message = _run_gate_probe(label, container, kwargs, backend)
+            if message is not None:
+                report.failures.append(
+                    FuzzFailure(
+                        case=-1, kind="malformed", src="-",
+                        dst=kwargs["dst"], backend=backend, optimize=True,
+                        stage="gate", message=message,
+                        input_repr={"container": repr(container)},
+                    )
+                )
+
+    covered: set = set()
+    kinds_2d = list(CASE_KINDS_2D)
+    for case in range(cases):
+        if len(report.failures) >= max_failures:
+            break
+        src, dst, backend, optimize = combos[case % len(combos)]
+        covered.add((src, dst, backend, optimize))
+        report.cases_run += 1
+        report.conversions_checked += 1
+        case_seed = rng.randrange(1 << 30)
+        if src in SOURCES_3D:
+            kind = CASE_KINDS_3D[case % len(CASE_KINDS_3D)]
+            tensor = _gen_tensor(random.Random(case_seed), kind)
+
+            def predicate_3d(candidate):
+                return (
+                    _run_case_3d(candidate, src, dst, backend, optimize,
+                                 random.Random(case_seed))
+                    is not None
+                )
+
+            outcome = _run_case_3d(
+                tensor, src, dst, backend, optimize,
+                random.Random(case_seed),
+            )
+            if outcome is not None:
+                if shrink:
+                    tensor = _shrink_tensor(tensor, predicate_3d)
+                    outcome = _run_case_3d(
+                        tensor, src, dst, backend, optimize,
+                        random.Random(case_seed),
+                    ) or outcome
+                stage, message = outcome
+                report.failures.append(
+                    FuzzFailure(
+                        case=case, kind=kind, src=src, dst=dst,
+                        backend=backend, optimize=optimize, stage=stage,
+                        message=message, input_repr=_input_repr(tensor),
+                    )
+                )
+            continue
+
+        kind, gen = kinds_2d[case % len(kinds_2d)]
+        dense = gen(random.Random(case_seed))
+
+        def predicate_2d(candidate):
+            return (
+                _run_case_2d(candidate, src, dst, backend, optimize,
+                             random.Random(case_seed))
+                is not None
+            )
+
+        outcome = _run_case_2d(
+            dense, src, dst, backend, optimize, random.Random(case_seed)
+        )
+        if outcome is not None:
+            if shrink:
+                dense = _shrink_dense(dense, predicate_2d)
+                outcome = _run_case_2d(
+                    dense, src, dst, backend, optimize,
+                    random.Random(case_seed),
+                ) or outcome
+            stage, message = outcome
+            report.failures.append(
+                FuzzFailure(
+                    case=case, kind=kind, src=src, dst=dst,
+                    backend=backend, optimize=optimize, stage=stage,
+                    message=message,
+                    input_repr={"dense": dense},
+                )
+            )
+    report.combos_covered = len(covered)
+    return report
+
+
+__all__ = [
+    "CASE_KINDS_2D",
+    "CASE_KINDS_3D",
+    "DESTS_2D",
+    "DESTS_3D",
+    "FuzzFailure",
+    "FuzzReport",
+    "SOURCES_2D",
+    "SOURCES_3D",
+    "fuzz",
+]

@@ -1,0 +1,109 @@
+"""The runtime validation gate at the ``convert`` boundary.
+
+The synthesized inspectors are correct *given their preconditions*: index
+arrays in bounds, no duplicate coordinates, and — for the sorted formats —
+the promised ordering.  Historically nothing enforced those preconditions,
+so a malformed container flowed through ``convert()`` and came out as a
+silently corrupt result (or a bare ``IndexError`` from deep inside
+generated code).  This module is the enforcement point:
+
+* ``validate="off"``     — trust the caller entirely (benchmark mode),
+* ``validate="inputs"``  — run the source container's :meth:`check` plus
+  the ``assume_sorted`` monotonicity precondition (the default),
+* ``validate="full"``    — additionally :meth:`check` the converted
+  output and compare its dense image against the source's.
+
+Costs: ``"inputs"`` is a constant number of O(nnz) scans; ``"full"`` adds
+an O(nrows * ncols) dense materialization per conversion for matrices
+(coordinate-map comparison for 3-D tensors), so reserve it for debugging
+and the differential fuzzer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsortedInputError, ValidationError
+
+VALIDATE_LEVELS = ("off", "inputs", "full")
+
+
+def normalize_level(level: str | None) -> str:
+    """Validate and canonicalize a ``validate=`` argument."""
+    if level is None:
+        return "off"
+    if level is False:  # tolerate validate=False for validate="off"
+        return "off"
+    name = str(level).lower()
+    if name not in VALIDATE_LEVELS:
+        raise ValueError(
+            f"validate must be one of {VALIDATE_LEVELS}, got {level!r}"
+        )
+    return name
+
+
+def check_input(container, *, level: str = "inputs",
+                assume_sorted: bool = True) -> None:
+    """Gate a source container before it reaches a synthesized inspector.
+
+    Runs the container's structural :meth:`check` (bounds, duplicates,
+    pointer invariants) and, for plain COO containers under
+    ``assume_sorted=True``, the cheap lexicographic monotonicity scan the
+    sorted descriptors rely on.  Raises a
+    :class:`~repro.errors.ValidationError` subclass naming the offending
+    coordinate or position; does nothing at ``level="off"``.
+    """
+    level = normalize_level(level)
+    if level == "off":
+        return
+    container.check()
+    if not assume_sorted:
+        return
+    # The sorted-source precondition: a plain COO container that is about
+    # to be bound to the SCOO/SCOO3D descriptor must actually be sorted.
+    from repro.runtime import (
+        COOMatrix,
+        COOTensor3D,
+        MortonCOOMatrix,
+        MortonCOOTensor3D,
+    )
+
+    if isinstance(container, (MortonCOOMatrix, MortonCOOTensor3D)):
+        return  # Morton order was already enforced by check().
+    if isinstance(container, (COOMatrix, COOTensor3D)):
+        position = container.first_unsorted_position()
+        if position is not None:
+            raise UnsortedInputError(
+                f"entries are not lexicographically sorted (first violation "
+                f"at position {position}) but assume_sorted=True promised "
+                f"sorted input",
+                position=position,
+                remedy="pass assume_sorted=False to convert via the "
+                       "sorting COO descriptor",
+                container=repr(container),
+            )
+
+
+def check_output(result, source, *, level: str = "full") -> None:
+    """Gate a converted container against the source's dense semantics.
+
+    At ``level="full"`` the result's invariants are checked and its dense
+    image (coordinate map for 3-D tensors) must equal the source's.  Lower
+    levels do nothing — outputs of a well-formed input are correct by
+    construction, which is exactly the property the fuzzer keeps honest.
+    """
+    if normalize_level(level) != "full":
+        return
+    if hasattr(result, "to_dense") and hasattr(source, "to_dense"):
+        result.check_against_dense(source.to_dense())
+    elif hasattr(result, "to_dict") and hasattr(source, "to_dict"):
+        result.check_against_dense(source.to_dict())
+    else:  # pragma: no cover - every shipped container has one of the two
+        result.check()
+
+
+__all__ = [
+    "VALIDATE_LEVELS",
+    "ValidationError",
+    "check_input",
+    "check_output",
+    "normalize_level",
+]

@@ -63,7 +63,7 @@ class TestFromUnsortedCOO:
         dense = random_dense(10, 12, 0.3, seed=7)
         coo = shuffled(COOMatrix.from_dense(dense), seed=11)
         assert not coo.is_sorted_lexicographic()
-        out = convert(coo, target)
+        out = convert(coo, target, assume_sorted=False)
         out.check()
         assert dense_equal(out.to_dense(), dense)
 

@@ -213,7 +213,7 @@ class TestConversionProperty:
         from repro.datagen import shuffled
 
         coo = shuffled(COOMatrix.from_dense(dense), seed=seed)
-        out = convert(coo, "CSR")
+        out = convert(coo, "CSR", assume_sorted=False)
         out.check()
         assert dense_equal(out.to_dense(), dense)
 

@@ -206,3 +206,74 @@ class TestEmptyMatrices:
         dia = DIAMatrix.from_dense([[0.0, 0.0], [0.0, 0.0]])
         dia.check()
         assert dia.ndiags == 0
+
+
+class TestTypedCheckErrors:
+    """check() raises the structured error hierarchy, not bare ValueError."""
+
+    def test_coo_duplicate_error_carries_evidence(self):
+        from repro.errors import DuplicateCoordinateError
+
+        coo = COOMatrix(3, 3, [0, 1, 0], [1, 0, 1], [1.0, 2.0, 3.0])
+        with pytest.raises(DuplicateCoordinateError) as exc:
+            coo.check()
+        assert exc.value.coordinate == (0, 1)
+        assert exc.value.positions == (0, 2)
+
+    def test_coo_bounds_error_carries_coordinate(self):
+        from repro.errors import BoundsError
+
+        coo = COOMatrix(2, 2, [0, 1], [0, 9], [1.0, 2.0])
+        with pytest.raises(BoundsError) as exc:
+            coo.check()
+        assert exc.value.coordinate == (1, 9)
+        assert exc.value.position == 1
+
+    def test_csr_rejects_duplicate_columns_in_row(self):
+        from repro.errors import DuplicateCoordinateError
+
+        csr = CSRMatrix(2, 3, [0, 2, 3], [1, 1, 2], [1.0, 2.0, 3.0])
+        with pytest.raises(DuplicateCoordinateError):
+            csr.check()
+
+    def test_csr_unsorted_columns_is_unsorted_error(self):
+        from repro.errors import UnsortedInputError
+
+        csr = CSRMatrix(2, 3, [0, 2, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+        with pytest.raises(UnsortedInputError):
+            csr.check()
+
+    def test_csc_rejects_duplicate_rows_in_column(self):
+        from repro.errors import DuplicateCoordinateError
+
+        csc = CSCMatrix(3, 2, [0, 2, 3], [1, 1, 2], [1.0, 2.0, 3.0])
+        with pytest.raises(DuplicateCoordinateError):
+            csc.check()
+
+    def test_csc_unsorted_rows_is_unsorted_error(self):
+        from repro.errors import UnsortedInputError
+
+        csc = CSCMatrix(3, 2, [0, 2, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+        with pytest.raises(UnsortedInputError):
+            csc.check()
+
+    def test_first_unsorted_position(self):
+        coo = COOMatrix(3, 3, [0, 2, 1], [0, 0, 0], [1.0, 2.0, 3.0])
+        assert coo.first_unsorted_position() == 2
+        assert COOMatrix.from_dense(DENSE).first_unsorted_position() is None
+
+    def test_check_against_dense_accepts_equal(self):
+        CSRMatrix.from_dense(DENSE).check_against_dense(DENSE)
+
+    def test_check_against_dense_rejects_mismatch(self):
+        from repro.errors import DenseMismatchError
+
+        other = [row[:] for row in DENSE]
+        other[0][0] = 9.0
+        with pytest.raises(DenseMismatchError) as exc:
+            CSRMatrix.from_dense(DENSE).check_against_dense(other)
+        assert exc.value.coordinate == (0, 0)
+
+    def test_check_against_dense_tolerance(self):
+        near = [[v + 1e-12 for v in row] for row in DENSE]
+        CSRMatrix.from_dense(DENSE).check_against_dense(near, tol=1e-9)

@@ -1,0 +1,189 @@
+"""The differential fuzzer: determinism, coverage, and bug-detection power."""
+
+import json
+
+import pytest
+
+from repro.runtime import COOMatrix, COOTensor3D
+from repro.verify import FuzzReport, fuzz
+from repro.verify.fuzz import (
+    CASE_KINDS_2D,
+    _run_case_2d,
+    _shrink_dense,
+    _shrink_tensor,
+    fuzz as fuzz_fn,
+)
+
+import random
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind,gen", CASE_KINDS_2D)
+    def test_generators_produce_valid_dense(self, kind, gen):
+        rng = random.Random(42)
+        for _ in range(5):
+            dense = gen(rng)
+            assert dense and dense[0] is not None
+            width = len(dense[0])
+            assert all(len(row) == width for row in dense)
+
+
+class TestFuzzRuns:
+    def test_clean_smoke_run(self):
+        report = fuzz(cases=12, seed=3, backends=("python",),
+                      optimize_levels=(True,), ranks=(2,))
+        assert report.ok, report.summary()
+        assert report.cases_run == 12
+        assert report.gate_probes > 0
+
+    def test_3d_smoke_run(self):
+        report = fuzz(cases=8, seed=5, backends=("python",),
+                      optimize_levels=(True,), ranks=(3,))
+        assert report.ok, report.summary()
+
+    def test_deterministic_across_runs(self):
+        a = fuzz(cases=10, seed=9, backends=("python",),
+                 optimize_levels=(True,), ranks=(2,))
+        b = fuzz(cases=10, seed=9, backends=("python",),
+                 optimize_levels=(True,), ranks=(2,))
+        assert a.to_dict() == b.to_dict()
+
+    def test_report_is_json_serializable(self):
+        report = fuzz(cases=4, seed=0, backends=("python",),
+                      optimize_levels=(True,), ranks=(2,))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 4
+        assert "combos_total" in payload
+
+    def test_combo_coverage_accounting(self):
+        report = fuzz(cases=300, seed=0, backends=("python",),
+                      optimize_levels=(True,), ranks=(2,))
+        assert report.combos_covered == report.combos_total
+        assert "OK" in report.summary()
+
+
+class TestBugDetectionPower:
+    """Injected faults must be caught — the fuzzer is not vacuous."""
+
+    def test_detects_sabotaged_baseline(self, monkeypatch):
+        from repro.baselines import taco_style
+
+        real = taco_style.coo_to_csr
+
+        def sabotaged(coo):
+            out = real(coo)
+            if out.val:
+                out.val[0] += 1.0
+            return out
+
+        monkeypatch.setattr(taco_style, "coo_to_csr", sabotaged)
+        report = fuzz_fn(cases=60, seed=1, backends=("python",),
+                         optimize_levels=(True,), ranks=(2,),
+                         sources_2d=("SCOO",), dests_2d=("CSR",),
+                         shrink=False)
+        assert not report.ok
+        assert any(f.stage == "baseline" for f in report.failures)
+
+    def test_detects_broken_gate(self, monkeypatch):
+        # If the gate stops raising on malformed input, probes must fail.
+        from repro.verify import gate
+
+        monkeypatch.setattr(gate, "check_input",
+                            lambda *a, **k: None)
+        report = fuzz_fn(cases=0, seed=0, backends=("python",),
+                         optimize_levels=(True,), ranks=(2,),
+                         sources_2d=("SCOO",), dests_2d=("CSR",))
+        assert any(f.stage == "gate" for f in report.failures)
+
+    def test_run_case_flags_dense_corruption(self, monkeypatch):
+        import repro
+
+        real = repro.convert
+
+        def corrupting(container, dst, **kw):
+            kw["validate"] = "off"  # escape the gate, like the old bug
+            out = real(container, dst, **kw)
+            if getattr(out, "val", None):
+                out.val[0] += 5.0
+            return out
+
+        monkeypatch.setattr(repro, "convert", corrupting)
+        dense = [[1.0, 0.0], [0.0, 2.0]]
+        outcome = _run_case_2d(dense, "SCOO", "CSR", "python", True,
+                               random.Random(0))
+        assert outcome is not None
+        stage, _ = outcome
+        assert stage == "dense"
+
+
+class TestShrinking:
+    def test_shrinks_to_single_cell(self):
+        dense = [[1.0, 2.0, 0.0], [0.0, 3.0, 4.0], [5.0, 0.0, 6.0]]
+
+        def predicate(candidate):
+            # "Fails" whenever the poison value survives anywhere.
+            return any(v == 3.0 for row in candidate for v in row)
+
+        small = _shrink_dense(dense, predicate)
+        nnz = sum(1 for row in small for v in row if v != 0.0)
+        assert nnz == 1
+        assert any(v == 3.0 for row in small for v in row)
+
+    def test_shrink_trims_dimensions(self):
+        dense = [[7.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+
+        def predicate(candidate):
+            return any(v == 7.0 for row in candidate for v in row)
+
+        small = _shrink_dense(dense, predicate)
+        assert len(small) == 1
+        assert len(small[0]) == 1
+
+    def test_shrink_tensor_drops_entries(self):
+        tensor = COOTensor3D(
+            (3, 3, 3), [0, 1, 2], [0, 1, 2], [0, 1, 2], [1.0, 9.0, 2.0]
+        )
+
+        def predicate(candidate):
+            return 9.0 in candidate.val
+
+        small = _shrink_tensor(tensor, predicate)
+        assert small.nnz == 1
+        assert small.val == [9.0]
+
+    def test_shrink_keeps_failure_when_nothing_smaller_fails(self):
+        dense = [[1.0]]
+        small = _shrink_dense(dense, lambda c: c == [[1.0]])
+        assert small == [[1.0]]
+
+
+class TestReportRendering:
+    def test_summary_mentions_skipped_pairs(self):
+        report = FuzzReport(seed=0, cases_requested=0)
+        report.skipped_pairs.append("DIA->BCSR")
+        report.combos_total = 4
+        assert "DIA->BCSR" in report.summary()
+
+    def test_cli_entry(self, capsys):
+        from repro.__main__ import main
+
+        status = main([
+            "fuzz", "--cases", "6", "--seed", "2", "--backend", "python",
+            "--optimize", "on", "--rank", "2",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "OK" in out
+
+    def test_cli_report_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "report.json"
+        status = main([
+            "fuzz", "--cases", "4", "--seed", "2", "--backend", "python",
+            "--optimize", "on", "--rank", "2", "--report", str(path),
+        ])
+        assert status == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
