@@ -81,6 +81,10 @@ def main(argv: list[str]) -> int:
         "--json", metavar="PATH",
         help="also write machine-readable results to this JSON file")
     parser.add_argument(
+        "--trace", action="store_true",
+        help="record repro.obs span trees for the conversion experiments "
+             "(set REPRO_TRACE_DIR to dump trace artifacts at exit)")
+    parser.add_argument(
         "--experiment",
         choices=["all", "table1", "table2", "fig2a", "fig2b", "fig2c",
                  "fig2d", "fig3", "table4", "table5"],
@@ -111,7 +115,8 @@ def main(argv: list[str]) -> int:
         print(f"{key}  ({PAPER_CLAIMS[key]})")
         print("=" * 72)
         result = runner(scale=args.scale, repeats=args.repeats,
-                        backends=backends)
+                        backends=backends,
+                        trace=True if args.trace else None)
         collected[key] = result.to_dict()
         print(result.report())
         print()

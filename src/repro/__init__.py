@@ -18,6 +18,8 @@ Section 3.2 algorithm), :mod:`repro.runtime` (containers and the executor),
 :mod:`repro.datagen` and :mod:`repro.evalharness` (the evaluation).
 """
 
+import time as _time
+
 from .errors import (
     BoundsError,
     DenseMismatchError,
@@ -95,6 +97,7 @@ def convert(
     assume_sorted: bool = True,
     backend: str = "python",
     validate: str = "inputs",
+    trace: bool | None = None,
 ):
     """Convert a runtime container to another format via synthesized code.
 
@@ -112,26 +115,55 @@ def convert(
     the output and its dense image; ``"off"`` trusts the caller (benchmark
     mode — an unsorted plain COO then simply binds to the sorting COO
     descriptor as before).
+
+    ``trace`` controls the :mod:`repro.obs` span tree for this call:
+    ``None`` follows the process-wide ``REPRO_TRACE`` setting, ``True`` /
+    ``False`` force tracing on/off for the calling thread.
     """
+    import repro.obs as obs
     from repro.verify import gate
 
     level = gate.normalize_level(validate)
-    gate.check_input(container, level=level, assume_sorted=assume_sorted)
-    src_name = container_format(container, assume_sorted=assume_sorted)
-    conversion = get_conversion(
-        src_name,
-        dst_name,
-        optimize=optimize,
-        binary_search=binary_search,
-        backend=backend,
-    )
-    env = container_to_env(container)
-    inputs = {p: env[p] for p in conversion.params}
-    outputs = conversion(**inputs)
-    result = outputs_to_container(
-        dst_name, outputs, conversion.uf_output_map, env
-    )
-    gate.check_output(result, container, level=level)
+    with obs.TRACER.forced(trace):
+        with obs.span(
+            "convert",
+            category="convert",
+            dst=dst_name,
+            backend=backend,
+            validate=level,
+        ) as root:
+            with obs.span("validate.input", category="verify"):
+                gate.check_input(
+                    container, level=level, assume_sorted=assume_sorted
+                )
+            src_name = container_format(
+                container, assume_sorted=assume_sorted
+            )
+            root.set(src=src_name)
+            conversion = get_conversion(
+                src_name,
+                dst_name,
+                optimize=optimize,
+                binary_search=binary_search,
+                backend=backend,
+            )
+            env = container_to_env(container)
+            inputs = {p: env[p] for p in conversion.params}
+            start = _time.perf_counter()
+            outputs = conversion(**inputs)
+            elapsed = _time.perf_counter() - start
+            with obs.span("pack_outputs", category="runtime"):
+                result = outputs_to_container(
+                    dst_name, outputs, conversion.uf_output_map, env
+                )
+            with obs.span("validate.output", category="verify"):
+                gate.check_output(result, container, level=level)
+    obs.METRICS.counter(
+        "repro_conversions", "completed convert() calls"
+    ).inc(src=src_name, dst=dst_name, backend=backend)
+    obs.METRICS.histogram(
+        "repro_conversion_seconds", "inspector execution time of convert()"
+    ).observe(elapsed, backend=backend)
     return result
 
 

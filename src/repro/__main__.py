@@ -13,7 +13,14 @@ Commands:
 * ``selftest`` — differential-test every conversion on random matrices,
 * ``fuzz`` — property-based differential fuzzing: adversarial and
   malformed inputs through every synthesizable format pair x backend x
-  optimize flag, with minimal-case shrinking and a JSON failure report,
+  optimize flag, with minimal-case shrinking and a JSON failure report
+  (``--trace`` adds per-combo span attribution),
+* ``trace SRC DST`` — run one traced conversion on a random matrix and
+  print its span tree (synthesis phases, per-statement runtime timing);
+  ``--out DIR`` writes Chrome-trace / JSONL / Prometheus artifacts,
+* ``stats`` — print the unified telemetry snapshot (``--format
+  json|prom|table``); the same numbers as ``cache stats`` and the
+  ``REPRO_CACHE_STATS_FILE`` dump,
 * ``cache stats|clear|warm`` — inspect, clear, or pre-populate the
   persistent inspector cache (``$REPRO_CACHE_DIR``, default
   ``~/.cache/repro-spf``).
@@ -155,6 +162,7 @@ def cmd_fuzz(args) -> int:
         ranks=ranks,
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
+        trace=True if args.trace else None,
     )
     print(report.summary())
     if args.report:
@@ -164,6 +172,66 @@ def cmd_fuzz(args) -> int:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"wrote failure report to {args.report}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_trace(args) -> int:
+    import repro.obs as obs
+    from repro import convert
+    from repro.datagen import random_uniform
+    from repro.planner import convert_via_plan
+
+    matrix = random_uniform(
+        args.rows, args.cols, args.nnz, seed=args.seed
+    )
+    src = args.src.upper()
+    if src not in ("COO", "SCOO"):
+        # Stage the requested source container without polluting the trace.
+        matrix = convert_via_plan(
+            matrix, src, backend=args.backend, trace=False
+        )
+    result = convert(
+        matrix, args.dst.upper(), backend=args.backend,
+        validate=args.validate, trace=True,
+    )
+    print(f"# traced {matrix.__class__.__name__} -> {result}",
+          file=sys.stderr)
+    for root in obs.TRACER.finished_roots():
+        print(root.render())
+    if args.out:
+        paths = obs.write_all(args.out)
+        for kind, path in sorted(paths.items()):
+            print(f"wrote {kind}: {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    import repro.obs as obs
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    else:
+        snapshot = obs.unified_snapshot()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(obs.prometheus_text(snapshot), end="")
+    else:  # table
+        from repro.evalharness.profiling import render_report
+
+        merged = dict(snapshot["prof"])
+        merged["metrics"] = snapshot.get("metrics")
+        merged["spans"] = snapshot.get("spans")
+        print(render_report(merged))
+        cache = snapshot.get("cache")
+        if cache:
+            print("-- inspector cache --")
+            print(f"root:          {cache['root']}")
+            print(f"entries:       {cache['entries']}")
+            print(f"memo entries:  {cache['memo_entries']}")
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -279,6 +347,39 @@ def main(argv: list[str] | None = None) -> int:
                         help="stop after this many failures")
     p_fuzz.add_argument("--report", metavar="PATH",
                         help="write a machine-readable JSON failure report")
+    p_fuzz.add_argument("--trace", action="store_true",
+                        help="trace every case (spans + per-combo wall "
+                             "time in the JSON report)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced conversion on a random matrix and print "
+             "its span tree (synthesis phases + per-statement runtime)",
+    )
+    p_trace.add_argument("src", help="source format name")
+    p_trace.add_argument("dst", help="destination format name")
+    p_trace.add_argument("--backend", choices=["python", "numpy"],
+                         default="python")
+    p_trace.add_argument("--rows", type=int, default=64)
+    p_trace.add_argument("--cols", type=int, default=64)
+    p_trace.add_argument("--nnz", type=int, default=256)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--validate", choices=["off", "inputs", "full"],
+                         default="inputs")
+    p_trace.add_argument("--out", metavar="DIR",
+                         help="also write trace.json / events.jsonl / "
+                              "metrics.prom / stats.json there")
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="print the unified telemetry snapshot (flat counters, typed "
+             "metrics, span aggregates, cache shape)",
+    )
+    p_stats.add_argument("--format", choices=["table", "json", "prom"],
+                         default="table")
+    p_stats.add_argument("--input", metavar="FILE",
+                         help="render a previously dumped stats.json "
+                              "instead of this process's registries")
 
     p_kern = sub.add_parser("kernel", help="print a generated executor")
     p_kern.add_argument("format")
@@ -314,13 +415,15 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": cmd_kernel,
         "selftest": cmd_selftest,
         "fuzz": cmd_fuzz,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
         "cache": cmd_cache,
     }
     status = handlers[args.command](args)
     if args.profile:
-        from repro.evalharness.profiling import render_report
+        from repro.evalharness.profiling import render_full_report
 
-        print(render_report(), file=sys.stderr)
+        print(render_full_report(), file=sys.stderr)
     return status
 
 

@@ -6,9 +6,13 @@ the package.  The public profiling surface — reports, the ``--profile``
 CLI flag — lives in :mod:`repro.evalharness.profiling` and re-exports the
 process-wide :data:`PROF` registry defined here.
 
-Counters are best-effort under free threading: increments are plain dict
-updates (atomic under the GIL); a rare lost count is acceptable for
-profiling data.  Timers accumulate ``(total_seconds, calls)`` per name.
+Mutation and snapshot share one lock, so :meth:`Registry.snapshot` is a
+consistent point-in-time copy even under free threading (historically
+``incr``/``timer``/``add_time`` mutated without the lock that
+``snapshot`` took, which could tear a concurrent copy).  The lock is
+uncontended on the hot path — an acquire/release pair costs tens of
+nanoseconds, well under the dict update it guards.  Timers accumulate
+``(total_seconds, calls)`` per name.
 """
 
 from __future__ import annotations
@@ -28,7 +32,8 @@ class Registry:
 
     # ------------------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     @contextmanager
     def timer(self, name: str):
@@ -36,21 +41,16 @@ class Registry:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            slot = self.timers.get(name)
-            if slot is None:
-                self.timers[name] = [elapsed, 1]
-            else:
-                slot[0] += elapsed
-                slot[1] += 1
+            self.add_time(name, time.perf_counter() - start)
 
     def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
-        slot = self.timers.get(name)
-        if slot is None:
-            self.timers[name] = [seconds, calls]
-        else:
-            slot[0] += seconds
-            slot[1] += calls
+        with self._lock:
+            slot = self.timers.get(name)
+            if slot is None:
+                self.timers[name] = [seconds, calls]
+            else:
+                slot[0] += seconds
+                slot[1] += calls
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

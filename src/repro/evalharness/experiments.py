@@ -100,16 +100,46 @@ def run_conversion_experiment(
     binary_search: bool = False,
     verify: bool = True,
     backends: Sequence[str] = ("python",),
+    trace: bool | None = None,
 ) -> ExperimentResult:
     """Time synthesized vs baseline converters across Table 3 matrices.
 
     With multiple ``backends`` the table grows one ``ours`` column per
     backend; baseline speedups are computed against the first backend, and
     each extra backend also reports its geomean speedup over the first.
+
+    ``trace`` forces :mod:`repro.obs` span recording on/off for the whole
+    experiment (``None`` follows ``REPRO_TRACE``); every timed
+    ``run_native`` call then contributes an ``execute`` span with
+    per-statement children, attributed under one ``experiment`` root.
     """
+    import repro.obs as obs
+
     if conversion not in CONVERSIONS:
         raise KeyError(f"unknown conversion {conversion!r}")
     src_name, dst_name = CONVERSIONS[conversion]
+    with obs.TRACER.forced(trace), obs.span(
+        "experiment", category="eval", conversion=conversion
+    ):
+        return _run_conversion_experiment_body(
+            conversion, src_name, dst_name,
+            matrices=matrices, scale=scale, repeats=repeats,
+            binary_search=binary_search, verify=verify, backends=backends,
+        )
+
+
+def _run_conversion_experiment_body(
+    conversion: str,
+    src_name: str,
+    dst_name: str,
+    *,
+    matrices: Sequence[str] | None,
+    scale: float,
+    repeats: int,
+    binary_search: bool,
+    verify: bool,
+    backends: Sequence[str],
+) -> ExperimentResult:
     names = list(
         matrices
         if matrices is not None

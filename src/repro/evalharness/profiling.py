@@ -2,42 +2,55 @@
 
 The low layers (:mod:`repro.ir`, the synthesis engine, the inspector
 cache) record counters and timers into the dependency-free registry in
-:mod:`repro._prof`; this module is the public surface over it — snapshot
+:mod:`repro._prof`; the typed instruments and span trees live in
+:mod:`repro.obs`.  This module is the public surface over both — snapshot
 access, reset, and the rendered report behind the CLI's ``--profile``
 flag.
 
-Naming scheme of the recorded entries:
+Naming scheme of the flat entries:
 
 * ``synthesis.<phase>`` timers — where synthesis wall time goes
   (``compose``, ``solve``, ``population``, ``quantifiers``, ``optimize``,
   ``codegen``; ``synthesis.total`` wraps a full cache-missing call),
 * ``ir.<op>`` timers and ``ir.<op>.hit`` / ``ir.<op>.miss`` counters —
   the memoized relation-algebra operations,
-* ``cache.*`` counters — the synthesis memo and disk cache
-  (``cache.memo.hit``, ``cache.disk.hit``, ``cache.miss``,
-  ``cache.disk.write``) plus the ``cache.disk.load`` timer.
+* ``cache.*`` counters — the synthesis memo, disk cache and compile
+  cache (``cache.memo.hit``, ``cache.disk.hit``, ``cache.miss``,
+  ``cache.disk.write``, ``cache.disk.negative_hit``,
+  ``cache.compile.hit``) plus the ``cache.disk.load`` timer.
+
+Typed metrics (``repro_*`` with label sets) and the per-name span
+aggregates come from :func:`repro.obs.unified_snapshot`; the full merged
+document is what ``repro stats`` prints.
 """
 
 from __future__ import annotations
 
 from repro._prof import PROF
+from repro.obs import reset_all, unified_snapshot
 
 __all__ = [
     "PROF",
     "profile_snapshot",
     "render_report",
     "reset_profile",
+    "unified_snapshot",
 ]
 
 
 def profile_snapshot() -> dict:
-    """A JSON-compatible copy of every recorded counter and timer."""
+    """A JSON-compatible copy of every recorded counter and timer.
+
+    Kept flat (``{"counters": ..., "timers": ...}``) for the benchmark
+    drivers; the full merged telemetry document is
+    :func:`repro.obs.unified_snapshot`.
+    """
     return PROF.snapshot()
 
 
 def reset_profile() -> None:
-    """Zero all counters and timers (between benchmark repetitions)."""
-    PROF.reset()
+    """Zero every telemetry source (between benchmark repetitions)."""
+    reset_all()
 
 
 def _hit_rates(counters: dict) -> list[tuple[str, int, int]]:
@@ -59,8 +72,31 @@ def _hit_rates(counters: dict) -> list[tuple[str, int, int]]:
     ]
 
 
+def _metric_lines(metrics: dict) -> list[str]:
+    lines: list[str] = []
+    for name in sorted(metrics):
+        metric = metrics[name]
+        for sample in metric["samples"]:
+            labels = sample["labels"]
+            label_text = (
+                "{" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels
+                else ""
+            )
+            value = sample["value"]
+            if metric["kind"] == "histogram":
+                value = (
+                    f"count={value['count']} sum={value['sum']:.4f}s "
+                    f"min={value['min']:.4f}s max={value['max']:.4f}s"
+                )
+            lines.append(f"{name}{label_text}: {value}")
+    return lines
+
+
 def render_report(snapshot: dict | None = None) -> str:
-    """Human-readable phase/cache report (the ``--profile`` output)."""
+    """Human-readable phase/cache/metric report (the ``--profile`` output)."""
     snap = snapshot if snapshot is not None else PROF.snapshot()
     timers = snap["timers"]
     counters = snap["counters"]
@@ -104,6 +140,34 @@ def render_report(snapshot: dict | None = None) -> str:
         for key in plain:
             lines.append(f"{key:26s}{counters[key]:10d}")
 
+    # Sections only present when the caller hands us a unified snapshot
+    # (or when rendering the live registries via render_full_report).
+    metrics = snapshot.get("metrics") if snapshot else None
+    if metrics:
+        metric_lines = _metric_lines(metrics)
+        if metric_lines:
+            lines.append("-- typed metrics --")
+            lines.extend(metric_lines)
+
+    spans = snapshot.get("spans") if snapshot else None
+    if spans:
+        lines.append("-- span aggregates --")
+        for name in sorted(spans):
+            entry = spans[name]
+            lines.append(
+                f"{name:26s}{entry['seconds'] * 1e3:10.2f} ms"
+                f"{entry['count']:8d} spans"
+            )
+
     if len(lines) == 1:
         lines.append("(nothing recorded)")
     return "\n".join(lines)
+
+
+def render_full_report() -> str:
+    """The rendered report over the complete unified snapshot."""
+    snapshot = unified_snapshot()
+    merged = dict(snapshot["prof"])
+    merged["metrics"] = snapshot["metrics"]
+    merged["spans"] = snapshot["spans"]
+    return render_report(merged)

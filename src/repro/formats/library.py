@@ -377,7 +377,10 @@ def get_format(name: str) -> FormatDescriptor:
             raise KeyError(
                 f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
             ) from None
-        fmt = _BUILT[key] = factory()
+        import repro.obs as obs
+
+        with obs.span("parse.format", category="parse", format=key):
+            fmt = _BUILT[key] = factory()
     return fmt
 
 

@@ -1,0 +1,143 @@
+"""Per-statement instrumentation of generated inspector source.
+
+The lowering backends emit one flat Python function whose body is a
+sequence of top-level chunks — allocations, loop nests over the
+nonzeros, enforcement passes, the final ``return``.  When a conversion
+runs under tracing, :func:`instrument_source` rewrites that source so
+each chunk reports its own wall time through an ``__OBS_STMT`` callback
+injected into the execution namespace; the executor turns those reports
+into child spans of the ``execute`` span (per-loop-nest timing in the
+trace tree).
+
+The rewrite is purely textual but operates on code *we* generated, whose
+shape is fixed: a single ``def`` line, a 4-space-indented body, compound
+statements only at the top level.  Anything unexpected makes
+:func:`instrument_source` return ``None`` and the executor falls back to
+the uninstrumented callable — tracing must never break execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Longest label kept for a chunk (first code line of the chunk).
+_LABEL_WIDTH = 64
+
+_COMPOUND = ("for ", "while ", "if ", "with ", "try:")
+
+
+def _is_compound(stripped: str) -> bool:
+    return stripped.startswith(_COMPOUND)
+
+
+def _chunk_label(lines: list[str]) -> str:
+    for line in lines:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            label = stripped
+            break
+    else:
+        label = lines[0].strip() if lines else "?"
+    if len(label) > _LABEL_WIDTH:
+        label = label[: _LABEL_WIDTH - 1] + "…"
+    return label
+
+
+def split_chunks(body: list[str], indent: str) -> Optional[list[list[str]]]:
+    """Group body lines into top-level chunks.
+
+    A chunk is one compound statement (a loop nest with everything nested
+    under it) or a run of consecutive simple statements (coalesced so the
+    numpy backend's unrolled vector statements don't produce dozens of
+    micro-spans).  Comment lines start a new chunk — the emitters use them
+    as nest markers (``# vectorized: loop nest over n``).
+    """
+    chunks: list[list[str]] = []
+    current: list[str] = []
+    current_compound = False
+    deeper = indent + " "
+    for line in body:
+        if not line.strip():
+            if current:
+                current.append(line)
+            continue
+        if line.startswith(deeper):
+            if not current:
+                return None  # continuation without a head line
+            current.append(line)
+            continue
+        if not line.startswith(indent):
+            return None  # body line above function indent
+        stripped = line.strip()
+        starts_new = (
+            not current
+            or current_compound
+            or _is_compound(stripped)
+            or stripped.startswith("#")
+            or stripped.startswith("return")
+        )
+        if starts_new and current:
+            chunks.append(current)
+            current = []
+        current.append(line)
+        current_compound = _is_compound(stripped)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def instrument_source(
+    source: str, fn_name: str
+) -> Optional[tuple[str, list[str]]]:
+    """Rewrite generated inspector source with per-chunk timing hooks.
+
+    Returns ``(instrumented_source, chunk_labels)``, or ``None`` when the
+    source does not have the expected emitted shape.  The instrumented
+    function expects ``__OBS_STMT(index, label, start, end)`` and
+    ``__OBS_CLOCK()`` in its globals.
+    """
+    lines = source.splitlines()
+    def_index = None
+    for index, line in enumerate(lines):
+        if line.startswith(f"def {fn_name}(") and line.rstrip().endswith(":"):
+            def_index = index
+            break
+    if def_index is None:
+        return None
+    head, body = lines[: def_index + 1], lines[def_index + 1 :]
+    if not body:
+        return None
+    first_code = next((l for l in body if l.strip()), None)
+    if first_code is None:
+        return None
+    indent = first_code[: len(first_code) - len(first_code.lstrip())]
+    if not indent or indent.strip():
+        return None
+    chunks = split_chunks(body, indent)
+    if chunks is None:
+        return None
+
+    out = list(head)
+    labels: list[str] = []
+    for chunk in chunks:
+        first = next(
+            (l.strip() for l in chunk if l.strip()), ""
+        )
+        timed = bool(first) and not (
+            first.startswith("#") or first.startswith("return")
+        )
+        if not timed:
+            out.extend(chunk)
+            continue
+        index = len(labels)
+        label = _chunk_label(chunk)
+        labels.append(label)
+        out.append(f"{indent}__obs_t{index} = __OBS_CLOCK()")
+        out.extend(chunk)
+        out.append(
+            f"{indent}__OBS_STMT({index}, {label!r}, __obs_t{index}, "
+            f"__OBS_CLOCK())"
+        )
+    if not labels:
+        return None
+    return "\n".join(out) + "\n", labels

@@ -1,0 +1,241 @@
+"""Typed metrics — counters, gauges, histograms — and the unified snapshot.
+
+Two generations of telemetry coexist in the package:
+
+* the dependency-free :data:`repro._prof.PROF` registry of flat counters
+  and accumulating timers that the lowest layers (IR memo tables, the
+  synthesis engine, the inspector cache) record into, and
+* this module's *typed* instruments with Prometheus-style names and
+  label sets — cache telemetry per layer, backend selection,
+  validation-gate rejections by :class:`~repro.errors.ValidationError`
+  subclass, fuzzer combo outcomes, conversion latency histograms.
+
+:func:`unified_snapshot` merges both (plus IR memo table sizes, the
+inspector disk-cache shape, and the span summary) into the single
+JSON-compatible document behind ``repro stats``, the Prometheus exporter
+and the ``REPRO_CACHE_STATS_FILE`` dump — one source of truth, however
+the numbers were recorded.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional, Sequence
+
+#: Default histogram bucket upper bounds, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base: a named instrument holding per-label-set series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def _samples(self) -> list[dict]:
+        with self._lock:
+            items = list(self._series.items())
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "samples": self._samples(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, n: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + n
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+
+class Gauge(Metric):
+    """A point-in-time value (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def value(self, **labels) -> Optional[float]:
+        return self._series.get(_label_key(labels))
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics) plus min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": value,
+                    "max": value,
+                    "buckets": [0] * len(self.buckets),
+                }
+            series["count"] += 1
+            series["sum"] += value
+            series["min"] = min(series["min"], value)
+            series["max"] = max(series["max"], value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["buckets"][index] += 1
+
+    def _samples(self) -> list[dict]:
+        with self._lock:
+            items = [
+                (key, dict(value, buckets=list(value["buckets"])))
+                for key, value in self._series.items()
+            ]
+        return [
+            {"labels": dict(key), "value": value} for key, value in items
+        ]
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        snap["bucket_bounds"] = list(self.buckets)
+        return snap
+
+
+class MetricsRegistry:
+    """Get-or-create registry of typed instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help, **kwargs)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(  # type: ignore[return-value]
+            Histogram, name, help, buckets=buckets
+        )
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {metric.name: metric.snapshot() for metric in metrics}
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+
+#: The process-wide registry all layers record typed metrics into.
+METRICS = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# The unified snapshot: one document for repro stats / exporters / CI.
+# ----------------------------------------------------------------------
+def unified_snapshot(*, include_cache: bool = True) -> dict:
+    """Everything observable about the process, as one JSON document.
+
+    Sections: ``prof`` (the flat counter/timer registry), ``metrics``
+    (typed instruments), ``ir_memo_tables`` (entries per memo table),
+    ``spans`` (per-name aggregate over recorded trace trees), and —
+    unless ``include_cache=False`` — ``cache`` (the inspector disk
+    cache's :func:`~repro.synthesis.cache.cache_stats`, whose counters
+    come from the same ``prof`` section so ``repro stats`` and
+    ``repro cache stats`` can never disagree).
+    """
+    from repro._prof import PROF
+    from .core import TRACER
+
+    snapshot = {
+        "prof": PROF.snapshot(),
+        "metrics": METRICS.snapshot(),
+        "spans": TRACER.span_summary(),
+    }
+    try:
+        from repro.ir import memo
+
+        snapshot["ir_memo_tables"] = memo.stats()
+    except ImportError:  # pragma: no cover - memo is always importable
+        snapshot["ir_memo_tables"] = {}
+    if include_cache:
+        # Imported lazily: synthesis.cache itself records into this module.
+        from repro.synthesis.cache import cache_stats
+
+        snapshot["cache"] = cache_stats()
+    return snapshot
+
+
+def reset_all() -> None:
+    """Zero every telemetry source (between benchmark repetitions)."""
+    from repro._prof import PROF
+    from .core import TRACER
+
+    PROF.reset()
+    METRICS.reset()
+    TRACER.clear()

@@ -205,36 +205,55 @@ class ConversionPlanner:
 
     # ------------------------------------------------------------------
     def execute(self, container, dst: str, *, assume_sorted: bool = True,
-                validate: str = "inputs"):
+                validate: str = "inputs", trace: bool | None = None):
         """Plan and run the conversion chain on a concrete container.
 
         ``validate`` gates the chain like :func:`repro.convert`: the
         source container is checked before the first step, and at
         ``"full"`` every intermediate and the final result are checked
-        against the source's dense semantics.
+        against the source's dense semantics.  ``trace`` forces the
+        :mod:`repro.obs` span tree on/off for this call (``None`` follows
+        ``REPRO_TRACE``).
         """
+        import repro.obs as obs
         from repro.verify import gate
 
         level = gate.normalize_level(validate)
-        gate.check_input(container, level=level, assume_sorted=assume_sorted)
-        src = container_format(container, assume_sorted=assume_sorted)
-        if src not in self.format_names:
-            # A rank-specific planner may be needed; pick by the source.
-            raise SynthesisError(
-                f"{src} is not in this planner's format set "
-                f"{self.format_names}; use ConversionPlanner({src!r}, ...)"
+        with obs.TRACER.forced(trace), obs.span(
+            "plan.execute", category="plan", dst=dst, backend=self.backend
+        ) as root:
+            gate.check_input(
+                container, level=level, assume_sorted=assume_sorted
             )
-        plan = self.plan(src, dst)
-        current = container
-        for step in plan.steps:
-            conversion = self.conversion(step.src, step.dst)
-            env = container_to_env(current)
-            outputs = conversion(**{p: env[p] for p in conversion.params})
-            current = outputs_to_container(
-                step.dst, outputs, conversion.uf_output_map, env
-            )
-            gate.check_output(current, container, level=level)
-        return current
+            src = container_format(container, assume_sorted=assume_sorted)
+            root.set(src=src)
+            if src not in self.format_names:
+                # A rank-specific planner may be needed; pick by the source.
+                raise SynthesisError(
+                    f"{src} is not in this planner's format set "
+                    f"{self.format_names}; use ConversionPlanner({src!r}, ...)"
+                )
+            plan = self.plan(src, dst)
+            root.set(chain="->".join(plan.formats), steps=len(plan.steps))
+            current = container
+            for step in plan.steps:
+                with obs.span(
+                    "plan.step",
+                    category="plan",
+                    src=step.src,
+                    dst=step.dst,
+                    cost=round(step.cost, 3),
+                ):
+                    conversion = self.conversion(step.src, step.dst)
+                    env = container_to_env(current)
+                    outputs = conversion(
+                        **{p: env[p] for p in conversion.params}
+                    )
+                    current = outputs_to_container(
+                        step.dst, outputs, conversion.uf_output_map, env
+                    )
+                    gate.check_output(current, container, level=level)
+            return current
 
 
 _DEFAULT_PLANNERS: dict[str, ConversionPlanner] = {}
@@ -268,6 +287,7 @@ def convert_via_plan(
     backend: str = "python",
     assume_sorted: bool = True,
     validate: str = "inputs",
+    trace: bool | None = None,
 ):
     """Convert through the cheapest available chain (module-level helper)."""
     src = container_format(container, assume_sorted=assume_sorted)
@@ -277,5 +297,9 @@ def convert_via_plan(
         else default_planner(backend)
     )
     return planner.execute(
-        container, dst, assume_sorted=assume_sorted, validate=validate
+        container,
+        dst,
+        assume_sorted=assume_sorted,
+        validate=validate,
+        trace=trace,
     )

@@ -154,16 +154,24 @@ def compile_inspector(
     Calls with ``extra_env`` bypass the cache: the environment is part of
     the compiled closure and mappings are not reliably hashable.
     """
+    import repro.obs as obs
+    from repro._prof import PROF
+
     if extra_env:
-        return CompiledInspector(name, source, extra_env, backend=backend)
+        with obs.span("compile", category="compile", inspector=name):
+            return CompiledInspector(name, source, extra_env, backend=backend)
     from repro.codeversion import code_version_hash
 
     key = (name, source, backend, code_version_hash())
     cached = _COMPILE_CACHE.get(key)
     if cached is None:
-        cached = _COMPILE_CACHE[key] = CompiledInspector(
-            name, source, backend=backend
-        )
+        PROF.incr("cache.compile.miss")
+        with obs.span("compile", category="compile", inspector=name):
+            cached = _COMPILE_CACHE[key] = CompiledInspector(
+                name, source, backend=backend
+            )
+    else:
+        PROF.incr("cache.compile.hit")
     return cached
 
 

@@ -20,6 +20,8 @@ All helpers preserve the scalar backend's semantics exactly:
 
 from __future__ import annotations
 
+from repro._prof import PROF
+
 try:
     import numpy as np
 except ImportError:  # pragma: no cover - the reference image ships numpy
@@ -174,6 +176,7 @@ def STABLE_POS(keys, coords):
     the rank of their *last* occurrence in sorted order; this reproduces
     that collapse.
     """
+    PROF.incr("npvec.stable_pos")
     n = keys[0].shape[0]
     rank = np.empty(n, dtype=np.int64)
     rank[np.lexsort(tuple(reversed(keys)))] = np.arange(n, dtype=np.int64)
@@ -194,6 +197,7 @@ def DENSE_POS(keys):
 
     Returns ``(positions, distinct_count)``; equal key tuples share a rank.
     """
+    PROF.incr("npvec.dense_pos")
     n = keys[0].shape[0]
     if n == 0:
         return np.empty(0, dtype=np.int64), 0
@@ -206,6 +210,7 @@ def DENSE_POS(keys):
 
 def BSEARCH_V(arr, values):
     """Vectorized :func:`repro.runtime.executor.bsearch`: -1 when absent."""
+    PROF.incr("npvec.bsearch_v")
     values = np.asarray(values)
     pos = np.searchsorted(arr, values)
     found = pos < arr.shape[0]

@@ -1270,6 +1270,10 @@ def emit_numpy_function(
     notes = list(emitter.notes)
     for obj in sorted(forced):
         notes.append(f"scalar fallback: permutation object {obj}")
+    from repro._prof import PROF
+
+    PROF.incr("vectorize.nests.vectorized", emitter.vectorized)
+    PROF.incr("vectorize.nests.scalar", emitter.scalar)
     return NumpyLowering(
         source="\n".join(lines) + "\n",
         vectorized_nests=emitter.vectorized,

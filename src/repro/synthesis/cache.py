@@ -36,6 +36,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Sequence
 
+import repro.obs as obs
 from repro._prof import PROF
 from repro.codeversion import code_version_hash
 from repro.formats.descriptor import FormatDescriptor
@@ -143,6 +144,7 @@ def _store_disk(
         # (and often slowest) synthesis attempts; they are just as safe as
         # positive ones — the key covers format content and code version.
         payload = {"synthesis_error": str(conv)}
+        PROF.incr("cache.disk.negative_write")
     else:
         payload = {f: getattr(conv, f) for f in _PAYLOAD_FIELDS}
         payload["params"] = list(conv.params)
@@ -216,43 +218,55 @@ def synthesize_cached(
         backend,
         name,
     )
-    cached = _MEMO.get(key)
-    if cached is not None:
-        PROF.incr("cache.memo.hit")
-        if isinstance(cached, SynthesisError):
-            raise cached
-        return cached
+    with obs.span(
+        "cache.lookup",
+        category="cache",
+        src=src.name,
+        dst=dst.name,
+        backend=backend,
+    ) as span:
+        cached = _MEMO.get(key)
+        if cached is not None:
+            PROF.incr("cache.memo.hit")
+            span.set(outcome="memo_hit")
+            if isinstance(cached, SynthesisError):
+                raise cached
+            return cached
 
-    if use_disk and disk_enabled():
-        with PROF.timer("cache.disk.load"):
-            loaded = _load_disk(key)
-        if loaded is not None:
-            PROF.incr("cache.disk.hit")
-            _MEMO[key] = loaded
-            if isinstance(loaded, SynthesisError):
-                raise loaded
-            return loaded
-
-    PROF.incr("cache.miss")
-    try:
-        with PROF.timer("synthesis.total"):
-            conv = _raw_synthesize(
-                src,
-                dst,
-                optimize=optimize,
-                binary_search=binary_search,
-                name=name,
-                backend=backend,
-            )
-    except SynthesisError as err:
-        _MEMO[key] = err
         if use_disk and disk_enabled():
-            _store_disk(key, err)
-        raise
-    _MEMO[key] = conv
-    if use_disk and disk_enabled():
-        _store_disk(key, conv)
-    return conv
+            with PROF.timer("cache.disk.load"):
+                loaded = _load_disk(key)
+            if loaded is not None:
+                PROF.incr("cache.disk.hit")
+                _MEMO[key] = loaded
+                if isinstance(loaded, SynthesisError):
+                    PROF.incr("cache.disk.negative_hit")
+                    span.set(outcome="disk_negative_hit")
+                    raise loaded
+                span.set(outcome="disk_hit")
+                return loaded
+
+        PROF.incr("cache.miss")
+        span.set(outcome="miss")
+        try:
+            with PROF.timer("synthesis.total"):
+                conv = _raw_synthesize(
+                    src,
+                    dst,
+                    optimize=optimize,
+                    binary_search=binary_search,
+                    name=name,
+                    backend=backend,
+                )
+        except SynthesisError as err:
+            _MEMO[key] = err
+            if use_disk and disk_enabled():
+                _store_disk(key, err)
+            raise
+        _MEMO[key] = conv
+        if use_disk and disk_enabled():
+            _store_disk(key, conv)
+        return conv
 
 
 def clear_memo() -> None:
@@ -369,14 +383,28 @@ def warm(
 
 
 # ----------------------------------------------------------------------
-# CI support: dump counters at exit when asked to.
+# CI support: dump the unified telemetry snapshot at exit when asked to.
 # ----------------------------------------------------------------------
+def stats_file_payload() -> dict:
+    """What ``REPRO_CACHE_STATS_FILE`` receives: the unified snapshot.
+
+    ``repro stats`` and ``repro cache stats`` both read through
+    :func:`repro.obs.unified_snapshot`, so the file reports the same
+    numbers as the CLI.  The top-level ``counters`` mirror of the cache
+    counters is kept for existing consumers (the CI cache job asserts on
+    it).
+    """
+    snapshot = obs.unified_snapshot()
+    snapshot["counters"] = dict(snapshot["cache"]["counters"])
+    return snapshot
+
+
 _stats_file = os.environ.get("REPRO_CACHE_STATS_FILE")
 if _stats_file:  # pragma: no cover - exercised by the CI cache job
 
     @atexit.register
     def _dump_stats(path=_stats_file):
         try:
-            _atomic_write_json(Path(path), cache_stats())
+            _atomic_write_json(Path(path), stats_file_payload())
         except OSError:
             pass

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import repro.obs as obs
 from repro._prof import PROF
 from repro.formats.descriptor import FormatDescriptor
 from repro.ir import (
@@ -63,6 +64,21 @@ class SynthesisError(ValueError):
     """Raised when a conversion cannot be synthesized."""
 
 
+def _record_stmt_span(index: int, label: str, start: float, end: float):
+    """The ``__OBS_STMT`` hook instrumented inspectors report through."""
+    obs.add_span(label, start, end, category="execute.stmt", index=index)
+
+
+def _array_bytes(value) -> int:
+    """Rough allocation estimate for one inspector output."""
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, (list, tuple)):
+        return 8 * len(value)
+    return 8
+
+
 POSITION_VAR_SUFFIX = "2"
 SOURCE_DATA = "Asrc"
 DEST_DATA = "Adst"
@@ -96,6 +112,9 @@ class SynthesizedConversion:
     #: ``{"vectorized_nests": n, "scalar_nests": m}`` for the numpy backend.
     vector_stats: dict | None = None
     _compiled: object = None
+    #: Per-statement instrumented compile, built lazily under tracing;
+    #: ``False`` records that instrumentation was attempted and failed.
+    _instrumented: object = None
 
     def compile(self):
         """Compile the generated inspector into a callable (cached)."""
@@ -126,10 +145,64 @@ class SynthesizedConversion:
         through as-is); the python backend returns lists.  Benchmarks time
         this entry point so list<->array boundary conversion is not charged
         to the inspector.
+
+        Under tracing (``REPRO_TRACE=1`` / ``trace=True``) the run is
+        wrapped in an ``execute`` span with nnz / allocation / throughput
+        attributes and per-statement child spans from the instrumented
+        lowering (:mod:`repro.obs.instrument`).
         """
+        if obs.tracing():
+            return self._run_traced(inputs)
         fn = self.compile()
         ordered = [inputs[p] for p in self.params]
         return fn(*ordered)
+
+    def _instrumented_fn(self):
+        """The per-statement instrumented callable, or None."""
+        if self._instrumented is None:
+            from repro.obs.instrument import instrument_source
+
+            rewritten = instrument_source(self.source, self.name)
+            if rewritten is None:
+                self._instrumented = False
+            else:
+                try:
+                    self._instrumented = compile_inspector(
+                        self.name,
+                        rewritten[0],
+                        extra_env={
+                            "__OBS_STMT": _record_stmt_span,
+                            "__OBS_CLOCK": time.perf_counter,
+                        },
+                        backend=self.backend,
+                    )
+                except ValueError:
+                    self._instrumented = False
+        return self._instrumented or None
+
+    def _run_traced(self, inputs: dict):
+        ordered = [inputs[p] for p in self.params]
+        source_data = inputs.get(SOURCE_DATA)
+        nnz = len(source_data) if hasattr(source_data, "__len__") else None
+        with obs.span(
+            "execute",
+            category="runtime",
+            conversion=self.name,
+            backend=self.backend,
+        ) as span:
+            fn = self._instrumented_fn() or self.compile()
+            result = fn(*ordered)
+        attrs = {}
+        if nnz is not None:
+            attrs["nnz"] = nnz
+            if span.duration > 0:
+                attrs["throughput_nnz_per_s"] = round(nnz / span.duration)
+        if isinstance(result, dict):
+            attrs["bytes_allocated"] = sum(
+                _array_bytes(value) for value in result.values()
+            )
+        span.set(**attrs)
+        return result
 
 
 def _disambiguate(
@@ -445,6 +518,27 @@ def _bucket_permutation_spec(
     return back.get(bucket, bucket), uppers[0] + 1
 
 
+def _phase(
+    name: str, start: float, span_name: str | None = None, **attrs
+) -> float:
+    """Close one synthesis phase: PROF timer + trace span; returns *now*.
+
+    The engine marks phases with explicit timestamps instead of ``with``
+    blocks so the long build section keeps its indentation; each mark
+    feeds both the flat ``synthesis.<timer>`` registry (historical
+    names) and — under tracing — a child span of the enclosing
+    ``synthesize`` span (pipeline taxonomy names, e.g. the ``solve``
+    timer surfaces as the ``synthesis.case_match`` span).
+    """
+    now = time.perf_counter()
+    PROF.add_time(f"synthesis.{name}", now - start)
+    obs.add_span(
+        f"synthesis.{span_name or name}", start, now, category="synthesis",
+        **attrs,
+    )
+    return now
+
+
 def synthesize(
     src: FormatDescriptor,
     dst: FormatDescriptor,
@@ -460,6 +554,35 @@ def synthesize(
     interpreted inspector, ``"numpy"`` the vectorized one (unmatched loop
     nests fall back to scalar statements inside the same function).
     """
+    with obs.span(
+        "synthesize",
+        category="synthesis",
+        src=src.name,
+        dst=dst.name,
+        backend=backend,
+        optimize=optimize,
+    ) as span:
+        conversion = _synthesize_impl(
+            src,
+            dst,
+            optimize=optimize,
+            binary_search=binary_search,
+            name=name,
+            backend=backend,
+        )
+        span.set(statements=len(conversion.computation.stmts))
+        return conversion
+
+
+def _synthesize_impl(
+    src: FormatDescriptor,
+    dst: FormatDescriptor,
+    *,
+    optimize: bool = True,
+    binary_search: bool = False,
+    name: str | None = None,
+    backend: str = "python",
+) -> SynthesizedConversion:
     if backend not in ("python", "numpy"):
         raise ValueError(f"unknown lowering backend {backend!r}")
     if src.rank != dst.rank:
@@ -484,8 +607,7 @@ def synthesize(
         conj, set(dst_r.sparse_vars), dst_r.index_ufs(), notes
     )
     notes.append(f"composed relation: {Relation(composed.in_vars, composed.out_vars, [conj])}")
-    PROF.add_time("synthesis.compose", time.perf_counter() - _mark)
-    _mark = time.perf_counter()
+    _mark = _phase("compose", _mark, constraints=len(conj.constraints))
 
     src_space = _source_space(src)
     src_vars = src.sparse_vars
@@ -640,8 +762,13 @@ def synthesize(
                     f"insert-populated UF {plan.uf!r} needs a strict "
                     "monotonic quantifier to fix element positions"
                 )
-    PROF.add_time("synthesis.solve", time.perf_counter() - _mark)
-    _mark = time.perf_counter()
+    _mark = _phase(
+        "solve",
+        _mark,
+        span_name="case_match",
+        unknown_ufs=len(unknown_ufs),
+        plans=len(plans),
+    )
 
     # ------------------------------------------------------------------
     # Build the computation.
@@ -1249,12 +1376,12 @@ def synthesize(
         + [DEST_DATA]
     )
 
-    PROF.add_time("synthesis.build", time.perf_counter() - _mark)
-    _mark = time.perf_counter()
+    _mark = _phase("build", _mark, statements=len(comp.stmts))
 
     # ------------------------------------------------------------------
     # Optimization pipeline (Section 3.3).
     # ------------------------------------------------------------------
+    stmts_before_optimize = len(comp.stmts)
     if optimize:
         removed = eliminate_redundant_statements(comp)
         if removed:
@@ -1277,8 +1404,13 @@ def synthesize(
             notes.append(
                 "linear search over monotonic UF replaced by binary search"
             )
-    PROF.add_time("synthesis.optimize", time.perf_counter() - _mark)
-    _mark = time.perf_counter()
+    _mark = _phase(
+        "optimize",
+        _mark,
+        stmts_before=stmts_before_optimize,
+        stmts_after=len(comp.stmts),
+        eliminated=stmts_before_optimize - len(comp.stmts),
+    )
 
     scalar_source = comp.codegen_function(params, returns, symtab)
     c_source = comp.codegen(symtab, lang="c")
@@ -1297,7 +1429,13 @@ def synthesize(
             f"{lowering.scalar_nests} scalar fallback nest(s)"
         )
         notes.extend(f"numpy backend: {n}" for n in lowering.notes)
-    PROF.add_time("synthesis.codegen", time.perf_counter() - _mark)
+    _phase(
+        "codegen",
+        _mark,
+        span_name="lower",
+        backend=backend,
+        **(vector_stats or {}),
+    )
 
     return SynthesizedConversion(
         name=fn_name,

@@ -26,9 +26,11 @@ reported machine-readably (:meth:`FuzzReport.to_dict`).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+import repro.obs as obs
 from repro.errors import ValidationError
 from repro.formats import get_format
 from repro.runtime import (
@@ -375,6 +377,9 @@ class FuzzReport:
     combos_covered: int = 0
     skipped_pairs: list = field(default_factory=list)
     failures: list = field(default_factory=list)
+    #: Per-combo span attribution: ``"SRC->DST:backend:opt" ->
+    #: {"cases", "seconds", "failures"}`` aggregated over the run.
+    combo_timings: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -392,6 +397,10 @@ class FuzzReport:
             "skipped_pairs": list(self.skipped_pairs),
             "ok": self.ok,
             "failures": [f.to_dict() for f in self.failures],
+            "combo_timings": {
+                key: dict(value)
+                for key, value in sorted(self.combo_timings.items())
+            },
         }
 
     def summary(self) -> str:
@@ -717,6 +726,7 @@ def fuzz(
     dests_2d: Sequence[str] = DESTS_2D,
     shrink: bool = True,
     max_failures: int = 25,
+    trace: bool | None = None,
 ) -> FuzzReport:
     """Run the differential fuzzer; see the module docstring for the oracles.
 
@@ -725,9 +735,31 @@ def fuzz(
     coverage completing first, so ``cases >= combos_total`` guarantees
     every synthesizable pair runs under every backend and optimize flag.
     The fixed malformed-input gate probes always run, for every backend.
+
+    ``trace`` forces the :mod:`repro.obs` span tree on/off for the run
+    (``None`` follows ``REPRO_TRACE``); while tracing, each case gets a
+    ``fuzz.case`` span and per-combo wall time lands in
+    ``report.combo_timings`` (left empty otherwise, so untraced reports
+    stay deterministic).
     """
     rng = random.Random(seed)
     report = FuzzReport(seed=seed, cases_requested=cases)
+    fuzz_cases_metric = obs.METRICS.counter(
+        "repro_fuzz_cases", "fuzzer cases by outcome"
+    )
+
+    def _account(combo_key: str, start: float, failed: bool) -> None:
+        fuzz_cases_metric.inc(outcome="fail" if failed else "ok")
+        if not obs.tracing():
+            # Wall times are attribution data, not fuzzing results: the
+            # report stays byte-deterministic across runs unless traced.
+            return
+        slot = report.combo_timings.setdefault(
+            combo_key, {"cases": 0, "seconds": 0.0, "failures": 0}
+        )
+        slot["cases"] += 1
+        slot["seconds"] += time.perf_counter() - start
+        slot["failures"] += bool(failed)
 
     combos = []
     if 2 in ranks:
@@ -761,75 +793,87 @@ def fuzz(
 
     covered: set = set()
     kinds_2d = list(CASE_KINDS_2D)
-    for case in range(cases):
-        if len(report.failures) >= max_failures:
-            break
-        src, dst, backend, optimize = combos[case % len(combos)]
-        covered.add((src, dst, backend, optimize))
-        report.cases_run += 1
-        report.conversions_checked += 1
-        case_seed = rng.randrange(1 << 30)
-        if src in SOURCES_3D:
-            kind = CASE_KINDS_3D[case % len(CASE_KINDS_3D)]
-            tensor = _gen_tensor(random.Random(case_seed), kind)
+    with obs.TRACER.forced(trace):
+        for case in range(cases):
+            if len(report.failures) >= max_failures:
+                break
+            src, dst, backend, optimize = combos[case % len(combos)]
+            covered.add((src, dst, backend, optimize))
+            report.cases_run += 1
+            report.conversions_checked += 1
+            case_seed = rng.randrange(1 << 30)
+            combo_key = f"{src}->{dst}:{backend}:opt{int(optimize)}"
+            case_start = time.perf_counter()
+            with obs.span(
+                "fuzz.case", category="fuzz", case=case, combo=combo_key
+            ) as case_span:
+                if src in SOURCES_3D:
+                    kind = CASE_KINDS_3D[case % len(CASE_KINDS_3D)]
+                    tensor = _gen_tensor(random.Random(case_seed), kind)
 
-            def predicate_3d(candidate):
-                return (
-                    _run_case_3d(candidate, src, dst, backend, optimize,
-                                 random.Random(case_seed))
-                    is not None
-                )
+                    def predicate_3d(candidate):
+                        return (
+                            _run_case_3d(candidate, src, dst, backend,
+                                         optimize,
+                                         random.Random(case_seed))
+                            is not None
+                        )
 
-            outcome = _run_case_3d(
-                tensor, src, dst, backend, optimize,
-                random.Random(case_seed),
-            )
-            if outcome is not None:
-                if shrink:
-                    tensor = _shrink_tensor(tensor, predicate_3d)
                     outcome = _run_case_3d(
                         tensor, src, dst, backend, optimize,
                         random.Random(case_seed),
-                    ) or outcome
-                stage, message = outcome
-                report.failures.append(
-                    FuzzFailure(
-                        case=case, kind=kind, src=src, dst=dst,
-                        backend=backend, optimize=optimize, stage=stage,
-                        message=message, input_repr=_input_repr(tensor),
                     )
-                )
-            continue
+                    if outcome is not None:
+                        if shrink:
+                            tensor = _shrink_tensor(tensor, predicate_3d)
+                            outcome = _run_case_3d(
+                                tensor, src, dst, backend, optimize,
+                                random.Random(case_seed),
+                            ) or outcome
+                        stage, message = outcome
+                        report.failures.append(
+                            FuzzFailure(
+                                case=case, kind=kind, src=src, dst=dst,
+                                backend=backend, optimize=optimize,
+                                stage=stage, message=message,
+                                input_repr=_input_repr(tensor),
+                            )
+                        )
+                else:
+                    kind, gen = kinds_2d[case % len(kinds_2d)]
+                    dense = gen(random.Random(case_seed))
 
-        kind, gen = kinds_2d[case % len(kinds_2d)]
-        dense = gen(random.Random(case_seed))
+                    def predicate_2d(candidate):
+                        return (
+                            _run_case_2d(candidate, src, dst, backend,
+                                         optimize,
+                                         random.Random(case_seed))
+                            is not None
+                        )
 
-        def predicate_2d(candidate):
-            return (
-                _run_case_2d(candidate, src, dst, backend, optimize,
-                             random.Random(case_seed))
-                is not None
-            )
-
-        outcome = _run_case_2d(
-            dense, src, dst, backend, optimize, random.Random(case_seed)
-        )
-        if outcome is not None:
-            if shrink:
-                dense = _shrink_dense(dense, predicate_2d)
-                outcome = _run_case_2d(
-                    dense, src, dst, backend, optimize,
-                    random.Random(case_seed),
-                ) or outcome
-            stage, message = outcome
-            report.failures.append(
-                FuzzFailure(
-                    case=case, kind=kind, src=src, dst=dst,
-                    backend=backend, optimize=optimize, stage=stage,
-                    message=message,
-                    input_repr={"dense": dense},
-                )
-            )
+                    outcome = _run_case_2d(
+                        dense, src, dst, backend, optimize,
+                        random.Random(case_seed),
+                    )
+                    if outcome is not None:
+                        if shrink:
+                            dense = _shrink_dense(dense, predicate_2d)
+                            outcome = _run_case_2d(
+                                dense, src, dst, backend, optimize,
+                                random.Random(case_seed),
+                            ) or outcome
+                        stage, message = outcome
+                        report.failures.append(
+                            FuzzFailure(
+                                case=case, kind=kind, src=src, dst=dst,
+                                backend=backend, optimize=optimize,
+                                stage=stage, message=message,
+                                input_repr={"dense": dense},
+                            )
+                        )
+                failed = outcome is not None
+                case_span.set(kind=kind, outcome="fail" if failed else "ok")
+            _account(combo_key, case_start, failed)
     report.combos_covered = len(covered)
     return report
 

@@ -26,6 +26,23 @@ from repro.errors import UnsortedInputError, ValidationError
 VALIDATE_LEVELS = ("off", "inputs", "full")
 
 
+def _record_rejection(err: ValidationError, where: str) -> None:
+    """Count a gate rejection by ``ValidationError`` subclass and site."""
+    import repro.obs as obs
+
+    obs.METRICS.counter(
+        "repro_gate_rejections", "validation-gate rejections"
+    ).inc(error=type(err).__name__, where=where)
+
+
+def _record_check(where: str) -> None:
+    import repro.obs as obs
+
+    obs.METRICS.counter(
+        "repro_gate_checks", "validation-gate checks run"
+    ).inc(where=where)
+
+
 def normalize_level(level: str | None) -> str:
     """Validate and canonicalize a ``validate=`` argument."""
     if level is None:
@@ -54,7 +71,12 @@ def check_input(container, *, level: str = "inputs",
     level = normalize_level(level)
     if level == "off":
         return
-    container.check()
+    _record_check("input")
+    try:
+        container.check()
+    except ValidationError as err:
+        _record_rejection(err, "input")
+        raise
     if not assume_sorted:
         return
     # The sorted-source precondition: a plain COO container that is about
@@ -71,7 +93,7 @@ def check_input(container, *, level: str = "inputs",
     if isinstance(container, (COOMatrix, COOTensor3D)):
         position = container.first_unsorted_position()
         if position is not None:
-            raise UnsortedInputError(
+            err = UnsortedInputError(
                 f"entries are not lexicographically sorted (first violation "
                 f"at position {position}) but assume_sorted=True promised "
                 f"sorted input",
@@ -80,6 +102,8 @@ def check_input(container, *, level: str = "inputs",
                        "sorting COO descriptor",
                 container=repr(container),
             )
+            _record_rejection(err, "input")
+            raise err
 
 
 def check_output(result, source, *, level: str = "full") -> None:
@@ -92,12 +116,17 @@ def check_output(result, source, *, level: str = "full") -> None:
     """
     if normalize_level(level) != "full":
         return
-    if hasattr(result, "to_dense") and hasattr(source, "to_dense"):
-        result.check_against_dense(source.to_dense())
-    elif hasattr(result, "to_dict") and hasattr(source, "to_dict"):
-        result.check_against_dense(source.to_dict())
-    else:  # pragma: no cover - every shipped container has one of the two
-        result.check()
+    _record_check("output")
+    try:
+        if hasattr(result, "to_dense") and hasattr(source, "to_dense"):
+            result.check_against_dense(source.to_dense())
+        elif hasattr(result, "to_dict") and hasattr(source, "to_dict"):
+            result.check_against_dense(source.to_dict())
+        else:  # pragma: no cover - every container has one of the two
+            result.check()
+    except ValidationError as err:
+        _record_rejection(err, "output")
+        raise
 
 
 __all__ = [

@@ -1,0 +1,229 @@
+"""Span trees: nesting, thread attribution, forcing, the no-op path."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import NOOP_SPAN, Span, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.disable()
+    TRACER.clear()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        TRACER.enable()
+        with obs.span("root", category="test"):
+            with obs.span("child_a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child_b"):
+                pass
+        roots = TRACER.finished_roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_walk_is_depth_first(self):
+        TRACER.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        names = [s.name for s in TRACER.finished_roots()[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_durations_are_monotone(self):
+        TRACER.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        outer = TRACER.finished_roots()[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_add_span_attaches_to_current_parent(self):
+        TRACER.enable()
+        with obs.span("parent"):
+            obs.add_span("phase", 1.0, 2.5, category="synthesis", n=3)
+        root = TRACER.finished_roots()[0]
+        assert [c.name for c in root.children] == ["phase"]
+        child = root.children[0]
+        assert child.duration == pytest.approx(1.5)
+        assert child.attrs == {"n": 3}
+
+    def test_add_span_without_parent_becomes_root(self):
+        TRACER.enable()
+        obs.add_span("orphan", 0.0, 1.0)
+        assert [r.name for r in TRACER.finished_roots()] == ["orphan"]
+
+    def test_exception_marks_error_and_closes_span(self):
+        TRACER.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("nope")
+        root = TRACER.finished_roots()[0]
+        assert root.attrs["error"] == "ValueError"
+        assert root.end >= root.start
+
+    def test_attrs_set_is_chainable_and_renders(self):
+        TRACER.enable()
+        with obs.span("named") as span:
+            span.set(a=1).set(b="two")
+        text = TRACER.finished_roots()[0].render()
+        assert "named" in text
+        assert "a=1" in text and "b=two" in text
+
+    def test_span_ids_are_unique(self):
+        TRACER.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        ids = [s.span_id for s in TRACER.finished_roots()[0].walk()]
+        assert len(ids) == len(set(ids))
+        assert all(i > 0 for i in ids)
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs.span("anything", key="value") is NOOP_SPAN
+        assert obs.add_span("x", 0.0, 1.0) is NOOP_SPAN
+
+    def test_noop_span_supports_the_full_surface(self):
+        with obs.span("x") as span:
+            span.set(a=1)
+        assert span is NOOP_SPAN
+        assert list(span.walk()) == []
+        assert span.render() == ""
+        assert span.duration == 0.0
+
+    def test_nothing_recorded_while_disabled(self):
+        with obs.span("invisible"):
+            pass
+        assert TRACER.finished_roots() == []
+
+    def test_tracing_reflects_enablement(self):
+        assert obs.tracing() is False
+        TRACER.enable()
+        assert obs.tracing() is True
+
+
+class TestForcing:
+    def test_forced_true_enables_for_the_thread(self):
+        with TRACER.forced(True):
+            assert obs.tracing() is True
+            with obs.span("forced"):
+                pass
+        assert obs.tracing() is False
+        assert [r.name for r in TRACER.finished_roots()] == ["forced"]
+
+    def test_forced_false_suppresses_enabled_tracing(self):
+        TRACER.enable()
+        with TRACER.forced(False):
+            assert obs.tracing() is False
+            with obs.span("hidden"):
+                pass
+        assert TRACER.finished_roots() == []
+
+    def test_forced_none_is_a_no_op(self):
+        TRACER.enable()
+        with TRACER.forced(None):
+            assert obs.tracing() is True
+        TRACER.disable()
+        with TRACER.forced(None):
+            assert obs.tracing() is False
+
+    def test_forced_restores_previous_override_on_exit(self):
+        with TRACER.forced(True):
+            with TRACER.forced(False):
+                assert obs.tracing() is False
+            assert obs.tracing() is True
+        assert obs.tracing() is False
+
+
+class TestThreads:
+    def test_threads_build_independent_trees(self):
+        TRACER.enable()
+        barrier = threading.Barrier(2)
+
+        def work(tag):
+            with obs.span(f"root_{tag}"):
+                barrier.wait(timeout=5)
+                with obs.span(f"child_{tag}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = TRACER.finished_roots()
+        assert sorted(r.name for r in roots) == ["root_a", "root_b"]
+        for root in roots:
+            assert len(root.children) == 1
+            assert root.children[0].name == f"child_{root.name[-1]}"
+            # Attribution: every span carries its recording thread's id.
+            assert root.tid == root.children[0].tid
+        assert roots[0].tid != roots[1].tid
+
+    def test_forced_override_is_thread_local(self):
+        TRACER.enable()
+        seen = {}
+
+        def work():
+            seen["inner"] = obs.tracing()
+
+        with TRACER.forced(False):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+            seen["outer"] = obs.tracing()
+        assert seen == {"inner": True, "outer": False}
+
+
+class TestSummaryAndBounds:
+    def test_span_summary_aggregates_by_name(self):
+        TRACER.enable()
+        for _ in range(3):
+            with obs.span("repeat"):
+                pass
+        summary = TRACER.span_summary()
+        assert summary["repeat"]["count"] == 3
+        assert summary["repeat"]["seconds"] >= 0.0
+
+    def test_root_buffer_is_bounded(self):
+        TRACER.enable()
+        from repro.obs.core import MAX_ROOTS
+
+        for index in range(MAX_ROOTS + 10):
+            with obs.span(f"s{index}"):
+                pass
+        roots = TRACER.finished_roots()
+        assert len(roots) == MAX_ROOTS
+        assert roots[-1].name == f"s{MAX_ROOTS + 9}"
+
+    def test_clear_drops_recorded_trees(self):
+        TRACER.enable()
+        with obs.span("gone"):
+            pass
+        TRACER.clear()
+        assert TRACER.finished_roots() == []
+        assert TRACER.span_summary() == {}
+
+    def test_direct_span_object_usable_without_tracer(self):
+        span = Span("manual", "cat", {"k": "v"})
+        assert span.duration == 0.0
+        assert "manual" in repr(span)

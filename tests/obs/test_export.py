@@ -1,0 +1,163 @@
+"""Exporters: Chrome trace schema, Prometheus round-trip, JSONL, atomicity."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro._prof import PROF
+from repro.obs import (
+    METRICS,
+    TRACER,
+    chrome_trace,
+    jsonl_events,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_chrome_trace,
+    write_all,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset_all()
+    TRACER.disable()
+    yield
+    obs.reset_all()
+    TRACER.disable()
+
+
+def _record_tree():
+    import time
+
+    TRACER.enable()
+    with obs.span("convert", category="convert", dst="CSR"):
+        with obs.span("synthesize", category="synthesis"):
+            mark = time.perf_counter()
+            obs.add_span(
+                "synthesis.optimize", mark, mark + 0.001, eliminated=2
+            )
+        with obs.span("execute", category="runtime", nnz=5):
+            pass
+    TRACER.disable()
+
+
+class TestChromeTrace:
+    def test_trace_passes_its_own_schema_check(self):
+        _record_tree()
+        trace = chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        assert len(trace["traceEvents"]) == 4
+
+    def test_events_are_complete_events_with_relative_timestamps(self):
+        _record_tree()
+        for event in chrome_trace()["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["args"], dict)
+
+    def test_round_trips_through_json(self):
+        _record_tree()
+        text = json.dumps(chrome_trace())
+        assert validate_chrome_trace(json.loads(text)) == []
+
+    def test_validator_reports_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad_event = {"name": "", "ph": "B", "ts": -1, "dur": "x", "pid": "p"}
+        problems = validate_chrome_trace({"traceEvents": [bad_event]})
+        assert len(problems) >= 4
+
+
+class TestJsonl:
+    def test_events_reference_their_parents(self):
+        _record_tree()
+        events = list(jsonl_events())
+        by_name = {e["name"]: e for e in events}
+        root_id = by_name["convert"]["id"]
+        assert by_name["convert"]["parent"] == 0
+        assert by_name["synthesize"]["parent"] == root_id
+        assert by_name["execute"]["parent"] == root_id
+        assert (
+            by_name["synthesis.optimize"]["parent"]
+            == by_name["synthesize"]["id"]
+        )
+        assert by_name["synthesis.optimize"]["attrs"] == {"eliminated": 2}
+
+    def test_every_event_is_json_serializable(self):
+        _record_tree()
+        for event in jsonl_events():
+            json.dumps(event)
+
+
+class TestPrometheus:
+    def test_text_parses_under_the_strict_parser(self):
+        PROF.incr("cache.memo.hit", 3)
+        with PROF.timer("synthesis.total"):
+            pass
+        METRICS.counter("repro_conversions", "done").inc(src="COO", dst="CSR")
+        METRICS.histogram("repro_conversion_seconds").observe(0.002)
+        _record_tree()
+        text = prometheus_text()
+        samples = parse_prometheus_text(text)
+        assert samples[("repro_cache_memo_hit_total", ())] == 3
+        assert (
+            samples[
+                (
+                    "repro_conversions",
+                    (("dst", "CSR"), ("src", "COO")),
+                )
+            ]
+            == 1
+        )
+        assert ("repro_synthesis_total_seconds_total", ()) in samples
+        assert ("repro_synthesis_total_calls_total", ()) in samples
+        # histogram series: +Inf bucket, sum, count
+        assert (
+            samples[("repro_conversion_seconds_bucket", (("le", "+Inf"),))]
+            == 1
+        )
+        assert ("repro_conversion_seconds_count", ()) in samples
+        # span aggregates
+        assert samples[("repro_span_count_total", (("span", "convert"),))] == 1
+
+    def test_label_values_are_escaped(self):
+        METRICS.counter("repro_escape_probe").inc(
+            label='quote " backslash \\ newline \n end'
+        )
+        samples = parse_prometheus_text(prometheus_text())
+        keys = [k for k in samples if k[0] == "repro_escape_probe"]
+        assert len(keys) == 1
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus_text("this is not prometheus\n")
+
+
+class TestWriteAll:
+    def test_writes_all_four_artifacts(self, tmp_path):
+        PROF.incr("cache.miss")
+        _record_tree()
+        paths = write_all(tmp_path)
+        assert sorted(paths) == [
+            "chrome_trace",
+            "events",
+            "prometheus",
+            "stats",
+        ]
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+        parse_prometheus_text((tmp_path / "metrics.prom").read_text())
+        stats = json.loads((tmp_path / "stats.json").read_text())
+        assert stats["prof"]["counters"]["cache.miss"] == 1
+
+    def test_no_tmp_droppings_left_behind(self, tmp_path):
+        _record_tree()
+        write_all(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

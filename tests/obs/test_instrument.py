@@ -1,0 +1,117 @@
+"""The per-statement source instrumenter: chunking, hooks, fallbacks."""
+
+import time
+
+from repro.obs.instrument import instrument_source, split_chunks
+
+SAMPLE = """\
+def coo_to_csr(row1, col1, NR, NC, NNZ, Asrc):
+    col2 = [0] * (NNZ)
+    rowptr = [0] * (NR + 1)
+    for n in range(0, NNZ):
+        rowptr[row1[n] + 1] += 1
+        col2[n] = col1[n]
+    for x in range(1, NR + 1):
+        rowptr[x] += rowptr[x - 1]
+    return {'rowptr': rowptr, 'col2': col2}
+"""
+
+
+class TestSplitChunks:
+    def test_compound_statements_own_their_chunk(self):
+        body = SAMPLE.splitlines()[1:]
+        chunks = split_chunks(body, "    ")
+        assert chunks is not None
+        heads = [chunk[0].strip() for chunk in chunks]
+        assert heads == [
+            "col2 = [0] * (NNZ)",
+            "for n in range(0, NNZ):",
+            "for x in range(1, NR + 1):",
+            "return {'rowptr': rowptr, 'col2': col2}",
+        ]
+        # consecutive simple statements coalesce into the first chunk
+        assert "rowptr = [0] * (NR + 1)" in chunks[0][1]
+
+    def test_comments_start_a_new_chunk(self):
+        # The emitters use comments as nest markers, so a comment opens a
+        # fresh chunk and the following statements belong to it.
+        body = [
+            "    a = 1",
+            "    b = 2",
+            "    # vectorized: loop nest over n",
+            "    c = 3",
+        ]
+        chunks = split_chunks(body, "    ")
+        assert [c[0].strip() for c in chunks] == [
+            "a = 1",
+            "# vectorized: loop nest over n",
+        ]
+        assert chunks[0] == ["    a = 1", "    b = 2"]
+        assert chunks[1][-1] == "    c = 3"
+
+    def test_unexpected_shape_returns_none(self):
+        assert split_chunks(["        orphan_continuation"], "    ") is None
+        assert split_chunks(["no_indent = 1"], "    ") is None
+
+
+class TestInstrumentSource:
+    def test_injects_hooks_per_timed_chunk(self):
+        result = instrument_source(SAMPLE, "coo_to_csr")
+        assert result is not None
+        source, labels = result
+        assert labels == [
+            "col2 = [0] * (NNZ)",
+            "for n in range(0, NNZ):",
+            "for x in range(1, NR + 1):",
+        ]
+        assert source.count("__OBS_STMT(") == len(labels)
+        # the return statement is never timed
+        assert "__OBS_STMT(3" not in source
+
+    def test_instrumented_source_runs_and_reports(self):
+        source, labels = instrument_source(SAMPLE, "coo_to_csr")
+        calls = []
+
+        def hook(index, label, start, end):
+            calls.append((index, label))
+            assert end >= start
+
+        env = {"__OBS_STMT": hook, "__OBS_CLOCK": time.perf_counter}
+        exec(compile(source, "<test>", "exec"), env)
+        out = env["coo_to_csr"]([0, 0, 1], [0, 1, 0], 2, 2, 3, [1.0, 2.0, 3.0])
+        assert out["rowptr"] == [0, 2, 3]
+        assert out["col2"] == [0, 1, 0]
+        assert [c[0] for c in calls] == [0, 1, 2]
+        assert [c[1] for c in calls] == labels
+
+    def test_instrumentation_preserves_semantics(self):
+        plain_env: dict = {}
+        exec(compile(SAMPLE, "<plain>", "exec"), plain_env)
+        source, _ = instrument_source(SAMPLE, "coo_to_csr")
+        inst_env = {
+            "__OBS_STMT": lambda *a: None,
+            "__OBS_CLOCK": time.perf_counter,
+        }
+        exec(compile(source, "<inst>", "exec"), inst_env)
+        args = ([0, 1, 1], [2, 0, 1], 2, 3, 3, [1.0, 2.0, 3.0])
+        assert plain_env["coo_to_csr"](*args) == inst_env["coo_to_csr"](*args)
+
+    def test_unknown_function_name_returns_none(self):
+        assert instrument_source(SAMPLE, "not_there") is None
+
+    def test_empty_body_returns_none(self):
+        assert instrument_source("def f():\n", "f") is None
+
+    def test_real_generated_source_instruments_on_both_backends(self):
+        from repro.formats import get_format
+        from repro.synthesis import synthesize
+
+        for backend in ("python", "numpy"):
+            conv = synthesize(
+                get_format("SCOO"), get_format("CSR"), backend=backend
+            )
+            result = instrument_source(conv.source, conv.name)
+            assert result is not None, backend
+            source, labels = result
+            assert labels, backend
+            compile(source, "<generated>", "exec")
