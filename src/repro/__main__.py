@@ -10,6 +10,9 @@ Commands:
 * ``convert IN.mtx OUT.mtx --to FORMAT`` — convert a Matrix Market file
   through a synthesized inspector (multi-step planning with ``--plan``),
 * ``kernel FORMAT KIND`` — print a generated executor kernel,
+* ``passes`` — list the registered optimization passes (canonical order,
+  opt-in flags) and lowering backends with their capability declarations;
+  any listed pass name is valid for ``--disable-pass``,
 * ``selftest`` — differential-test every conversion on random matrices,
 * ``fuzz`` — property-based differential fuzzing: adversarial and
   malformed inputs through every synthesizable format pair x backend x
@@ -91,23 +94,38 @@ def cmd_convert(args) -> int:
     # Files carry no sortedness promise: detect, so unsorted .mtx input
     # routes through the sorting COO descriptor instead of being rejected.
     sorted_input = matrix.is_sorted_lexicographic()
-    if args.plan:
-        planner = default_planner(args.backend)
-        result = planner.execute(
-            matrix, args.to, assume_sorted=sorted_input,
-            validate=args.validate,
-        )
-        plan = planner.plan("SCOO" if sorted_input else "COO", args.to)
-        print(f"plan: {plan}", file=sys.stderr)
-    else:
-        result = convert(
-            matrix,
-            args.to,
-            binary_search=args.binary_search,
-            backend=args.backend,
-            assume_sorted=sorted_input,
-            validate=args.validate,
-        )
+    disabled = tuple(args.disable_pass)
+    try:
+        if args.plan:
+            if disabled:
+                from repro.planner import ConversionPlanner
+
+                planner = ConversionPlanner(
+                    backend=args.backend, disabled_passes=disabled
+                )
+            else:
+                planner = default_planner(args.backend)
+            result = planner.execute(
+                matrix, args.to, assume_sorted=sorted_input,
+                validate=args.validate,
+            )
+            plan = planner.plan("SCOO" if sorted_input else "COO", args.to)
+            print(f"plan: {plan}", file=sys.stderr)
+        else:
+            result = convert(
+                matrix,
+                args.to,
+                binary_search=args.binary_search,
+                backend=args.backend,
+                assume_sorted=sorted_input,
+                disabled_passes=disabled,
+                validate=args.validate,
+            )
+    except ValueError as exc:
+        # Unknown --disable-pass names surface here with the registered
+        # pass list already in the message.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.verify:
         if not dense_equal(result.to_dense(), matrix.to_dense()):
             print("VERIFICATION FAILED", file=sys.stderr)
@@ -120,6 +138,34 @@ def cmd_convert(args) -> int:
     write_matrix(out_coo, args.output,
                  comment=f"converted to {args.to} by repro")
     print(f"wrote {args.output} ({result})", file=sys.stderr)
+    return 0
+
+
+def cmd_passes(args) -> int:
+    from repro.backends import all_backends
+    from repro.pipeline import PASSES
+
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "passes": [p.describe() for p in PASSES.passes()],
+            "backends": [b.describe() for b in all_backends()],
+        }, indent=2))
+        return 0
+    print("optimization passes (canonical order):")
+    for p in PASSES.passes():
+        flag = "opt-in " if p.opt_in else "default"
+        print(f"  {p.order:4d}  {p.name:16s} [{flag}] {p.description}")
+    print("lowering backends:")
+    for b in all_backends():
+        caps = b.capabilities
+        ranks = ",".join(str(r) for r in caps.ranks)
+        strategies = ",".join(caps.strategies) or "-"
+        print(f"  {b.name:8s} ranks={ranks:5s} "
+              f"vectorized={str(caps.vectorized).lower():5s} "
+              f"strategies={strategies}")
+        print(f"           {b.description}")
     return 0
 
 
@@ -147,8 +193,10 @@ def cmd_selftest(args) -> int:
 def cmd_fuzz(args) -> int:
     from repro.verify import fuzz
 
+    from repro.backends import backend_names
+
     backends = (
-        ("python", "numpy") if args.backend == "both" else (args.backend,)
+        tuple(backend_names()) if args.backend == "both" else (args.backend,)
     )
     optimize_levels = {
         "both": (True, False), "on": (True,), "off": (False,)
@@ -175,10 +223,13 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    import os
+
     import repro.obs as obs
     from repro import convert
     from repro.datagen import random_uniform
     from repro.planner import convert_via_plan
+    from repro.synthesis import clear_memo
 
     matrix = random_uniform(
         args.rows, args.cols, args.nnz, seed=args.seed
@@ -189,10 +240,20 @@ def cmd_trace(args) -> int:
         matrix = convert_via_plan(
             matrix, src, backend=args.backend, trace=False
         )
-    result = convert(
-        matrix, args.dst.upper(), backend=args.backend,
-        validate=args.validate, trace=True,
-    )
+    # The trace exists to show the synthesis stages, so force a live
+    # synthesis: a memo or disk hit would replace the compose/build/
+    # per-pass spans with a single cache-load span.
+    os.environ["REPRO_CACHE_DISABLE"] = "1"
+    clear_memo()
+    try:
+        result = convert(
+            matrix, args.dst.upper(), backend=args.backend,
+            validate=args.validate, trace=True,
+            disabled_passes=tuple(args.disable_pass),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"# traced {matrix.__class__.__name__} -> {result}",
           file=sys.stderr)
     for root in obs.TRACER.finished_roots():
@@ -277,6 +338,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Backend choices come from the registry so third-party backends
+    # registered before main() are immediately selectable.
+    from repro.backends import backend_names
+
+    BACKENDS = list(backend_names())
+
     sub.add_parser("formats", help="list the format library")
 
     p_show = sub.add_parser("show", help="print one descriptor")
@@ -296,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="also print display C")
     p_synth.add_argument("--notes", action="store_true",
                          help="print the synthesis decision log")
-    p_synth.add_argument("--backend", choices=["python", "numpy"],
+    p_synth.add_argument("--backend", choices=BACKENDS,
                          default="python",
                          help="lowering backend for the inspector")
 
@@ -309,20 +376,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="use the multi-step planner")
     p_conv.add_argument("--verify", action="store_true",
                         help="check the result against a dense reference")
-    p_conv.add_argument("--backend", choices=["python", "numpy"],
+    p_conv.add_argument("--backend", choices=BACKENDS,
                         default="python",
                         help="lowering backend for the inspector")
     p_conv.add_argument("--validate", choices=["off", "inputs", "full"],
                         default="inputs",
                         help="runtime validation gate: check inputs "
                              "(default), also outputs (full), or nothing")
+    p_conv.add_argument("--disable-pass", metavar="NAME", action="append",
+                        default=[],
+                        help="drop an optimization pass by name "
+                             "(repeatable; see `repro passes`)")
 
     p_self = sub.add_parser(
         "selftest", help="differential-test all conversions on random data"
     )
     p_self.add_argument("--trials", type=int, default=20)
     p_self.add_argument("--seed", type=int, default=0)
-    p_self.add_argument("--backend", choices=["python", "numpy"],
+    p_self.add_argument("--backend", choices=BACKENDS,
                         default="python",
                         help="lowering backend for the inspectors under test")
 
@@ -335,7 +406,7 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--cases", type=int, default=200,
                         help="conversion-case budget (default 200)")
     p_fuzz.add_argument("--seed", type=int, default=0)
-    p_fuzz.add_argument("--backend", choices=["python", "numpy", "both"],
+    p_fuzz.add_argument("--backend", choices=BACKENDS + ["both"],
                         default="both")
     p_fuzz.add_argument("--optimize", choices=["on", "off", "both"],
                         default="both",
@@ -358,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_trace.add_argument("src", help="source format name")
     p_trace.add_argument("dst", help="destination format name")
-    p_trace.add_argument("--backend", choices=["python", "numpy"],
+    p_trace.add_argument("--backend", choices=BACKENDS,
                          default="python")
     p_trace.add_argument("--rows", type=int, default=64)
     p_trace.add_argument("--cols", type=int, default=64)
@@ -369,6 +440,10 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--out", metavar="DIR",
                          help="also write trace.json / events.jsonl / "
                               "metrics.prom / stats.json there")
+    p_trace.add_argument("--disable-pass", metavar="NAME", action="append",
+                         default=[],
+                         help="drop an optimization pass by name "
+                              "(repeatable; see `repro passes`)")
 
     p_stats = sub.add_parser(
         "stats",
@@ -380,6 +455,14 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("--input", metavar="FILE",
                          help="render a previously dumped stats.json "
                               "instead of this process's registries")
+
+    p_passes = sub.add_parser(
+        "passes",
+        help="list registered optimization passes and lowering backends "
+             "with their capability declarations",
+    )
+    p_passes.add_argument("--json", action="store_true",
+                          help="dump the registries as JSON")
 
     p_kern = sub.add_parser("kernel", help="print a generated executor")
     p_kern.add_argument("format")
@@ -401,7 +484,7 @@ def main(argv: list[str] | None = None) -> int:
     p_warm = cache_sub.add_parser(
         "warm", help="pre-synthesize the planner's conversion graph"
     )
-    p_warm.add_argument("--backend", choices=["python", "numpy"],
+    p_warm.add_argument("--backend", choices=BACKENDS,
                         default="python")
     p_warm.add_argument("--jobs", type=int, default=1,
                         help="worker processes for parallel warming")
@@ -412,6 +495,7 @@ def main(argv: list[str] | None = None) -> int:
         "show": cmd_show,
         "synthesize": cmd_synthesize,
         "convert": cmd_convert,
+        "passes": cmd_passes,
         "kernel": cmd_kernel,
         "selftest": cmd_selftest,
         "fuzz": cmd_fuzz,

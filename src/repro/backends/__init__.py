@@ -1,0 +1,42 @@
+"""repro.backends — pluggable lowering backends behind one registry.
+
+Every place that used to compare ``backend == "numpy"`` resolves a
+:class:`Backend` object here instead.  A backend carries capability
+declarations (supported ranks, vectorization strategies) plus the hooks
+that actually differ between lowerings: source generation, the execution
+namespace, result materialization, benchmark input staging, and the
+planner's cost model.
+
+The scalar-Python and NumPy backends are the two built-in instances;
+:func:`register_backend` accepts new ones, which immediately become valid
+values for every ``backend=`` keyword and ``--backend`` CLI flag.
+"""
+
+from .base import Backend, BackendCapabilities, Lowering
+from .numpy_backend import NumpyBackend
+from .registry import (
+    all_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .scalar import PythonBackend
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "Lowering",
+    "NumpyBackend",
+    "PythonBackend",
+    "all_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+#: The built-in lowerings; registration order fixes "python" as the
+#: default and reference backend.
+PYTHON_BACKEND = register_backend(PythonBackend())
+NUMPY_BACKEND = register_backend(NumpyBackend())

@@ -1,0 +1,140 @@
+"""The :class:`Backend` contract: one pluggable lowering target.
+
+A backend owns everything that differs between the scalar-Python and
+vectorized lowerings of a synthesized inspector:
+
+* **lowering** — turning an optimized SPF :class:`~repro.spf.Computation`
+  into executable source (:meth:`Backend.lower`),
+* **execution namespace** — the runtime helpers generated code may
+  reference (:meth:`Backend.namespace`),
+* **result materialization** — converting native outputs back to plain
+  Python containers at the public ``convert()`` boundary
+  (:meth:`Backend.materialize`),
+* **input staging** — the native representation benchmark harnesses feed
+  the inspector (:meth:`Backend.native_inputs`),
+* **cost estimation** — the planner's machine-independent edge weights
+  (:meth:`Backend.estimate_cost`),
+
+plus declarative :class:`BackendCapabilities` the CLI and planner can
+inspect without running anything.
+
+This module deliberately imports nothing from the rest of the package at
+module level (only the stdlib): every layer — the synthesis engine, the
+runtime executor, the planner — can depend on :mod:`repro.backends`
+without import cycles.  Hooks that need runtime helpers import them
+lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spf import Computation, SymbolTable
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, declared rather than probed.
+
+    ``ranks`` lists the tensor ranks the lowering handles; ``strategies``
+    names the vectorization (or execution) strategies generated code may
+    use — surfaced by ``repro passes`` so an operator can see why a
+    backend was (not) chosen; ``requires`` lists soft dependencies that
+    must import for the backend to be usable.
+    """
+
+    ranks: tuple[int, ...] = (2, 3)
+    vectorized: bool = False
+    strategies: tuple[str, ...] = ()
+    requires: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "ranks": list(self.ranks),
+            "vectorized": self.vectorized,
+            "strategies": list(self.strategies),
+            "requires": list(self.requires),
+        }
+
+
+@dataclass
+class Lowering:
+    """The result of lowering one computation through a backend."""
+
+    source: str
+    #: e.g. ``{"vectorized_nests": n, "scalar_nests": m}`` — None when the
+    #: backend has no vectorization split to report.
+    vector_stats: dict | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+class Backend:
+    """Base class for lowering backends; register instances, not classes.
+
+    The legacy string ``backend="python"|"numpy"`` API resolves to
+    registered instances through :func:`repro.backends.get_backend`, so
+    subclasses must set a unique :attr:`name`.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+    capabilities: BackendCapabilities = BackendCapabilities()
+    #: Name of the backend whose outputs this one must agree with in the
+    #: differential fuzzer, or None when this backend *is* the reference.
+    differential_reference: str | None = None
+
+    # ------------------------------------------------------------------
+    def require(self) -> None:
+        """Raise if the backend's soft dependencies are unavailable."""
+
+    def lower(
+        self,
+        comp: "Computation",
+        params: Sequence[str],
+        returns: Sequence[str],
+        symtab: "SymbolTable",
+        *,
+        scalar_source: str | None = None,
+    ) -> Lowering:
+        """Lower an optimized computation to executable source.
+
+        ``scalar_source`` is the already-generated scalar lowering, passed
+        as a hint so the scalar backend does not lower twice.
+        """
+        raise NotImplementedError
+
+    def namespace(self) -> dict:
+        """The globals available to inspectors compiled for this backend."""
+        raise NotImplementedError
+
+    def materialize(self, outputs):
+        """Convert native inspector outputs to plain Python containers."""
+        return outputs
+
+    def native_inputs(self, inputs: Mapping) -> dict:
+        """Stage inspector inputs in the backend's native representation."""
+        return dict(inputs)
+
+    def estimate_cost(self, conversion) -> float:
+        """Machine-independent cost of one synthesized conversion.
+
+        Used by :mod:`repro.planner` as the edge weight in the conversion
+        graph; the absolute scale is arbitrary but shared across backends
+        so chains can mix lowerings.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Registry/CLI view of the backend."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "differential_reference": self.differential_reference,
+            "capabilities": self.capabilities.to_dict(),
+        }
+
+    def __repr__(self):
+        return f"<Backend {self.name!r}>"

@@ -1,0 +1,115 @@
+"""The NumPy-vectorized lowering backend."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .base import Backend, BackendCapabilities, Lowering
+
+
+class NumpyBackend(Backend):
+    """Whole-array re-emission of each loop nest via ``repro.spf.codegen``.
+
+    Nests the vectorizer cannot prove safe fall back to scalar statements
+    inside the same function; :attr:`Lowering.vector_stats` reports the
+    split.  Outputs must agree with the scalar backend element for
+    element (``differential_reference``).
+    """
+
+    name = "numpy"
+    description = "vectorized whole-array lowering (scalar fallback nests)"
+    capabilities = BackendCapabilities(
+        ranks=(2, 3),
+        vectorized=True,
+        strategies=(
+            "histogram-prefix-sum",
+            "stable-bucket-fill",
+            "lexicographic-rank",
+            "segmented-flatten",
+            "gather-scatter",
+            "scalar-fallback",
+        ),
+        requires=("numpy",),
+    )
+    differential_reference = "python"
+
+    def require(self) -> None:
+        from repro.runtime import npvec
+
+        npvec.require_numpy()
+
+    def lower(
+        self,
+        comp,
+        params: Sequence[str],
+        returns: Sequence[str],
+        symtab,
+        *,
+        scalar_source: str | None = None,
+    ) -> Lowering:
+        lowering = comp.codegen_function_numpy(
+            list(params), list(returns), symtab
+        )
+        return Lowering(
+            source=lowering.source,
+            vector_stats={
+                "vectorized_nests": lowering.vectorized_nests,
+                "scalar_nests": lowering.scalar_nests,
+            },
+            notes=list(lowering.notes),
+        )
+
+    def namespace(self) -> dict:
+        from repro.runtime import executor, npvec
+
+        npvec.require_numpy()
+        namespace = dict(executor._BASE_NAMESPACE)
+        namespace.update(executor._NUMPY_EXTRAS)
+        return namespace
+
+    def materialize(self, outputs):
+        from repro.runtime.npvec import MATERIALIZE
+
+        return MATERIALIZE(outputs)
+
+    def native_inputs(self, inputs: Mapping) -> dict:
+        """Coordinate/data columns pre-converted to typed arrays.
+
+        Mirrors how each baseline receives its own preferred layout; the
+        boundary conversion is a one-time format property, not converter
+        work, so benchmark harnesses stage inputs through this hook.
+        """
+        import numpy as np
+
+        staged = dict(inputs)
+        for name, value in staged.items():
+            if isinstance(value, list):
+                dtype = (
+                    np.float64
+                    if value and isinstance(value[0], float)
+                    else np.int64
+                )
+                staged[name] = np.asarray(value, dtype=dtype)
+        return staged
+
+    def estimate_cost(self, conversion) -> float:
+        """Cost model for vectorized inspectors.
+
+        Residual ``for`` loops are the scalar-fallback nests; vectorized
+        nests cost a small constant each (a handful of array passes —
+        numpy's per-element work is a couple of orders of magnitude
+        cheaper than an interpreted pass).
+        """
+        source = conversion.source
+        stats = conversion.vector_stats or {}
+        cost = float(source.count("for "))
+        cost += 0.05 * stats.get("vectorized_nests", 0)
+        if "STABLE_POS(" in source or "DENSE_POS(" in source:
+            cost += 0.2  # lexsort rank
+        if "FILL_POS(" in source or "COUNT_POS(" in source:
+            cost += 0.05
+        if "BSEARCH_V(" in source:
+            cost += 0.05
+        if "if (" in source and "for d in range" in source:
+            cost += 4.0  # linear search survived in a fallback nest
+        return cost

@@ -1,0 +1,64 @@
+"""Thread-safe backend registry and the string-API lookup shim."""
+
+from __future__ import annotations
+
+import threading
+
+from .base import Backend
+
+_LOCK = threading.Lock()
+#: Insertion-ordered: the first registered backend is the default /
+#: reference lowering.
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register a backend instance under its :attr:`Backend.name`.
+
+    Registration makes the name valid everywhere a ``backend=`` string is
+    accepted (``synthesize``, ``convert``, the planner, the CLI).
+    """
+    if not isinstance(backend, Backend):
+        raise TypeError(f"expected a Backend instance, got {backend!r}")
+    with _LOCK:
+        if backend.name in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {backend.name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (mainly for tests)."""
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def get_backend(backend: "str | Backend") -> Backend:
+    """Resolve a backend name — or pass a :class:`Backend` through.
+
+    This is the shim that keeps the legacy ``backend="python"|"numpy"``
+    string API working: every call site resolves through here instead of
+    comparing strings.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    with _LOCK:
+        found = _REGISTRY.get(backend)
+    if found is None:
+        raise ValueError(f"unknown lowering backend {backend!r}")
+    return found
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    with _LOCK:
+        return tuple(_REGISTRY)
+
+
+def all_backends() -> tuple[Backend, ...]:
+    """Registered backend instances, in registration order."""
+    with _LOCK:
+        return tuple(_REGISTRY.values())

@@ -1,0 +1,75 @@
+"""The scalar-Python lowering backend (the paper's listings)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .base import Backend, BackendCapabilities, Lowering
+
+
+class PythonBackend(Backend):
+    """Interpreted scalar loop nests — dependency-free, easiest to read.
+
+    This is the reference backend: every other backend's outputs must be
+    element-for-element identical to it (the differential fuzzer and the
+    backend-equivalence suite enforce that).
+    """
+
+    name = "python"
+    description = "scalar loop nests interpreted by CPython (reference)"
+    capabilities = BackendCapabilities(
+        ranks=(2, 3),
+        vectorized=False,
+        strategies=("scalar-loops",),
+    )
+    differential_reference = None
+
+    def lower(
+        self,
+        comp,
+        params: Sequence[str],
+        returns: Sequence[str],
+        symtab,
+        *,
+        scalar_source: str | None = None,
+    ) -> Lowering:
+        source = scalar_source
+        if source is None:
+            source = comp.codegen_function(list(params), list(returns), symtab)
+        return Lowering(source=source)
+
+    def namespace(self) -> dict:
+        # Lazy: repro.runtime.__init__ imports the executor, which resolves
+        # backends — importing it here at module level would cycle.
+        from repro.runtime import executor
+
+        return dict(executor._BASE_NAMESPACE)
+
+    def materialize(self, outputs):
+        return outputs
+
+    def native_inputs(self, inputs: Mapping) -> dict:
+        return dict(inputs)
+
+    def estimate_cost(self, conversion) -> float:
+        """Cost model for interpreted scalar inspectors.
+
+        Each loop nest over the nonzeros costs one pass; comparison-sort
+        permutations cost an extra log-factor pass; per-nonzero linear
+        searches cost a diagonal-count factor.
+        """
+        source = conversion.source
+        cost = float(source.count("for "))
+        if "OrderedList(" in source:
+            cost += 4.0  # comparison sort + hash lookups
+        if "OrderedSet(" in source:
+            cost += 1.0
+        if "LexBucketPermutation(" in source or "P_count" in source:
+            cost += 0.5
+        if "BSEARCH(" in source:
+            cost += 1.0
+        # A linear search loop (guarded loop inside the copy) is the
+        # costliest per-nonzero pattern.
+        if "if (" in source and "for d in range" in source:
+            cost += 4.0
+        return cost

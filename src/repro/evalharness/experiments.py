@@ -15,7 +15,7 @@ reproduction target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro import convert, dense_equal, get_conversion
 from repro.baselines import REGISTRY
@@ -75,20 +75,17 @@ def _verify(result, reference_dense) -> None:
 def _native_inputs(conv, env, backend: str) -> dict:
     """Inspector inputs in the backend's native representation.
 
-    The numpy backend gets coordinate/data columns pre-converted to arrays,
-    mirroring how each baseline receives its own preferred layout; the
-    boundary conversion is a one-time format property, not converter work.
+    Delegates to the registered backend's
+    :meth:`~repro.backends.Backend.native_inputs` staging hook (the numpy
+    backend pre-converts coordinate/data columns to arrays), mirroring how
+    each baseline receives its own preferred layout; the boundary
+    conversion is a one-time format property, not converter work.
     """
-    inputs = {p: env[p] for p in conv.params}
-    if backend == "numpy":
-        import numpy as np
+    from repro.backends import get_backend
 
-        for name, value in inputs.items():
-            if isinstance(value, list):
-                dtype = (np.float64 if value and isinstance(value[0], float)
-                         else np.int64)
-                inputs[name] = np.asarray(value, dtype=dtype)
-    return inputs
+    return get_backend(backend).native_inputs(
+        {p: env[p] for p in conv.params}
+    )
 
 
 def run_conversion_experiment(

@@ -23,8 +23,6 @@ from repro.runtime import (
     MortonCOOTensor3D,
 )
 
-from .descriptor import FormatDescriptor
-from .library import get_format
 
 
 class BindingError(ValueError):

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .terms import Expr, ExprLike, UFCall, Var, as_expr
+from .terms import ExprLike, UFCall, Var, as_expr
 
 
 class MonotonicQuantifier:

@@ -13,8 +13,8 @@ from typing import Iterable, Mapping, Sequence
 
 from . import memo as _memo
 from .conjunction import Conjunction, ProjectionError
-from .constraints import Constraint, Eq, equals
-from .terms import Expr, Var
+from .constraints import Constraint, equals
+from .terms import Var
 from .sets import IntSet
 
 _COMPOSE_MEMO = _memo.table("relation.compose")

@@ -9,13 +9,12 @@ single conjunction, but union support keeps set algebra closed.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from . import memo as _memo
 from .conjunction import Conjunction, _eval_expr
 from .constraints import Constraint
-from .terms import Expr, Var
+from .terms import Expr
 
 _RENAME_MEMO = _memo.table("set.with_tuple_vars")
 _PROJECT_MEMO = _memo.table("set.project_out")
@@ -184,13 +183,11 @@ class IntSet:
             if name not in names:
                 result = result.project_out(name, strict=strict)
         # Reorder to the requested order.
-        order = {v: i for i, v in enumerate(result.tuple_vars)}
         if tuple(names) != result.tuple_vars:
             # Renaming is positional; build a permutation via intermediate names.
             perm_vars = tuple(sorted(result.tuple_vars, key=lambda v: names.index(v)))
             if perm_vars != result.tuple_vars:
                 result = IntSet(perm_vars, result.conjunctions)
-        del order
         return result
 
     # ------------------------------------------------------------------

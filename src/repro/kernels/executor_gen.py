@@ -17,11 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.formats.descriptor import FormatDescriptor
-from repro.ir import IntSet
 from repro.runtime.executor import compile_inspector
 from repro.spf import Computation, SymbolTable
 from repro.spf.codegen.printers import print_expr
-from repro.synthesis.engine import (
+from repro.synthesis.compose import (
     _dense_source_exprs,
     _source_data_expr,
     _source_space,

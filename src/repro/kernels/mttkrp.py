@@ -12,7 +12,6 @@ factor rows across consecutive nonzeros.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.runtime import COOTensor3D
 from repro.runtime.hicoo import HiCOOTensor

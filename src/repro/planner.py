@@ -12,9 +12,11 @@ direct synthesis (DIA→DIA goes through sorted COO).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .backends import get_backend
 from .formats import (
     container_format,
     container_to_env,
@@ -41,36 +43,7 @@ def estimate_cost(conversion: SynthesizedConversion) -> float:
     scalar pass (1.0) against a vectorized one (0.05: numpy's per-element
     work is a couple of orders of magnitude cheaper).
     """
-    source = conversion.source
-    if conversion.backend == "numpy":
-        # Residual ``for`` loops are the scalar-fallback nests; vectorized
-        # nests cost a small constant each (a handful of array passes).
-        stats = conversion.vector_stats or {}
-        cost = float(source.count("for "))
-        cost += 0.05 * stats.get("vectorized_nests", 0)
-        if "STABLE_POS(" in source or "DENSE_POS(" in source:
-            cost += 0.2  # lexsort rank
-        if "FILL_POS(" in source or "COUNT_POS(" in source:
-            cost += 0.05
-        if "BSEARCH_V(" in source:
-            cost += 0.05
-        if "if (" in source and "for d in range" in source:
-            cost += 4.0  # linear search survived in a fallback nest
-        return cost
-    cost = float(source.count("for "))
-    if "OrderedList(" in source:
-        cost += 4.0  # comparison sort + hash lookups
-    if "OrderedSet(" in source:
-        cost += 1.0
-    if "LexBucketPermutation(" in source or "P_count" in source:
-        cost += 0.5
-    if "BSEARCH(" in source:
-        cost += 1.0
-    # A linear search loop (guarded loop inside the copy) is the costliest
-    # per-nonzero pattern.
-    if "if (" in source and "for d in range" in source:
-        cost += 4.0
-    return cost
+    return get_backend(conversion.backend).estimate_cost(conversion)
 
 
 @dataclass(frozen=True)
@@ -103,9 +76,13 @@ class ConversionPlanner:
         formats: Sequence[str] | None = None,
         *,
         backend: str = "python",
+        disabled_passes: Sequence[str] = (),
     ):
         self.format_names = tuple(formats or PLANNABLE_2D)
-        self.backend = backend
+        # Normalizing through the registry validates the name up front and
+        # lets callers pass a Backend instance directly.
+        self.backend = get_backend(backend).name
+        self.disabled_passes = tuple(disabled_passes)
         self._edges: dict[tuple[str, str], Optional[float]] = {}
         self._conversions: dict[tuple[str, str], SynthesizedConversion] = {}
 
@@ -123,7 +100,10 @@ class ConversionPlanner:
             # pair is synthesized at most once per process, however many
             # planners are built or plans are queried.
             conversion = synthesize_cached(
-                get_format(src), get_format(dst), backend=self.backend
+                get_format(src),
+                get_format(dst),
+                backend=self.backend,
+                disabled_passes=self.disabled_passes,
             )
         except SynthesisError:
             self._edges[key] = None
@@ -256,27 +236,37 @@ class ConversionPlanner:
             return current
 
 
+#: Guards the default-planner singletons: concurrent first calls used to
+#: race and build (and discard) duplicate planners, losing the memoized
+#: edge costs one of them had already computed.
+_PLANNER_LOCK = threading.Lock()
 _DEFAULT_PLANNERS: dict[str, ConversionPlanner] = {}
-
-
-def default_planner(backend: str = "python") -> ConversionPlanner:
-    planner = _DEFAULT_PLANNERS.get(backend)
-    if planner is None:
-        planner = _DEFAULT_PLANNERS[backend] = ConversionPlanner(
-            backend=backend
-        )
-    return planner
-
-
 _DEFAULT_3D: dict[str, ConversionPlanner] = {}
 
 
+def default_planner(backend: str = "python") -> ConversionPlanner:
+    backend = get_backend(backend).name
+    planner = _DEFAULT_PLANNERS.get(backend)
+    if planner is None:
+        with _PLANNER_LOCK:
+            planner = _DEFAULT_PLANNERS.get(backend)
+            if planner is None:
+                planner = _DEFAULT_PLANNERS[backend] = ConversionPlanner(
+                    backend=backend
+                )
+    return planner
+
+
 def default_planner_3d(backend: str = "python") -> ConversionPlanner:
+    backend = get_backend(backend).name
     planner = _DEFAULT_3D.get(backend)
     if planner is None:
-        planner = _DEFAULT_3D[backend] = ConversionPlanner(
-            PLANNABLE_3D, backend=backend
-        )
+        with _PLANNER_LOCK:
+            planner = _DEFAULT_3D.get(backend)
+            if planner is None:
+                planner = _DEFAULT_3D[backend] = ConversionPlanner(
+                    PLANNABLE_3D, backend=backend
+                )
     return planner
 
 

@@ -88,14 +88,17 @@ _NUMPY_EXTRAS: dict = {
 
 
 def base_namespace(backend: str = "python") -> dict:
-    """The globals available to every generated inspector."""
-    namespace = dict(_BASE_NAMESPACE)
-    if backend == "numpy":
-        npvec.require_numpy()
-        namespace.update(_NUMPY_EXTRAS)
-    elif backend != "python":
-        raise ValueError(f"unknown lowering backend {backend!r}")
-    return namespace
+    """The globals available to every generated inspector.
+
+    Delegates to the registered backend's
+    :meth:`~repro.backends.Backend.namespace` hook; the built-in backends
+    pull :data:`_BASE_NAMESPACE` / :data:`_NUMPY_EXTRAS` from here (the
+    dicts stay canonical in this module so runtime helpers have a single
+    home).
+    """
+    from repro.backends import get_backend
+
+    return get_backend(backend).namespace()
 
 
 class CompiledInspector:
@@ -156,7 +159,9 @@ def compile_inspector(
     """
     import repro.obs as obs
     from repro._prof import PROF
+    from repro.backends import get_backend
 
+    backend = get_backend(backend).name
     if extra_env:
         with obs.span("compile", category="compile", inspector=name):
             return CompiledInspector(name, source, extra_env, backend=backend)

@@ -11,7 +11,7 @@ round-trips through a dense list-of-lists for correctness testing.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.errors import (
     BoundsError,

@@ -7,7 +7,7 @@ paper shows (CodeGen+ style) for inspection and documentation.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.ir import Constraint, Eq, Expr, FloorDiv, Mod, Mul, Sym, UFCall, Var
 from ..ast_nodes import Comment, ForLoop, Guard, LetEq, Node, Program, Raw

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.ir import Constraint, Expr, Geq, IntSet, bounds_on_var, parse_set
-from .ast_nodes import Comment, ForLoop, Guard, LetEq, Node, Program, Raw
+from .ast_nodes import ForLoop, Guard, LetEq, Node, Program, Raw
 from .codegen.printers import (
     CPrinter,
     PythonPrinter,
@@ -235,7 +235,6 @@ def _lower_levels(stmt: Stmt) -> tuple[list[Constraint], list[_Level]]:
                 continue
             if kind == "eq" and definition is None:
                 definition = expr
-                def_constraint = c
                 consumed.append(c)
             elif kind == "lower":
                 lowers.append(expr)

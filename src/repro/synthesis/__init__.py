@@ -8,7 +8,12 @@ from .cases import (
     normalize_for_uf,
     select_plans,
 )
-from .engine import SynthesisError, SynthesizedConversion, synthesize
+from .conversion import SynthesisError, SynthesizedConversion
+from .compose import compose_stage
+from .casematch import case_match_stage
+from .build import build_stage
+from .lower import lower_stage
+from .engine import synthesize
 from .analysis import constraints_per_unknown_uf, render_table2
 from .cache import (
     cache_stats,
@@ -28,12 +33,16 @@ __all__ = [
     "SynthesizedConversion",
     "TandemResult",
     "UFStatementPlan",
+    "build_stage",
     "cache_stats",
+    "case_match_stage",
     "classify",
+    "compose_stage",
     "clear_disk_cache",
     "clear_memo",
     "constraints_per_unknown_uf",
     "format_fingerprint",
+    "lower_stage",
     "normalize_for_uf",
     "render_table2",
     "rewrite_linear_search",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.formats.descriptor import FormatDescriptor
 
-from .engine import PERMUTATION, _disambiguate, _prune_range_guards
+from .compose import _disambiguate, _prune_range_guards
+from .conversion import PERMUTATION
 
 
 def constraints_per_unknown_uf(

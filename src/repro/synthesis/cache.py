@@ -34,14 +34,14 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Sequence
 
 import repro.obs as obs
 from repro._prof import PROF
 from repro.codeversion import code_version_hash
 from repro.formats.descriptor import FormatDescriptor
 
-from .engine import SynthesisError, SynthesizedConversion
+from .conversion import SynthesisError, SynthesizedConversion
 from .engine import synthesize as _raw_synthesize
 
 #: Serialized SynthesizedConversion fields round-tripped through disk.
@@ -60,7 +60,8 @@ _PAYLOAD_FIELDS = (
     "vector_stats",
 )
 
-_PAYLOAD_VERSION = 1
+#: Bumped to 2 when the cache key grew the pass-pipeline fingerprint.
+_PAYLOAD_VERSION = 2
 
 #: Descriptor fingerprints, keyed on object identity.  The descriptor is
 #: kept in the value so a recycled ``id`` can never alias a dead object.
@@ -113,7 +114,7 @@ def disk_enabled() -> bool:
 
 
 def _entry_path(key: tuple) -> Path:
-    src_fp, dst_fp, optimize, binary_search, backend, name = key
+    src_fp, dst_fp, optimize, binary_search, pass_fp, backend, name = key
     flags = f"{int(optimize)}{int(binary_search)}"
     tail = hashlib.sha256(repr(key).encode()).hexdigest()[:12]
     return cache_dir() / f"{src_fp}.{dst_fp}.{backend}.{flags}.{tail}.json"
@@ -202,6 +203,7 @@ def synthesize_cached(
     binary_search: bool = False,
     name: str | None = None,
     backend: str = "python",
+    disabled_passes: tuple[str, ...] = (),
     use_disk: bool = True,
 ) -> SynthesizedConversion:
     """:func:`repro.synthesis.synthesize` behind the memo and disk cache.
@@ -209,13 +211,30 @@ def synthesize_cached(
     Results (including :class:`SynthesisError` failures) are memoized for
     the process; successful results are persisted to the disk cache so a
     later process skips synthesis entirely and only loads + execs source.
+
+    The key covers the resolved pass pipeline (via
+    :meth:`~repro.pipeline.PassManager.fingerprint`), so a conversion
+    synthesized with ``--disable-pass fusion`` can never be served a
+    cached inspector built with the full pipeline — and vice versa.
     """
+    from repro.backends import get_backend
+    from repro.pipeline import BINARY_SEARCH, PASSES
+
+    backend_name = get_backend(backend).name
+    pass_fp = PASSES.fingerprint(
+        PASSES.config(
+            optimize=optimize,
+            requested=(BINARY_SEARCH,) if binary_search else (),
+            disabled=tuple(disabled_passes),
+        )
+    )
     key = (
         format_fingerprint(src),
         format_fingerprint(dst),
         optimize,
         binary_search,
-        backend,
+        pass_fp,
+        backend_name,
         name,
     )
     with obs.span(
@@ -223,7 +242,7 @@ def synthesize_cached(
         category="cache",
         src=src.name,
         dst=dst.name,
-        backend=backend,
+        backend=backend_name,
     ) as span:
         cached = _MEMO.get(key)
         if cached is not None:
@@ -256,7 +275,8 @@ def synthesize_cached(
                     optimize=optimize,
                     binary_search=binary_search,
                     name=name,
-                    backend=backend,
+                    backend=backend_name,
+                    disabled_passes=tuple(disabled_passes),
                 )
         except SynthesisError as err:
             _MEMO[key] = err

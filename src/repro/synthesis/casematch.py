@@ -1,0 +1,216 @@
+"""Case-match stage (the paper's step 3).
+
+:func:`case_match_stage` resolves every destination tuple variable over
+source information, classifies the remaining unknowns into the position
+variable versus search variables, decides how positions are produced
+(step 1's permutation insertion), and plans one population statement per
+unknown UF via the case analysis in :mod:`repro.synthesis.cases`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import Expr, UFCall, Var
+from repro.pipeline.artifacts import CaseMatch, ComposedRelation
+
+from .cases import (
+    Resolver,
+    UFStatementPlan,
+    classify,
+    normalize_for_uf,
+    select_plans,
+)
+from .compose import (
+    _dense_source_exprs,
+    _is_bare_var,
+    _ordering_equal,
+    _source_data_expr,
+    _source_space,
+)
+from .conversion import PERMUTATION, SynthesisError
+
+
+def case_match_stage(
+    composed: ComposedRelation, notes: list[str]
+) -> CaseMatch:
+    """Classify the composed relation's constraints (Cases 1-5)."""
+    src = composed.pair.src
+    dst_r = composed.dst_renamed
+    conj = composed.conjunction
+
+    src_space = _source_space(src)
+    src_vars = src.sparse_vars
+    dst_vars = dst_r.sparse_vars
+    dense_exprs = _dense_source_exprs(src)
+    src_data_expr = _source_data_expr(src)
+
+    # Resolve destination tuple variables over source information.
+    values: dict[str, Optional[Expr]] = {
+        v: Var(v).as_expr() for v in src_vars
+    }
+    for v in dst_vars:
+        values[v] = None
+    changed = True
+    while changed:
+        changed = False
+        for v in dst_vars:
+            if values[v] is not None:
+                continue
+            definition = conj.defining_equality(v)
+            if definition is None:
+                continue
+            resolvable = all(
+                values.get(n) is not None for n in definition.var_names()
+            )
+            if resolvable:
+                values[v] = definition
+                changed = True
+
+    # Identify the destination position variable (the data-order variable)
+    # versus search variables (trapped inside unknown-UF arguments).
+    unknown_ufs = sorted(dst_r.index_ufs())
+    data_conj = dst_r.data_access.single_conjunction
+    kd_var = dst_r.data_access.out_vars[0]
+    kd_expr = data_conj.defining_equality(kd_var)
+    if kd_expr is None:
+        raise SynthesisError(
+            f"{dst_r.name}: data access does not define {kd_var!r}"
+        )
+
+    def is_search_var(v: str) -> bool:
+        """Is ``v`` recoverable by searching an insert-populated UF?
+
+        Only UFs with a strict monotonic quantifier can be populated by the
+        insert abstraction and then searched (DIA's ``off``).  A variable
+        trapped in any other unknown UF (CSR's ``col2(k)``) is not a search
+        variable — it must be the ordering-determined position.
+        """
+        for c in conj.equalities():
+            for call in c.uf_calls():
+                quantifier = dst_r.monotonic.get(call.name)
+                if (
+                    call.name in unknown_ufs
+                    and quantifier is not None
+                    and quantifier.strict
+                    and any(v in a.var_names() for a in call.args)
+                    and c.expr.coeff(Var(v)) == 0
+                ):
+                    return True
+        return False
+
+    search_vars = {
+        v for v in dst_vars if values[v] is None and is_search_var(v)
+    }
+    position_vars = [
+        v for v in dst_vars if values[v] is None and v not in search_vars
+    ]
+    if len(position_vars) > 1:
+        raise SynthesisError(
+            f"multiple unresolved position variables {position_vars}; "
+            "the format is under-constrained"
+        )
+    position_var = position_vars[0] if position_vars else None
+
+    # Decide how positions are produced (Step 1's permutation insertion).
+    identity_position = (
+        _ordering_equal(src, dst_r) and _is_bare_var(src_data_expr)
+    )
+    preserve_order = dst_r.ordering is None and _is_bare_var(src_data_expr)
+    need_perm_structure = position_var is not None and not (
+        identity_position or preserve_order
+    )
+    use_perm_lookup = need_perm_structure
+    emit_perm = position_var is not None and (
+        need_perm_structure or dst_r.ordering is not None
+    )
+    pos_definition: Optional[Expr] = None
+    if position_var is not None:
+        if identity_position:
+            pos_definition = src_data_expr
+            notes.append(
+                "orderings match and source positions are contiguous: "
+                f"{position_var} = {src_data_expr} (permutation is dead code)"
+            )
+        elif preserve_order:
+            pos_definition = src_data_expr
+            notes.append(
+                "destination is unordered: source traversal order reused "
+                f"({position_var} = {src_data_expr})"
+            )
+        else:
+            dense_order = list(src.dense_vars)
+            pos_definition = UFCall(
+                PERMUTATION, [dense_exprs[v] for v in dense_order]
+            ).as_expr()
+            notes.append(
+                f"permutation required: {position_var} = "
+                f"P({', '.join(str(dense_exprs[v]) for v in dense_order)})"
+            )
+        # The position variable resolves to *itself*: statements that use it
+        # get their iteration space extended with its defining constraint so
+        # code generation binds it once per iteration (a LetEq).  A cheap
+        # definition (no permutation lookup) is instead copy-propagated into
+        # statement text at emission time.
+        values[position_var] = Var(position_var).as_expr()
+
+    resolver = Resolver(values)
+
+    # Step 3: plan population statements for every unknown UF (Cases 1-5).
+    plans: list[UFStatementPlan] = []
+    for uf in unknown_ufs:
+        uf_plans: list[UFStatementPlan] = []
+        for c in conj.constraints:
+            if uf not in c.uf_names():
+                continue
+            normalized = normalize_for_uf(c, uf)
+            if normalized is None:
+                continue
+            plan = classify(normalized, resolver)
+            if plan is not None:
+                uf_plans.append(plan)
+        if not uf_plans:
+            raise SynthesisError(
+                f"no usable constraint to populate unknown UF {uf!r}"
+            )
+        chosen = select_plans(uf_plans)
+        for plan in chosen:
+            notes.append(f"{uf}: {plan.kind} ({plan.note})")
+        dropped = len(uf_plans) - len(chosen)
+        if dropped:
+            notes.append(
+                f"{uf}: removed {dropped} redundant candidate statement(s)"
+            )
+        plans.extend(chosen)
+    plan_by_uf = {p.uf: p for p in plans}
+
+    for plan in plans:
+        if plan.kind == "insert":
+            quantifier = dst_r.monotonic.get(plan.uf)
+            if quantifier is None or not quantifier.strict:
+                raise SynthesisError(
+                    f"insert-populated UF {plan.uf!r} needs a strict "
+                    "monotonic quantifier to fix element positions"
+                )
+
+    return CaseMatch(
+        src_space=src_space,
+        src_vars=tuple(src_vars),
+        dst_vars=tuple(dst_vars),
+        dense_exprs=dense_exprs,
+        src_data_expr=src_data_expr,
+        values=values,
+        unknown_ufs=list(unknown_ufs),
+        kd_var=kd_var,
+        kd_expr=kd_expr,
+        search_vars=search_vars,
+        position_var=position_var,
+        pos_definition=pos_definition,
+        identity_position=identity_position,
+        preserve_order=preserve_order,
+        need_perm_structure=need_perm_structure,
+        use_perm_lookup=use_perm_lookup,
+        emit_perm=emit_perm,
+        plans=plans,
+        plan_by_uf=plan_by_uf,
+    )

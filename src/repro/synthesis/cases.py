@@ -24,10 +24,10 @@ identity position is known), cases 4/5 degrade to case-1 scatters — the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from repro.ir import Constraint, Eq, Expr, Geq, UFCall, Var
+from repro.ir import Constraint, Eq, Expr, UFCall, Var
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,336 @@
+"""Compose stage (the paper's steps 1-2) and shared descriptor analysis.
+
+:func:`compose_stage` renames the destination descriptor apart from the
+source, inverts its sparse-to-dense map, composes with the source's, and
+normalizes the resulting constraint system (range-guard pruning, Case 6
+block decomposition).  The module also hosts the small descriptor-analysis
+helpers every later stage leans on (dense coordinate definitions, bare-var
+tests, UF domain sizing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.formats.descriptor import FormatDescriptor
+from repro.ir import (
+    Conjunction,
+    Constraint,
+    Eq,
+    Expr,
+    IntSet,
+    MonotonicQuantifier,
+    Relation,
+    UFCall,
+    Var,
+    bounds_on_var,
+)
+from repro.pipeline.artifacts import ComposedRelation, DescriptorPair
+
+from .conversion import POSITION_VAR_SUFFIX, SynthesisError
+
+
+def _disambiguate(
+    dst: FormatDescriptor, src: FormatDescriptor
+) -> tuple[FormatDescriptor, dict[str, str]]:
+    """Rename destination tuple vars (always) and colliding UFs."""
+    var_map = {}
+    taken = set(src.sparse_vars) | set(src.data_access.out_vars)
+    for v in dst.sparse_vars + dst.data_access.out_vars:
+        new = v
+        while new in taken or (new != v and new in var_map.values()):
+            new = new + POSITION_VAR_SUFFIX
+        var_map[v] = new
+        taken.add(new)
+
+    uf_map = {}
+    src_ufs = src.uf_names()
+    for uf in dst.uf_names():
+        new = uf
+        while new in src_ufs or (new != uf and new in uf_map.values()):
+            new = new + POSITION_VAR_SUFFIX
+        uf_map[uf] = new
+
+    sd = dst.sparse_to_dense.rename_ufs(uf_map).with_tuple_vars(
+        [var_map[v] for v in dst.sparse_to_dense.in_vars],
+        dst.sparse_to_dense.out_vars,
+    )
+    da = dst.data_access.rename_ufs(uf_map).with_tuple_vars(
+        [var_map[v] for v in dst.data_access.in_vars],
+        [var_map[v] for v in dst.data_access.out_vars],
+    )
+    renamed = FormatDescriptor(
+        name=dst.name,
+        sparse_to_dense=sd,
+        data_access=da,
+        uf_domains={uf_map[u]: s for u, s in dst.uf_domains.items()},
+        uf_ranges={uf_map[u]: s for u, s in dst.uf_ranges.items()},
+        monotonic=[
+            MonotonicQuantifier(uf_map[q.uf], strict=q.strict)
+            for q in dst.monotonic.values()
+        ],
+        ordering=dst.ordering,
+        coord_ufs={k: uf_map.get(v, v) for k, v in dst.coord_ufs.items()},
+        shape_syms=dst.shape_syms,
+        position_var=var_map.get(dst.position_var, dst.position_var),
+        description=dst.description,
+    )
+    return renamed, uf_map
+
+
+def _prune_range_guards(
+    conj: Conjunction, descriptors: Sequence[FormatDescriptor]
+) -> Conjunction:
+    """Drop inequality constraints implied by declared UF ranges.
+
+    The composition carries e.g. ``0 <= row1(n) < NR`` (the dense bounds
+    substituted through ``i = row1(n)``), which the descriptor already
+    guarantees via ``range(row1)``.  Removing them avoids per-iteration
+    guards in the generated loops.
+    """
+    implied: set[Constraint] = set()
+    ranges: dict[str, IntSet] = {}
+    for desc in descriptors:
+        ranges.update(desc.uf_ranges)
+
+    def implied_by_range(c: Constraint) -> bool:
+        for call in c.uf_calls():
+            range_set = ranges.get(call.name)
+            if range_set is None or range_set.arity != 1:
+                continue
+            range_var = range_set.tuple_vars[0]
+            for rc in range_set.single_conjunction:
+                candidate = rc.substitute({Var(range_var): call.as_expr()})
+                if type(candidate) is type(c) and candidate == c:
+                    return True
+        return False
+
+    for c in conj.constraints:
+        if isinstance(c, Eq):
+            continue
+        if implied_by_range(c):
+            implied.add(c)
+            continue
+        # Bounds on a variable defined by a UF call are implied by that
+        # call's range (e.g. ``0 <= jj`` with ``jj = col2(k)``).
+        rewritten = c
+        for v in c.var_names():
+            definition = conj.defining_equality(v)
+            if definition is not None and definition.uf_names():
+                rewritten = rewritten.substitute_vars({v: definition})
+        if rewritten is not c and implied_by_range(rewritten):
+            implied.add(c)
+    return Conjunction(c for c in conj.constraints if c not in implied)
+
+
+def _decompose_block_constraints(
+    conj: Conjunction,
+    dst_vars: set[str],
+    unknown_ufs: set[str],
+    notes: list[str],
+) -> Conjunction:
+    """Case 6: split ``e = B*x + w`` (with ``0 <= w < B``) into div/mod.
+
+    The paper's five cases cover the formats of Table 1; blocked formats
+    need one more shape, which the paper anticipates ("it may be that they
+    will need to be added").  Whenever an equality contains a term ``B*x``
+    (literal ``B >= 2``) plus a unit term ``w`` whose bounds ``0 <= w < B``
+    appear in the conjunction, the Euclidean identity gives exact
+    definitions ``x = e' // B`` and ``w = e' % B`` — turning BCSR's
+    ``i = B*bi + ri`` into resolvable block/offset coordinates.
+    """
+    from repro.ir import FloorDiv, Mod
+
+    constraints = list(conj.constraints)
+    changed = False
+    for c in list(constraints):
+        if not isinstance(c, Eq):
+            continue
+        rewritten = None
+        for atom_x, coef_x in c.expr.terms:
+            B = abs(coef_x)
+            if B < 2:
+                continue
+            # Only decompose *unknown* (destination-side) quantities;
+            # rewriting known source structure would destroy the defining
+            # equalities resolution relies on.
+            if isinstance(atom_x, Var):
+                if atom_x.name not in dst_vars:
+                    continue
+            elif isinstance(atom_x, UFCall):
+                if atom_x.name not in unknown_ufs:
+                    continue
+            else:
+                continue
+            s = 1 if coef_x > 0 else -1
+            for atom_w, coef_w in c.expr.terms:
+                if atom_w is atom_x or coef_w != s:
+                    continue
+                if not isinstance(atom_w, Var) or atom_w.name not in dst_vars:
+                    continue
+                w = atom_w.name
+                if not any(lo == 0 for lo in conj.lower_bounds(w)):
+                    continue
+                if not any(hi == B - 1 for hi in conj.upper_bounds(w)):
+                    continue
+                rest = (
+                    c.expr
+                    - Expr(terms=((atom_x, coef_x),))
+                    - Expr(terms=((atom_w, coef_w),))
+                )
+                t_expr = rest * (-s)
+                if w in t_expr.var_names():
+                    continue
+                rewritten = (
+                    Eq(atom_x.as_expr() - FloorDiv(t_expr, B)),
+                    Eq(atom_w.as_expr() - Mod(t_expr, B)),
+                )
+                notes.append(
+                    f"case 6 block decomposition: {atom_x} = ({t_expr}) "
+                    f"// {B}, {atom_w} = ({t_expr}) % {B}"
+                )
+                break
+            if rewritten:
+                break
+        if rewritten:
+            constraints.remove(c)
+            constraints.extend(rewritten)
+            changed = True
+    return Conjunction(constraints) if changed else conj
+
+
+def _dense_source_exprs(src: FormatDescriptor) -> dict[str, Expr]:
+    """Each dense coordinate as an expression over the source tuple.
+
+    Prefers a bare tuple variable (``ii``) over a UF call (``row1(n)``) so
+    permutation keys print cheaply.
+    """
+    conj = src.sparse_to_dense.single_conjunction
+    src_vars = set(src.sparse_vars)
+    out: dict[str, Expr] = {}
+    for dense in src.dense_vars:
+        best: Optional[Expr] = None
+        for c in conj.equalities():
+            kind, expr = bounds_on_var(c, dense)
+            if kind != "eq" or expr is None:
+                continue
+            if not (expr.var_names() <= src_vars):
+                continue
+            if len(expr.terms) == 1 and expr.const == 0:
+                atom, coef = expr.terms[0]
+                if coef == 1 and isinstance(atom, Var):
+                    best = expr
+                    break
+            if best is None:
+                best = expr
+        if best is None:
+            raise SynthesisError(
+                f"{src.name}: dense coordinate {dense!r} has no definition "
+                "over the sparse tuple"
+            )
+        out[dense] = best
+    return out
+
+
+def _dense_var_definitions(src: FormatDescriptor) -> dict[str, list[Expr]]:
+    """Every source-tuple definition of each dense coordinate."""
+    conj = src.sparse_to_dense.single_conjunction
+    src_vars = set(src.sparse_vars)
+    out: dict[str, list[Expr]] = {}
+    for dense in src.dense_vars:
+        defs = []
+        for c in conj.equalities():
+            kind, expr = bounds_on_var(c, dense)
+            if kind == "eq" and expr is not None and expr.var_names() <= src_vars:
+                defs.append(expr)
+        out[dense] = defs
+    return out
+
+
+def _source_space(src: FormatDescriptor) -> IntSet:
+    """The source iteration space with dense coordinates projected out."""
+    space = src.sparse_to_dense.domain(strict=False)
+    pruned = _prune_range_guards(space.single_conjunction, [src])
+    return IntSet(space.tuple_vars, [pruned])
+
+
+def _source_data_expr(src: FormatDescriptor) -> Expr:
+    conj = src.data_access.single_conjunction
+    out_var = src.data_access.out_vars[0]
+    expr = conj.defining_equality(out_var)
+    if expr is None:
+        raise SynthesisError(
+            f"{src.name}: data access does not define {out_var!r}"
+        )
+    return expr
+
+
+def _ordering_equal(
+    src: FormatDescriptor, dst: FormatDescriptor
+) -> bool:
+    """Do source and destination order nonzeros identically?"""
+    if src.ordering is None or dst.ordering is None:
+        return False
+    rename = dict(zip(src.dense_vars, dst.dense_vars))
+    src_keys = tuple(
+        k.rename_vars(rename) for k in src.ordering.key_exprs
+    )
+    src_dense = tuple(rename[v] for v in src.ordering.dense_vars)
+    return (
+        src_keys == dst.ordering.key_exprs
+        and src_dense == dst.ordering.dense_vars
+        and src.ordering.strict == dst.ordering.strict
+        and src.ordering.collapse_ties == dst.ordering.collapse_ties
+    )
+
+
+def _domain_size_expr(domain: IntSet) -> Expr:
+    """Array length implied by a 1-D UF domain set (upper bound + 1)."""
+    if domain.arity != 1:
+        raise SynthesisError(f"only 1-D UF domains are supported: {domain}")
+    var = domain.tuple_vars[0]
+    uppers = domain.single_conjunction.upper_bounds(var)
+    if not uppers:
+        raise SynthesisError(f"UF domain {domain} has no upper bound")
+    return uppers[0] + 1
+
+
+def _is_bare_var(expr: Expr) -> bool:
+    if expr.const != 0 or len(expr.terms) != 1:
+        return False
+    atom, coef = expr.terms[0]
+    return coef == 1 and isinstance(atom, Var)
+
+
+def _bare_var_name(expr: Expr) -> Optional[str]:
+    if _is_bare_var(expr):
+        return expr.terms[0][0].name  # type: ignore[attr-defined]
+    return None
+
+
+def compose_stage(
+    src: FormatDescriptor, dst: FormatDescriptor, notes: list[str]
+) -> ComposedRelation:
+    """Steps 1-2: invert the destination map and compose with the source."""
+    if src.rank != dst.rank:
+        raise SynthesisError(
+            f"rank mismatch: {src.name} is {src.rank}-D, {dst.name} is "
+            f"{dst.rank}-D"
+        )
+    dst_r, uf_map = _disambiguate(dst, src)
+    composed = dst_r.sparse_to_dense.inverse().compose(src.sparse_to_dense)
+    conj = _prune_range_guards(composed.single_conjunction, [src, dst_r])
+    conj = _decompose_block_constraints(
+        conj, set(dst_r.sparse_vars), dst_r.index_ufs(), notes
+    )
+    notes.append(
+        f"composed relation: "
+        f"{Relation(composed.in_vars, composed.out_vars, [conj])}"
+    )
+    return ComposedRelation(
+        pair=DescriptorPair(src, dst),
+        dst_renamed=dst_r,
+        uf_map=dict(uf_map),
+        relation=composed,
+        conjunction=conj,
+    )

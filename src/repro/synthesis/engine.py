@@ -1,521 +1,63 @@
-"""The inspector synthesis algorithm (Section 3.2 of the paper).
+"""The inspector synthesis pipeline (Section 3.2 of the paper).
 
 Given a source and a destination :class:`~repro.formats.FormatDescriptor`,
 :func:`synthesize` produces an SPF :class:`~repro.spf.Computation` that
-converts a tensor between the formats, following the paper's five steps:
+converts a tensor between the formats, following the paper's five steps —
+run as an explicit staged pipeline with typed artifacts
+(:mod:`repro.pipeline.artifacts`):
 
-1. invert the destination sparse-to-dense map and insert the permutation,
-2. compose it with the source sparse-to-dense map,
-3. for each unknown UF, synthesize a population statement (Cases 1–5),
-4. enforce the destination's universal quantifiers,
-5. generate the data copy.
+1. :func:`~repro.synthesis.compose.compose_stage` — invert the
+   destination sparse-to-dense map and compose it with the source's
+   (steps 1-2),
+2. :func:`~repro.synthesis.casematch.case_match_stage` — classify the
+   composed constraints, plan one population statement per unknown UF
+   (step 3, Cases 1-5),
+3. :func:`~repro.synthesis.build.build_stage` — emit the raw SPF
+   computation: permutation, population, quantifier enforcement, the data
+   copy (steps 1, 4, 5),
+4. the :data:`~repro.pipeline.PASSES` manager — run the registered
+   optimization passes (dedup, dead code elimination — which removes the
+   permutation when the source already satisfies the destination
+   ordering — loop fusion, and the opt-in binary-search rewrite),
+5. :func:`~repro.synthesis.lower.lower_stage` — lower to the selected
+   backend's executable source.
 
-The resulting computation is then optimized with the standard SPF
-transformations (redundant statement elimination, dead code elimination —
-which removes the permutation when the source already satisfies the
-destination ordering — and loop fusion) and lowered to executable Python.
+This module is the orchestrator only; the heavy lifting lives in the
+stage modules.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import repro.obs as obs
 from repro._prof import PROF
+from repro.backends import Backend, get_backend
 from repro.formats.descriptor import FormatDescriptor
-from repro.ir import (
-    Conjunction,
-    Constraint,
-    Eq,
-    Expr,
-    Geq,
-    IntSet,
-    MonotonicQuantifier,
-    OrderingQuantifier,
-    Relation,
-    Sym,
-    UFCall,
-    Var,
-    bounds_on_var,
-    equals,
+from repro.pipeline import BINARY_SEARCH, PASSES, PassContext
+
+from .build import build_stage
+from .casematch import case_match_stage
+from .compose import (  # noqa: F401  (re-exported for compatibility)
+    _bare_var_name,
+    _dense_source_exprs,
+    _dense_var_definitions,
+    _disambiguate,
+    _is_bare_var,
+    _prune_range_guards,
+    _source_data_expr,
+    _source_space,
+    compose_stage,
 )
-from repro.spf import Computation, Stmt, SymbolTable
-from repro.spf.transforms import (
-    apply_all_fusion,
-    dead_code_elimination,
-    eliminate_redundant_statements,
+from .conversion import (  # noqa: F401  (re-exported for compatibility)
+    DEST_DATA,
+    PERMUTATION,
+    POSITION_VAR_SUFFIX,
+    SOURCE_DATA,
+    SynthesisError,
+    SynthesizedConversion,
 )
-from repro.spf.codegen.printers import print_expr
-from repro.runtime.executor import compile_inspector
-
-from .cases import (
-    NormalizedConstraint,
-    Resolver,
-    UFStatementPlan,
-    classify,
-    normalize_for_uf,
-    select_plans,
-)
-
-
-class SynthesisError(ValueError):
-    """Raised when a conversion cannot be synthesized."""
-
-
-def _record_stmt_span(index: int, label: str, start: float, end: float):
-    """The ``__OBS_STMT`` hook instrumented inspectors report through."""
-    obs.add_span(label, start, end, category="execute.stmt", index=index)
-
-
-def _array_bytes(value) -> int:
-    """Rough allocation estimate for one inspector output."""
-    nbytes = getattr(value, "nbytes", None)
-    if nbytes is not None:
-        return int(nbytes)
-    if isinstance(value, (list, tuple)):
-        return 8 * len(value)
-    return 8
-
-
-POSITION_VAR_SUFFIX = "2"
-SOURCE_DATA = "Asrc"
-DEST_DATA = "Adst"
-PERMUTATION = "P"
-
-
-@dataclass
-class SynthesizedConversion:
-    """The output of :func:`synthesize`.
-
-    ``source`` is the generated Python inspector; ``c_source`` the display C
-    version of the loop chain; ``notes`` logs the synthesis decisions (which
-    case produced each statement, whether the permutation was eliminated...).
-    """
-
-    name: str
-    src_format: str
-    dst_format: str
-    computation: Computation
-    params: tuple[str, ...]
-    returns: tuple[str, ...]
-    source: str
-    c_source: str
-    symtab: SymbolTable
-    uf_output_map: dict[str, str]
-    notes: list[str] = field(default_factory=list)
-    #: Lowering backend this conversion was synthesized for: ``source`` is
-    #: the active backend's source, ``scalar_source`` always the scalar one.
-    backend: str = "python"
-    scalar_source: str = ""
-    #: ``{"vectorized_nests": n, "scalar_nests": m}`` for the numpy backend.
-    vector_stats: dict | None = None
-    _compiled: object = None
-    #: Per-statement instrumented compile, built lazily under tracing;
-    #: ``False`` records that instrumentation was attempted and failed.
-    _instrumented: object = None
-
-    def compile(self):
-        """Compile the generated inspector into a callable (cached)."""
-        if self._compiled is None:
-            self._compiled = compile_inspector(
-                self.name, self.source, backend=self.backend
-            )
-        return self._compiled
-
-    def __call__(self, **inputs):
-        """Run the inspector; returns the dict of destination arrays.
-
-        Results are always plain python containers, whichever backend
-        lowered the inspector; use :meth:`run_native` to keep the numpy
-        backend's arrays.
-        """
-        result = self.run_native(**inputs)
-        if self.backend == "numpy":
-            from repro.runtime.npvec import MATERIALIZE
-
-            return MATERIALIZE(result)
-        return result
-
-    def run_native(self, **inputs):
-        """Run the inspector in its backend's native representation.
-
-        The numpy backend returns numpy arrays (scalar-fallback values pass
-        through as-is); the python backend returns lists.  Benchmarks time
-        this entry point so list<->array boundary conversion is not charged
-        to the inspector.
-
-        Under tracing (``REPRO_TRACE=1`` / ``trace=True``) the run is
-        wrapped in an ``execute`` span with nnz / allocation / throughput
-        attributes and per-statement child spans from the instrumented
-        lowering (:mod:`repro.obs.instrument`).
-        """
-        if obs.tracing():
-            return self._run_traced(inputs)
-        fn = self.compile()
-        ordered = [inputs[p] for p in self.params]
-        return fn(*ordered)
-
-    def _instrumented_fn(self):
-        """The per-statement instrumented callable, or None."""
-        if self._instrumented is None:
-            from repro.obs.instrument import instrument_source
-
-            rewritten = instrument_source(self.source, self.name)
-            if rewritten is None:
-                self._instrumented = False
-            else:
-                try:
-                    self._instrumented = compile_inspector(
-                        self.name,
-                        rewritten[0],
-                        extra_env={
-                            "__OBS_STMT": _record_stmt_span,
-                            "__OBS_CLOCK": time.perf_counter,
-                        },
-                        backend=self.backend,
-                    )
-                except ValueError:
-                    self._instrumented = False
-        return self._instrumented or None
-
-    def _run_traced(self, inputs: dict):
-        ordered = [inputs[p] for p in self.params]
-        source_data = inputs.get(SOURCE_DATA)
-        nnz = len(source_data) if hasattr(source_data, "__len__") else None
-        with obs.span(
-            "execute",
-            category="runtime",
-            conversion=self.name,
-            backend=self.backend,
-        ) as span:
-            fn = self._instrumented_fn() or self.compile()
-            result = fn(*ordered)
-        attrs = {}
-        if nnz is not None:
-            attrs["nnz"] = nnz
-            if span.duration > 0:
-                attrs["throughput_nnz_per_s"] = round(nnz / span.duration)
-        if isinstance(result, dict):
-            attrs["bytes_allocated"] = sum(
-                _array_bytes(value) for value in result.values()
-            )
-        span.set(**attrs)
-        return result
-
-
-def _disambiguate(
-    dst: FormatDescriptor, src: FormatDescriptor
-) -> tuple[FormatDescriptor, dict[str, str]]:
-    """Rename destination tuple vars (always) and colliding UFs."""
-    var_map = {}
-    taken = set(src.sparse_vars) | set(src.data_access.out_vars)
-    for v in dst.sparse_vars + dst.data_access.out_vars:
-        new = v
-        while new in taken or (new != v and new in var_map.values()):
-            new = new + POSITION_VAR_SUFFIX
-        var_map[v] = new
-        taken.add(new)
-
-    uf_map = {}
-    src_ufs = src.uf_names()
-    for uf in dst.uf_names():
-        new = uf
-        while new in src_ufs or (new != uf and new in uf_map.values()):
-            new = new + POSITION_VAR_SUFFIX
-        uf_map[uf] = new
-
-    sd = dst.sparse_to_dense.rename_ufs(uf_map).with_tuple_vars(
-        [var_map[v] for v in dst.sparse_to_dense.in_vars],
-        dst.sparse_to_dense.out_vars,
-    )
-    da = dst.data_access.rename_ufs(uf_map).with_tuple_vars(
-        [var_map[v] for v in dst.data_access.in_vars],
-        [var_map[v] for v in dst.data_access.out_vars],
-    )
-    renamed = FormatDescriptor(
-        name=dst.name,
-        sparse_to_dense=sd,
-        data_access=da,
-        uf_domains={uf_map[u]: s for u, s in dst.uf_domains.items()},
-        uf_ranges={uf_map[u]: s for u, s in dst.uf_ranges.items()},
-        monotonic=[
-            MonotonicQuantifier(uf_map[q.uf], strict=q.strict)
-            for q in dst.monotonic.values()
-        ],
-        ordering=dst.ordering,
-        coord_ufs={k: uf_map.get(v, v) for k, v in dst.coord_ufs.items()},
-        shape_syms=dst.shape_syms,
-        position_var=var_map.get(dst.position_var, dst.position_var),
-        description=dst.description,
-    )
-    return renamed, uf_map
-
-
-def _prune_range_guards(
-    conj: Conjunction, descriptors: Sequence[FormatDescriptor]
-) -> Conjunction:
-    """Drop inequality constraints implied by declared UF ranges.
-
-    The composition carries e.g. ``0 <= row1(n) < NR`` (the dense bounds
-    substituted through ``i = row1(n)``), which the descriptor already
-    guarantees via ``range(row1)``.  Removing them avoids per-iteration
-    guards in the generated loops.
-    """
-    implied: set[Constraint] = set()
-    ranges: dict[str, IntSet] = {}
-    for desc in descriptors:
-        ranges.update(desc.uf_ranges)
-
-    def implied_by_range(c: Constraint) -> bool:
-        for call in c.uf_calls():
-            range_set = ranges.get(call.name)
-            if range_set is None or range_set.arity != 1:
-                continue
-            range_var = range_set.tuple_vars[0]
-            for rc in range_set.single_conjunction:
-                candidate = rc.substitute({Var(range_var): call.as_expr()})
-                if type(candidate) is type(c) and candidate == c:
-                    return True
-        return False
-
-    for c in conj.constraints:
-        if isinstance(c, Eq):
-            continue
-        if implied_by_range(c):
-            implied.add(c)
-            continue
-        # Bounds on a variable defined by a UF call are implied by that
-        # call's range (e.g. ``0 <= jj`` with ``jj = col2(k)``).
-        rewritten = c
-        for v in c.var_names():
-            definition = conj.defining_equality(v)
-            if definition is not None and definition.uf_names():
-                rewritten = rewritten.substitute_vars({v: definition})
-        if rewritten is not c and implied_by_range(rewritten):
-            implied.add(c)
-    return Conjunction(c for c in conj.constraints if c not in implied)
-
-
-def _decompose_block_constraints(
-    conj: Conjunction,
-    dst_vars: set[str],
-    unknown_ufs: set[str],
-    notes: list[str],
-) -> Conjunction:
-    """Case 6: split ``e = B*x + w`` (with ``0 <= w < B``) into div/mod.
-
-    The paper's five cases cover the formats of Table 1; blocked formats
-    need one more shape, which the paper anticipates ("it may be that they
-    will need to be added").  Whenever an equality contains a term ``B*x``
-    (literal ``B >= 2``) plus a unit term ``w`` whose bounds ``0 <= w < B``
-    appear in the conjunction, the Euclidean identity gives exact
-    definitions ``x = e' // B`` and ``w = e' % B`` — turning BCSR's
-    ``i = B*bi + ri`` into resolvable block/offset coordinates.
-    """
-    from repro.ir import FloorDiv, Mod
-
-    constraints = list(conj.constraints)
-    changed = False
-    for c in list(constraints):
-        if not isinstance(c, Eq):
-            continue
-        rewritten = None
-        for atom_x, coef_x in c.expr.terms:
-            B = abs(coef_x)
-            if B < 2:
-                continue
-            # Only decompose *unknown* (destination-side) quantities;
-            # rewriting known source structure would destroy the defining
-            # equalities resolution relies on.
-            if isinstance(atom_x, Var):
-                if atom_x.name not in dst_vars:
-                    continue
-            elif isinstance(atom_x, UFCall):
-                if atom_x.name not in unknown_ufs:
-                    continue
-            else:
-                continue
-            s = 1 if coef_x > 0 else -1
-            for atom_w, coef_w in c.expr.terms:
-                if atom_w is atom_x or coef_w != s:
-                    continue
-                if not isinstance(atom_w, Var) or atom_w.name not in dst_vars:
-                    continue
-                w = atom_w.name
-                if not any(lo == 0 for lo in conj.lower_bounds(w)):
-                    continue
-                if not any(hi == B - 1 for hi in conj.upper_bounds(w)):
-                    continue
-                rest = (
-                    c.expr
-                    - Expr(terms=((atom_x, coef_x),))
-                    - Expr(terms=((atom_w, coef_w),))
-                )
-                t_expr = rest * (-s)
-                if w in t_expr.var_names():
-                    continue
-                rewritten = (
-                    Eq(atom_x.as_expr() - FloorDiv(t_expr, B)),
-                    Eq(atom_w.as_expr() - Mod(t_expr, B)),
-                )
-                notes.append(
-                    f"case 6 block decomposition: {atom_x} = ({t_expr}) "
-                    f"// {B}, {atom_w} = ({t_expr}) % {B}"
-                )
-                break
-            if rewritten:
-                break
-        if rewritten:
-            constraints.remove(c)
-            constraints.extend(rewritten)
-            changed = True
-    return Conjunction(constraints) if changed else conj
-
-
-def _dense_source_exprs(src: FormatDescriptor) -> dict[str, Expr]:
-    """Each dense coordinate as an expression over the source tuple.
-
-    Prefers a bare tuple variable (``ii``) over a UF call (``row1(n)``) so
-    permutation keys print cheaply.
-    """
-    conj = src.sparse_to_dense.single_conjunction
-    src_vars = set(src.sparse_vars)
-    out: dict[str, Expr] = {}
-    for dense in src.dense_vars:
-        best: Optional[Expr] = None
-        for c in conj.equalities():
-            kind, expr = bounds_on_var(c, dense)
-            if kind != "eq" or expr is None:
-                continue
-            if not (expr.var_names() <= src_vars):
-                continue
-            if len(expr.terms) == 1 and expr.const == 0:
-                atom, coef = expr.terms[0]
-                if coef == 1 and isinstance(atom, Var):
-                    best = expr
-                    break
-            if best is None:
-                best = expr
-        if best is None:
-            raise SynthesisError(
-                f"{src.name}: dense coordinate {dense!r} has no definition "
-                "over the sparse tuple"
-            )
-        out[dense] = best
-    return out
-
-
-def _dense_var_definitions(src: FormatDescriptor) -> dict[str, list[Expr]]:
-    """Every source-tuple definition of each dense coordinate."""
-    conj = src.sparse_to_dense.single_conjunction
-    src_vars = set(src.sparse_vars)
-    out: dict[str, list[Expr]] = {}
-    for dense in src.dense_vars:
-        defs = []
-        for c in conj.equalities():
-            kind, expr = bounds_on_var(c, dense)
-            if kind == "eq" and expr is not None and expr.var_names() <= src_vars:
-                defs.append(expr)
-        out[dense] = defs
-    return out
-
-
-def _source_space(src: FormatDescriptor) -> IntSet:
-    """The source iteration space with dense coordinates projected out."""
-    space = src.sparse_to_dense.domain(strict=False)
-    pruned = _prune_range_guards(space.single_conjunction, [src])
-    return IntSet(space.tuple_vars, [pruned])
-
-
-def _source_data_expr(src: FormatDescriptor) -> Expr:
-    conj = src.data_access.single_conjunction
-    out_var = src.data_access.out_vars[0]
-    expr = conj.defining_equality(out_var)
-    if expr is None:
-        raise SynthesisError(
-            f"{src.name}: data access does not define {out_var!r}"
-        )
-    return expr
-
-
-def _ordering_equal(
-    src: FormatDescriptor, dst: FormatDescriptor
-) -> bool:
-    """Do source and destination order nonzeros identically?"""
-    if src.ordering is None or dst.ordering is None:
-        return False
-    rename = dict(zip(src.dense_vars, dst.dense_vars))
-    src_keys = tuple(
-        k.rename_vars(rename) for k in src.ordering.key_exprs
-    )
-    src_dense = tuple(rename[v] for v in src.ordering.dense_vars)
-    return (
-        src_keys == dst.ordering.key_exprs
-        and src_dense == dst.ordering.dense_vars
-        and src.ordering.strict == dst.ordering.strict
-        and src.ordering.collapse_ties == dst.ordering.collapse_ties
-    )
-
-
-def _domain_size_expr(domain: IntSet) -> Expr:
-    """Array length implied by a 1-D UF domain set (upper bound + 1)."""
-    if domain.arity != 1:
-        raise SynthesisError(f"only 1-D UF domains are supported: {domain}")
-    var = domain.tuple_vars[0]
-    uppers = domain.single_conjunction.upper_bounds(var)
-    if not uppers:
-        raise SynthesisError(f"UF domain {domain} has no upper bound")
-    return uppers[0] + 1
-
-
-def _is_bare_var(expr: Expr) -> bool:
-    if expr.const != 0 or len(expr.terms) != 1:
-        return False
-    atom, coef = expr.terms[0]
-    return coef == 1 and isinstance(atom, Var)
-
-
-def _bare_var_name(expr: Expr) -> Optional[str]:
-    if _is_bare_var(expr):
-        return expr.terms[0][0].name  # type: ignore[attr-defined]
-    return None
-
-
-def _bucket_permutation_spec(
-    src: FormatDescriptor, dst: FormatDescriptor
-) -> Optional[tuple[str, Expr]]:
-    """Detect when the permutation reduces to a stable bucket sort.
-
-    Both orderings must be plain lexicographic; with the destination key
-    ``(c, rest...)``, removing ``c`` from the source key must leave exactly
-    ``rest`` — then source order already sorts entries within each value of
-    ``c`` and a stable counting sort by ``c`` realizes the destination
-    order.  Returns ``(bucket_dense_var, nbuckets_expr)`` or None.
-    """
-    if src.ordering is None or dst.ordering is None:
-        return None
-    rename = dict(zip(src.dense_vars, dst.dense_vars))
-    src_key = [
-        _bare_var_name(k.rename_vars(rename)) for k in src.ordering.key_exprs
-    ]
-    dst_key = [_bare_var_name(k) for k in dst.ordering.key_exprs]
-    if any(v is None for v in src_key + dst_key):
-        return None
-    if set(src_key) != set(dst_key) or len(dst_key) < 2:
-        return None
-    bucket = dst_key[0]
-    if [v for v in src_key if v != bucket] != dst_key[1:]:
-        return None
-    # Bucket count: the dense bound of the bucket coordinate in the
-    # destination map's range (e.g. 0 <= j < NC gives NC buckets).
-    dense_range = dst.sparse_to_dense.range(strict=False)
-    uppers = dense_range.single_conjunction.upper_bounds(bucket)
-    if not uppers:
-        return None
-    back = dict(zip(dst.dense_vars, src.dense_vars))
-    return back.get(bucket, bucket), uppers[0] + 1
+from .lower import lower_stage
 
 
 def _phase(
@@ -523,10 +65,8 @@ def _phase(
 ) -> float:
     """Close one synthesis phase: PROF timer + trace span; returns *now*.
 
-    The engine marks phases with explicit timestamps instead of ``with``
-    blocks so the long build section keeps its indentation; each mark
-    feeds both the flat ``synthesis.<timer>`` registry (historical
-    names) and — under tracing — a child span of the enclosing
+    Each mark feeds both the flat ``synthesis.<timer>`` registry
+    (historical names) and — under tracing — a child span of the enclosing
     ``synthesize`` span (pipeline taxonomy names, e.g. the ``solve``
     timer surfaces as the ``synthesis.case_match`` span).
     """
@@ -546,20 +86,24 @@ def synthesize(
     optimize: bool = True,
     binary_search: bool = False,
     name: str | None = None,
-    backend: str = "python",
+    backend: "str | Backend" = "python",
+    disabled_passes: tuple[str, ...] = (),
 ) -> SynthesizedConversion:
     """Synthesize the inspector converting ``src`` tensors into ``dst``.
 
-    ``backend`` selects the lowering: ``"python"`` emits the scalar
-    interpreted inspector, ``"numpy"`` the vectorized one (unmatched loop
-    nests fall back to scalar statements inside the same function).
+    ``backend`` selects the lowering — a registered backend name
+    (``"python"`` emits the scalar interpreted inspector, ``"numpy"`` the
+    vectorized one) or a :class:`~repro.backends.Backend` instance.
+    ``disabled_passes`` removes optimization passes by name (see
+    ``repro passes``).
     """
+    backend_obj = get_backend(backend)
     with obs.span(
         "synthesize",
         category="synthesis",
         src=src.name,
         dst=dst.name,
-        backend=backend,
+        backend=backend_obj.name,
         optimize=optimize,
     ) as span:
         conversion = _synthesize_impl(
@@ -568,7 +112,8 @@ def synthesize(
             optimize=optimize,
             binary_search=binary_search,
             name=name,
-            backend=backend,
+            backend=backend_obj,
+            disabled_passes=disabled_passes,
         )
         span.set(statements=len(conversion.computation.stmts))
         return conversion
@@ -578,863 +123,76 @@ def _synthesize_impl(
     src: FormatDescriptor,
     dst: FormatDescriptor,
     *,
-    optimize: bool = True,
-    binary_search: bool = False,
-    name: str | None = None,
-    backend: str = "python",
+    optimize: bool,
+    binary_search: bool,
+    name: str | None,
+    backend: Backend,
+    disabled_passes: tuple[str, ...],
 ) -> SynthesizedConversion:
-    if backend not in ("python", "numpy"):
-        raise ValueError(f"unknown lowering backend {backend!r}")
-    if src.rank != dst.rank:
-        raise SynthesisError(
-            f"rank mismatch: {src.name} is {src.rank}-D, {dst.name} is "
-            f"{dst.rank}-D"
-        )
+    # Resolve the pass pipeline up front so an unknown --disable-pass name
+    # fails before any synthesis work happens.
+    pass_config = PASSES.config(
+        optimize=optimize,
+        requested=(BINARY_SEARCH,) if binary_search else (),
+        disabled=disabled_passes,
+    )
     notes: list[str] = []
     fn_name = name or f"{src.name.lower()}_to_{dst.name.lower()}"
 
-    # Phase attribution: explicit marks (not nested ``with`` blocks) so the
-    # long build section keeps its indentation; see repro.evalharness.profiling.
+    # Phase attribution: explicit marks (not nested ``with`` blocks), so
+    # stage timings land in the flat profile; see repro.evalharness.profiling.
     _mark = time.perf_counter()
 
-    dst_r, uf_map = _disambiguate(dst, src)
-    uf_output_map = {orig: new for orig, new in uf_map.items()}
-
-    # Step 1 + 2: invert the destination map and compose with the source.
-    composed = dst_r.sparse_to_dense.inverse().compose(src.sparse_to_dense)
-    conj = _prune_range_guards(composed.single_conjunction, [src, dst_r])
-    conj = _decompose_block_constraints(
-        conj, set(dst_r.sparse_vars), dst_r.index_ufs(), notes
+    composed = compose_stage(src, dst, notes)
+    uf_output_map = dict(composed.uf_map)
+    _mark = _phase(
+        "compose", _mark, constraints=len(composed.conjunction.constraints)
     )
-    notes.append(f"composed relation: {Relation(composed.in_vars, composed.out_vars, [conj])}")
-    _mark = _phase("compose", _mark, constraints=len(conj.constraints))
 
-    src_space = _source_space(src)
-    src_vars = src.sparse_vars
-    dst_vars = dst_r.sparse_vars
-    dense_exprs = _dense_source_exprs(src)
-    src_data_expr = _source_data_expr(src)
-
-    # Resolve destination tuple variables over source information.
-    values: dict[str, Optional[Expr]] = {
-        v: Var(v).as_expr() for v in src_vars
-    }
-    for v in dst_vars:
-        values[v] = None
-    changed = True
-    while changed:
-        changed = False
-        for v in dst_vars:
-            if values[v] is not None:
-                continue
-            definition = conj.defining_equality(v)
-            if definition is None:
-                continue
-            resolvable = all(
-                values.get(n) is not None for n in definition.var_names()
-            )
-            if resolvable:
-                values[v] = definition
-                changed = True
-
-    # Identify the destination position variable (the data-order variable)
-    # versus search variables (trapped inside unknown-UF arguments).
-    unknown_ufs = sorted(dst_r.index_ufs())
-    data_conj = dst_r.data_access.single_conjunction
-    kd_var = dst_r.data_access.out_vars[0]
-    kd_expr = data_conj.defining_equality(kd_var)
-    if kd_expr is None:
-        raise SynthesisError(
-            f"{dst.name}: data access does not define {kd_var!r}"
-        )
-
-    def is_search_var(v: str) -> bool:
-        """Is ``v`` recoverable by searching an insert-populated UF?
-
-        Only UFs with a strict monotonic quantifier can be populated by the
-        insert abstraction and then searched (DIA's ``off``).  A variable
-        trapped in any other unknown UF (CSR's ``col2(k)``) is not a search
-        variable — it must be the ordering-determined position.
-        """
-        for c in conj.equalities():
-            for call in c.uf_calls():
-                quantifier = dst_r.monotonic.get(call.name)
-                if (
-                    call.name in unknown_ufs
-                    and quantifier is not None
-                    and quantifier.strict
-                    and any(v in a.var_names() for a in call.args)
-                    and c.expr.coeff(Var(v)) == 0
-                ):
-                    return True
-        return False
-
-    search_vars = {
-        v for v in dst_vars if values[v] is None and is_search_var(v)
-    }
-    position_vars = [
-        v for v in dst_vars if values[v] is None and v not in search_vars
-    ]
-    if len(position_vars) > 1:
-        raise SynthesisError(
-            f"multiple unresolved position variables {position_vars}; "
-            "the format is under-constrained"
-        )
-    position_var = position_vars[0] if position_vars else None
-
-    # Decide how positions are produced (Step 1's permutation insertion).
-    identity_position = (
-        _ordering_equal(src, dst_r) and _is_bare_var(src_data_expr)
-    )
-    preserve_order = dst_r.ordering is None and _is_bare_var(src_data_expr)
-    need_perm_structure = position_var is not None and not (
-        identity_position or preserve_order
-    )
-    use_perm_lookup = need_perm_structure
-    emit_perm = position_var is not None and (
-        need_perm_structure or dst_r.ordering is not None
-    )
-    pos_definition: Optional[Expr] = None
-    if position_var is not None:
-        if identity_position:
-            pos_definition = src_data_expr
-            notes.append(
-                "orderings match and source positions are contiguous: "
-                f"{position_var} = {src_data_expr} (permutation is dead code)"
-            )
-        elif preserve_order:
-            pos_definition = src_data_expr
-            notes.append(
-                "destination is unordered: source traversal order reused "
-                f"({position_var} = {src_data_expr})"
-            )
-        else:
-            dense_order = list(src.dense_vars)
-            pos_definition = UFCall(
-                PERMUTATION, [dense_exprs[v] for v in dense_order]
-            ).as_expr()
-            notes.append(
-                f"permutation required: {position_var} = "
-                f"P({', '.join(str(dense_exprs[v]) for v in dense_order)})"
-            )
-        # The position variable resolves to *itself*: statements that use it
-        # get their iteration space extended with its defining constraint so
-        # code generation binds it once per iteration (a LetEq).  A cheap
-        # definition (no permutation lookup) is instead copy-propagated into
-        # statement text at emission time.
-        values[position_var] = Var(position_var).as_expr()
-
-    resolver = Resolver(values)
-
-    # Step 3: plan population statements for every unknown UF (Cases 1-5).
-    plans: list[UFStatementPlan] = []
-    for uf in unknown_ufs:
-        uf_plans: list[UFStatementPlan] = []
-        for c in conj.constraints:
-            if uf not in c.uf_names():
-                continue
-            normalized = normalize_for_uf(c, uf)
-            if normalized is None:
-                continue
-            plan = classify(normalized, resolver)
-            if plan is not None:
-                uf_plans.append(plan)
-        if not uf_plans:
-            raise SynthesisError(
-                f"no usable constraint to populate unknown UF {uf!r}"
-            )
-        chosen = select_plans(uf_plans)
-        for plan in chosen:
-            notes.append(f"{uf}: {plan.kind} ({plan.note})")
-        dropped = len(uf_plans) - len(chosen)
-        if dropped:
-            notes.append(
-                f"{uf}: removed {dropped} redundant candidate statement(s)"
-            )
-        plans.extend(chosen)
-    plan_by_uf = {p.uf: p for p in plans}
-
-    for plan in plans:
-        if plan.kind == "insert":
-            quantifier = dst_r.monotonic.get(plan.uf)
-            if quantifier is None or not quantifier.strict:
-                raise SynthesisError(
-                    f"insert-populated UF {plan.uf!r} needs a strict "
-                    "monotonic quantifier to fix element positions"
-                )
+    match = case_match_stage(composed, notes)
     _mark = _phase(
         "solve",
         _mark,
         span_name="case_match",
-        unknown_ufs=len(unknown_ufs),
-        plans=len(plans),
+        unknown_ufs=len(match.unknown_ufs),
+        plans=len(match.plans),
     )
 
-    # ------------------------------------------------------------------
-    # Build the computation.
-    # ------------------------------------------------------------------
-    symtab = SymbolTable(
-        arrays=(
-            set(src.index_ufs())
-            | set(dst_r.index_ufs())
-            | {SOURCE_DATA, DEST_DATA}
-        ),
-        functions={"MORTON", "MORTON2", "MORTON3", "BSEARCH"},
-        objects={PERMUTATION},
+    built = build_stage(
+        composed, match, optimize=optimize, fn_name=fn_name, notes=notes
     )
-    pexpr = lambda e: print_expr(e, symtab, "py")
-
-    params = sorted(src.index_ufs()) + sorted(src.size_symbols()) + [SOURCE_DATA]
-    param_set = set(params)
-    comp = Computation(fn_name)
-    empty_space = IntSet(())
-
-    PH_ALLOC, PH_PERM, PH_PERMSYM, PH_DYNALLOC, PH_POP = 0, 1, 2, 3, 4
-    PH_SIZESYM, PH_ENFORCE, PH_DSTALLOC, PH_COPY = 5, 6, 7, 8
-
-    # --- derived size symbols (decided first: whether any symbol needs
-    # ``len(P)`` controls how the permutation may be implemented) --------
-    derived_syms = sorted(dst_r.size_symbols() - set(src.size_symbols()))
-    sym_sources: dict[str, str] = {}
-    insert_ufs = [p.uf for p in plans if p.kind == "insert"]
-    for sym in list(derived_syms):
-        # A symbol bounding an insert-populated UF's domain is its length.
-        for uf in insert_ufs:
-            domain = dst_r.uf_domains.get(uf)
-            if domain is not None and sym in domain.sym_names():
-                sym_sources[sym] = uf
-                break
-        else:
-            # ``len(P)`` counts distinct destination positions, so it can
-            # only stand in for a symbol that bounds the *position-indexed*
-            # arrays: some unknown UF must be applied to the bare position
-            # variable and carry this symbol as its domain bound (CSR's
-            # ``col2(k)`` with domain NNZ; BCSR's ``bcol(bk)`` with domain
-            # NB).  ELL's width ``W`` has no such witness and is rejected.
-            def counts_positions(symbol: str) -> bool:
-                if position_var is None:
-                    return False
-                for c in conj.constraints:
-                    for call in c.uf_calls():
-                        if (
-                            call.name in unknown_ufs
-                            and call.args == (Var(position_var).as_expr(),)
-                        ):
-                            domain = dst_r.uf_domains.get(call.name)
-                            if domain is not None and symbol in domain.sym_names():
-                                return True
-                return False
-
-            if use_perm_lookup and counts_positions(sym):
-                sym_sources[sym] = PERMUTATION
-            else:
-                raise SynthesisError(
-                    f"cannot derive destination size symbol {sym!r} from "
-                    "the source format"
-                )
-
-    # --- permutation population -------------------------------------
-    bucket_spec = (
-        _bucket_permutation_spec(src, dst_r) if need_perm_structure else None
-    )
-    inline_bucket = (
-        bucket_spec is not None
-        and optimize
-        and all(origin != PERMUTATION for origin in sym_sources.values())
-    )
-    pos_stateful = False
-    if emit_perm and inline_bucket:
-        # Specialize *and inline* the permutation: a stable counting sort
-        # over the leading destination key component, maintained directly in
-        # index arrays (no per-element structure calls).
-        assert bucket_spec is not None
-        bucket_var, nbuckets = bucket_spec
-        bexpr = pexpr(dense_exprs[bucket_var])
-        comp.new_stmt(
-            f"P_count = [0] * ({pexpr(nbuckets + 1)})",
-            empty_space,
-            writes=["P_count"],
-            phase=PH_ALLOC,
-        )
-        comp.new_stmt(
-            f"P_count[{bexpr} + 1] += 1",
-            src_space,
-            reads=sorted(src.index_ufs()),
-            writes=["P_count"],
-            phase=PH_PERM,
-        )
-        prefix_space = IntSet(
-            ("x",),
-            [Conjunction([Geq(Var("x") - 1), Geq(nbuckets - Var("x"))])],
-        )
-        comp.new_stmt(
-            "P_count[x] = P_count[x] + P_count[x - 1]",
-            prefix_space,
-            reads=["P_count"],
-            writes=["P_count"],
-            phase=PH_PERMSYM,
-        )
-        comp.new_stmt(
-            "P_fill = list(P_count)",
-            empty_space,
-            reads=["P_count"],
-            writes=["P_fill"],
-            phase=PH_PERMSYM,
-        )
-        pos_stateful = True
-        pos_definition = None
-        notes.append(
-            "lexicographic reordering realized as an inlined stable bucket "
-            f"sort over {bucket_var} ({nbuckets} buckets)"
-        )
-    elif emit_perm and bucket_spec is not None:
-        dense_order = list(src.dense_vars)
-        bucket_var, nbuckets = bucket_spec
-        which = dense_order.index(bucket_var)
-        comp.new_stmt(
-            f"{PERMUTATION} = LexBucketPermutation({pexpr(nbuckets)}, "
-            f"{which}, {len(dense_order)})",
-            empty_space,
-            writes=[PERMUTATION],
-            phase=PH_ALLOC,
-        )
-        insert_args = ", ".join(pexpr(dense_exprs[v]) for v in dense_order)
-        comp.new_stmt(
-            f"{PERMUTATION}.insert({insert_args})",
-            src_space,
-            reads=sorted(src.index_ufs()),
-            writes=[PERMUTATION],
-            phase=PH_PERM,
-        )
-        notes.append(
-            "lexicographic reordering realized as a stable bucket sort: "
-            f"P = LexBucketPermutation({nbuckets}, which={which})"
-        )
-    elif emit_perm:
-        dense_order = list(src.dense_vars)
-        if dst_r.ordering is not None:
-            # Lambda parameters follow the dense-space order used at insert
-            # time; the key body is the destination's ordering key rewritten
-            # over the source's dense variable names (positional match).
-            to_src = dict(zip(dst_r.dense_vars, src.dense_vars))
-            key_body = ", ".join(
-                pexpr(k.rename_vars(to_src)) for k in dst_r.ordering.key_exprs
-            )
-            lambda_params = ", ".join(dense_order)
-            key_text = f"lambda {lambda_params}: ({key_body},)"
-            op = "<"
-        else:
-            key_text = "None"
-            op = "<"
-        unique_text = (
-            ", unique=True"
-            if dst_r.ordering is not None and dst_r.ordering.collapse_ties
-            else ""
-        )
-        comp.new_stmt(
-            f"{PERMUTATION} = OrderedList({len(dense_order)}, 1, "
-            f"key={key_text}, op=\"{op}\"{unique_text})",
-            empty_space,
-            writes=[PERMUTATION],
-            phase=PH_ALLOC,
-        )
-        insert_args = ", ".join(pexpr(dense_exprs[v]) for v in dense_order)
-        comp.new_stmt(
-            f"{PERMUTATION}.insert({insert_args})",
-            src_space,
-            reads=sorted(src.index_ufs()),
-            writes=[PERMUTATION],
-            phase=PH_PERM,
-        )
-        notes.append(
-            f"P = OrderedList({len(dense_order)}, 1, key={key_text}, op='<')"
-        )
-
-    for sym, origin in sym_sources.items():
-        if origin == PERMUTATION:
-            comp.new_stmt(
-                f"{sym} = len({PERMUTATION})",
-                empty_space,
-                reads=[PERMUTATION],
-                writes=[sym],
-                phase=PH_PERMSYM,
-            )
-            notes.append(f"{sym} = len(P) (derived from the permutation)")
-
-    # Reduction strengthening (the paper's "loop fusion and dead code
-    # elimination make it a simple assignment"): when destination positions
-    # ascend along the source traversal — the identity-position case — each
-    # min/max reduction slot is last written by its extremal value, so the
-    # reduction degrades to a plain assignment.
-    ascending_positions = optimize and position_var is not None and (
-        identity_position or preserve_order
-    )
-    if ascending_positions:
-        for plan in plans:
-            if plan.kind == "max" and position_var is not None and any(
-                position_var in e.var_names()
-                for e in list(plan.args) + [plan.value]
-            ):
-                plan.kind = "scatter"
-                notes.append(
-                    f"{plan.uf}: max reduction strengthened to assignment "
-                    "(positions ascend along the source traversal)"
-                )
-    elif optimize and bucket_spec is not None and position_var is not None:
-        # With a stable bucket permutation, positions ascend *within each
-        # bucket*: a max reduction whose target slot is a function of the
-        # bucket coordinate alone is last-written by its maximum.  The
-        # bucket coordinate may appear as any of its source-side
-        # definitions (the tuple variable or the coordinate UF).
-        bucket_defs = _dense_var_definitions(src).get(bucket_spec[0], [])
-        for plan in plans:
-            if (
-                plan.kind == "max"
-                and len(plan.args) == 1
-                and any(
-                    (plan.args[0] - d).is_constant() for d in bucket_defs
-                )
-                and position_var in plan.value.var_names()
-            ):
-                plan.kind = "scatter"
-                notes.append(
-                    f"{plan.uf}: max reduction strengthened to assignment "
-                    "(positions ascend within each bucket)"
-                )
-
-    # Pointer aliasing (with the inlined bucket sort): a UF populated as
-    # ``uf[bucket + 1] = position + 1`` is exactly the counting sort's
-    # prefix array — ``uf[b]`` is the start of bucket ``b`` — so the
-    # per-element stores and the monotonic fix-up for empty buckets collapse
-    # into one array copy taken after the prefix pass.
-    aliased_ufs: set[str] = set()
-    if pos_stateful and bucket_spec is not None and position_var is not None:
-        bucket_defs = _dense_var_definitions(src).get(bucket_spec[0], [])
-        for plan in list(plans):
-            if (
-                plan.kind == "scatter"
-                and len(plan.args) == 1
-                and any((plan.args[0] - d) == 1 for d in bucket_defs)
-                and (plan.value - Var(position_var)) == 1
-            ):
-                plans.remove(plan)
-                comp.new_stmt(
-                    f"{plan.uf} = list(P_count)",
-                    empty_space,
-                    reads=["P_count"],
-                    writes=[plan.uf],
-                    phase=PH_PERMSYM,
-                )
-                aliased_ufs.add(plan.uf)
-                notes.append(
-                    f"{plan.uf}: aliased to the counting sort's prefix "
-                    "array (per-element stores and monotonic fix-up "
-                    "eliminated)"
-                )
-
-    # --- allocations ---------------------------------------------------
-    def alloc_phase_for(size_expr: Expr) -> int:
-        needed = size_expr.sym_names() - param_set
-        if not needed:
-            return PH_ALLOC
-        if needed <= {s for s, o in sym_sources.items() if o == PERMUTATION}:
-            return PH_DYNALLOC
-        return PH_DSTALLOC
-
-    array_plans = [p for p in plans if p.kind in ("scatter", "min", "max")]
-    for plan in array_plans:
-        domain = dst_r.uf_domains.get(plan.uf)
-        if domain is None:
-            raise SynthesisError(f"UF {plan.uf!r} has no declared domain")
-        size = _domain_size_expr(domain)
-        init = "0" if plan.kind in ("scatter", "max") else pexpr(
-            _domain_size_expr(dst_r.uf_ranges[plan.uf])
-            if plan.uf in dst_r.uf_ranges
-            else Expr(0)
-        )
-        comp.new_stmt(
-            f"{plan.uf} = [{init}] * ({pexpr(size)})",
-            empty_space,
-            writes=[plan.uf],
-            phase=alloc_phase_for(size),
-        )
-    for uf in insert_ufs:
-        comp.new_stmt(
-            f"{uf} = OrderedSet()",
-            empty_space,
-            writes=[uf],
-            phase=PH_ALLOC,
-        )
-
-    # --- population ------------------------------------------------------
-    def extended_space(extra_pos: bool) -> IntSet:
-        """Source space, optionally extended with the bound position var."""
-        if not extra_pos or position_var is None:
-            return src_space
-        assert pos_definition is not None
-        constraint = equals(Var(position_var), pos_definition)
-        return IntSet(
-            src_space.tuple_vars + (position_var,),
-            [src_space.single_conjunction.add(constraint)],
-        )
-
-    population_reads = sorted(src.index_ufs()) + (
-        [PERMUTATION] if (use_perm_lookup and not pos_stateful) else []
-    )
-    if pos_stateful:
-        assert position_var is not None and bucket_spec is not None
-        bexpr = pexpr(dense_exprs[bucket_spec[0]])
-        comp.new_stmt(
-            f"{position_var} = P_fill[{bexpr}]\n"
-            f"P_fill[{bexpr}] = {position_var} + 1",
-            src_space,
-            reads=sorted(src.index_ufs()) + ["P_fill"],
-            writes=["__pos__", "P_fill"],
-            phase=PH_POP,
-        )
-        population_reads = population_reads + ["__pos__"]
-
-    # Copy-propagate a cheap position definition (no permutation lookup)
-    # directly into statement expressions; expensive definitions stay as a
-    # once-per-iteration LetEq via the extended iteration space.
-    propagate_pos = (
-        position_var is not None
-        and pos_definition is not None
-        and not pos_definition.uf_calls()
-    )
-
-    def finalize_expr(expr: Expr) -> Expr:
-        if propagate_pos and position_var in expr.var_names():
-            assert pos_definition is not None and position_var is not None
-            return expr.substitute_vars({position_var: pos_definition})
-        return expr
-
-    for plan in plans:
-        uses_pos = position_var is not None and any(
-            position_var in e.var_names()
-            for e in list(plan.args) + [plan.value]
-        )
-        space = extended_space(
-            uses_pos and not propagate_pos and not pos_stateful
-        )
-        args = [finalize_expr(a) for a in plan.args]
-        value = finalize_expr(plan.value)
-        if plan.kind == "insert":
-            text = f"{plan.uf}.insert({pexpr(value)})"
-        elif plan.kind == "scatter":
-            index = ", ".join(pexpr(a) for a in args)
-            text = f"{plan.uf}[{index}] = {pexpr(value)}"
-        else:
-            fn = "max" if plan.kind == "max" else "min"
-            index = ", ".join(pexpr(a) for a in args)
-            text = (
-                f"{plan.uf}[{index}] = {fn}({plan.uf}[{index}], "
-                f"{pexpr(value)})"
-            )
-        comp.new_stmt(
-            text,
-            space,
-            reads=population_reads,
-            writes=[plan.uf],
-            phase=PH_POP,
-        )
-
-    # --- size symbols from insert structures ----------------------------
-    for sym, origin in sym_sources.items():
-        if origin != PERMUTATION:
-            comp.new_stmt(
-                f"{sym} = len({origin})",
-                empty_space,
-                reads=[origin],
-                writes=[sym],
-                phase=PH_SIZESYM,
-            )
-            notes.append(f"{sym} = len({origin}) (insert-populated UF size)")
-
-    # --- Step 4: enforce universal quantifiers --------------------------
-    enforced_ufs: set[str] = set()
-    for uf, quantifier in dst_r.monotonic.items():
-        if uf in aliased_ufs:
-            # Prefix sums are non-decreasing by construction.
-            enforced_ufs.add(uf)
-            continue
-        plan = plan_by_uf.get(uf)
-        if plan is None:
-            continue
-        if plan.kind == "insert":
-            enforced_ufs.add(uf)  # the OrderedSet enforces on insert
-            if optimize:
-                # Materialize to a plain array before the copy consumes it:
-                # guards and binary searches then index without structure
-                # call overhead.
-                comp.new_stmt(
-                    f"{uf} = {uf}.to_list()",
-                    empty_space,
-                    reads=[uf],
-                    writes=[uf],
-                    phase=PH_ENFORCE,
-                )
-            notes.append(
-                f"{uf}: strict monotonic quantifier enforced by the "
-                "ordered insert structure"
-            )
-            continue
-        if quantifier.strict:
-            raise SynthesisError(
-                f"strictly monotonic UF {uf!r} populated by "
-                f"{plan.kind!r} cannot be enforced"
-            )
-        domain = dst_r.uf_domains[uf]
-        dvar = domain.tuple_vars[0]
-        upper = domain.single_conjunction.upper_bounds(dvar)[0]
-        enforce_space = IntSet(
-            (dvar,),
-            [
-                Conjunction(
-                    [Geq(Var(dvar) - 1), Geq(upper - Var(dvar))]
-                )
-            ],
-        )
-        comp.new_stmt(
-            f"{uf}[{dvar}] = max({uf}[{dvar}], {uf}[{dvar} - 1])",
-            enforce_space,
-            reads=[uf],
-            writes=[uf],
-            phase=PH_ENFORCE,
-        )
-        enforced_ufs.add(uf)
-        notes.append(
-            f"{uf}: monotonic quantifier enforced by a forward max pass"
-        )
-
-    # --- destination data allocation ------------------------------------
-    if (
-        position_var is not None
-        and _is_bare_var(kd_expr)
-        and position_var in kd_expr.var_names()
-    ):
-        # Positional layout: one slot per nonzero.
-        nnz_sym = None
-        for candidate in ("NNZ",):
-            if candidate in (src.size_symbols() | set(sym_sources)):
-                nnz_sym = candidate
-        if nnz_sym is None:
-            raise SynthesisError("cannot size the destination data array")
-        dst_size = Sym(nnz_sym).as_expr()
-    else:
-        # Strided layout (DIA, BCSR): substitute each variable's maximum.
-        # A variable whose only upper bounds involve UF calls (BCSR's
-        # ``bk < browptr(bi+1)``) is bounded instead by the domain of an
-        # unknown UF indexed by it (``bcol``'s domain gives ``bk < NB``).
-        substitution: dict = {}
-        dst_conj = dst_r.sparse_to_dense.domain(
-            strict=False
-        ).single_conjunction
-        for v in kd_expr.var_names():
-            uppers = [
-                u for u in dst_conj.upper_bounds(v) if not u.uf_calls()
-            ]
-            if not uppers:
-                for c in conj.constraints:
-                    for call in c.uf_calls():
-                        if (
-                            call.name in unknown_ufs
-                            and call.args == (Var(v).as_expr(),)
-                        ):
-                            domain = dst_r.uf_domains.get(call.name)
-                            if domain is None:
-                                continue
-                            dvar = domain.tuple_vars[0]
-                            uppers = domain.single_conjunction.upper_bounds(
-                                dvar
-                            )
-                            if uppers:
-                                break
-                    if uppers:
-                        break
-            if not uppers:
-                raise SynthesisError(
-                    f"cannot bound {v!r} to size the destination data array"
-                )
-            substitution[Var(v)] = uppers[0]
-        dst_size = kd_expr.substitute(substitution) + 1
-    comp.new_stmt(
-        f"{DEST_DATA} = [0.0] * ({pexpr(dst_size)})",
-        empty_space,
-        writes=[DEST_DATA],
-        phase=alloc_phase_for(dst_size),
-    )
-
-    # --- Step 5: the copy -------------------------------------------------
-    copy_vars = list(src_space.tuple_vars)
-    copy_constraints = list(src_space.single_conjunction.constraints)
-    needed_dst_vars: list[str] = []
-
-    def need_var(v: str):
-        if v in needed_dst_vars or v in copy_vars:
-            return
-        needed_dst_vars.append(v)
-
-    copy_kd_expr = finalize_expr(kd_expr)
-    for v in copy_kd_expr.var_names():
-        if v in dst_vars:
-            if pos_stateful and v == position_var:
-                continue  # bound by the stateful position statement
-            need_var(v)
-    # Pull in transitive dependencies of resolvable vars.
-    frontier = list(needed_dst_vars)
-    while frontier:
-        v = frontier.pop()
-        value = values.get(v)
-        if value is None:
-            continue
-        for dep in value.var_names():
-            if dep in dst_vars and dep not in needed_dst_vars:
-                needed_dst_vars.append(dep)
-                frontier.append(dep)
-
-    resolvable = [v for v in needed_dst_vars if values[v] is not None]
-    # Bind the position first so fusion can share its (possibly expensive)
-    # permutation lookup with the population statements.
-    resolvable.sort(key=lambda v: 0 if v == position_var else 1)
-    searches = [v for v in needed_dst_vars if values[v] is None]
-    for v in resolvable:
-        copy_vars.append(v)
-        value = pos_definition if v == position_var else values[v]
-        assert value is not None
-        copy_constraints.append(equals(Var(v), value))
-    for v in searches:
-        if v not in search_vars:
-            raise SynthesisError(
-                f"variable {v!r} in the data layout is neither resolvable "
-                "nor searchable"
-            )
-        copy_vars.append(v)
-        for c in conj.constraints:
-            if not c.mentions_var(v):
-                continue
-            # Rewrite the constraint over source terms where possible.
-            rewritten = c
-            for name in c.var_names():
-                if name in values and values[name] is not None and name != v:
-                    rewritten = rewritten.substitute_vars(
-                        {name: values[name]}  # type: ignore[dict-item]
-                    )
-            if rewritten.var_names() <= set(copy_vars):
-                copy_constraints.append(rewritten)
-
-    copy_space = IntSet(tuple(copy_vars), [Conjunction(copy_constraints)])
-    copy_reads = [SOURCE_DATA] + sorted(
-        {
-            call.name
-            for c in copy_space.single_conjunction
-            for call in c.uf_calls()
-        }
-        | ({PERMUTATION} if (use_perm_lookup and not pos_stateful) else set())
-        | ({"__pos__"} if pos_stateful else set())
-    )
-    reads_enforced = any(
-        uf in enforced_ufs or uf in insert_ufs for uf in copy_reads
-    )
-    copy_phase = PH_COPY if (reads_enforced or searches) else PH_POP
-    if copy_phase == PH_POP:
-        notes.append("copy fused candidate: same phase as UF population")
-    else:
-        notes.append(
-            "copy must follow quantifier enforcement (index property "
-            "blocks fusion with population)"
-        )
-    comp.new_stmt(
-        f"{DEST_DATA}[{pexpr(copy_kd_expr)}] = "
-        f"{SOURCE_DATA}[{pexpr(src_data_expr)}]",
-        copy_space,
-        reads=copy_reads,
-        writes=[DEST_DATA],
-        phase=copy_phase,
-    )
-
-    # Order statements by phase (stable), then re-number default schedules.
-    ordered = sorted(comp.stmts, key=lambda s: s.phase)
-    comp.replace_stmts([])
-    comp._counter = 0
-    for stmt in ordered:
-        comp.add_stmt(
-            Stmt(
-                stmt.text,
-                stmt.space,
-                None,
-                stmt.reads,
-                stmt.writes,
-                "",
-                stmt.phase,
-            )
-        )
-
-    returns = tuple(
-        sorted(set(uf_map[u] for u in dst.index_ufs()))
-        + sorted(sym_sources)
-        + [DEST_DATA]
-    )
-
+    comp = built.comp
     _mark = _phase("build", _mark, statements=len(comp.stmts))
 
-    # ------------------------------------------------------------------
-    # Optimization pipeline (Section 3.3).
-    # ------------------------------------------------------------------
+    # Optimization pipeline (Section 3.3): the registered passes.
     stmts_before_optimize = len(comp.stmts)
-    if optimize:
-        removed = eliminate_redundant_statements(comp)
-        if removed:
-            notes.append(f"removed {len(removed)} duplicate statement(s)")
-        dead = dead_code_elimination(comp, live_out=returns)
-        if any(PERMUTATION in s.writes for s in dead):
-            notes.append("permutation P eliminated as dead code")
-        if dead:
-            notes.append(
-                f"dead code elimination removed {len(dead)} statement(s)"
-            )
-        fused = apply_all_fusion(comp)
-        if fused:
-            notes.append(f"fused {fused} statement(s) into shared loops")
-    if binary_search:
-        from .optimize import rewrite_linear_search
-
-        rewritten = rewrite_linear_search(comp, symtab)
-        if rewritten:
-            notes.append(
-                "linear search over monotonic UF replaced by binary search"
-            )
-    _mark = _phase(
-        "optimize",
-        _mark,
-        stmts_before=stmts_before_optimize,
-        stmts_after=len(comp.stmts),
-        eliminated=stmts_before_optimize - len(comp.stmts),
-    )
-
-    scalar_source = comp.codegen_function(params, returns, symtab)
-    c_source = comp.codegen(symtab, lang="c")
-
-    source = scalar_source
-    vector_stats = None
-    if backend == "numpy":
-        lowering = comp.codegen_function_numpy(params, returns, symtab)
-        source = lowering.source
-        vector_stats = {
-            "vectorized_nests": lowering.vectorized_nests,
-            "scalar_nests": lowering.scalar_nests,
-        }
-        notes.append(
-            f"numpy backend: {lowering.vectorized_nests} vectorized nest(s), "
-            f"{lowering.scalar_nests} scalar fallback nest(s)"
+    start_optimize = time.perf_counter()
+    with obs.span("synthesis.optimize", category="synthesis") as ospan:
+        ctx = PassContext(
+            comp=comp,
+            returns=built.returns,
+            symtab=built.symtab,
+            notes=notes,
+            permutation_name=PERMUTATION,
         )
-        notes.extend(f"numpy backend: {n}" for n in lowering.notes)
+        PASSES.run(ctx, pass_config)
+        ospan.set(
+            stmts_before=stmts_before_optimize,
+            stmts_after=len(comp.stmts),
+            eliminated=stmts_before_optimize - len(comp.stmts),
+        )
+    PROF.add_time(
+        "synthesis.optimize", time.perf_counter() - start_optimize
+    )
+    _mark = time.perf_counter()
+
+    lowered = lower_stage(built, backend, notes)
     _phase(
         "codegen",
         _mark,
         span_name="lower",
-        backend=backend,
-        **(vector_stats or {}),
+        backend=backend.name,
+        **(lowered.vector_stats or {}),
     )
 
     return SynthesizedConversion(
@@ -1442,14 +200,14 @@ def _synthesize_impl(
         src_format=src.name,
         dst_format=dst.name,
         computation=comp,
-        params=tuple(params),
-        returns=returns,
-        source=source,
-        c_source=c_source,
-        symtab=symtab,
+        params=built.params,
+        returns=built.returns,
+        source=lowered.source,
+        c_source=lowered.c_source,
+        symtab=built.symtab,
         uf_output_map=uf_output_map,
         notes=notes,
-        backend=backend,
-        scalar_source=scalar_source,
-        vector_stats=vector_stats,
+        backend=backend.name,
+        scalar_source=lowered.scalar_source,
+        vector_stats=lowered.vector_stats,
     )

@@ -1,0 +1,48 @@
+"""Lowering stage: optimized computation → backend source.
+
+The scalar Python lowering and the display C version are always
+generated (the scalar source feeds differential testing and the disk
+cache payload); the active backend's :meth:`~repro.backends.Backend.lower`
+hook then produces the executable source — which for the scalar backend
+is the scalar source itself.
+"""
+
+from __future__ import annotations
+
+from repro.backends import Backend
+from repro.pipeline.artifacts import BuiltComputation, LoweredSource
+
+
+def lower_stage(
+    built: BuiltComputation, backend: Backend, notes: list[str]
+) -> LoweredSource:
+    """Lower the built computation for ``backend``."""
+    params = list(built.params)
+    returns = list(built.returns)
+    scalar_source = built.comp.codegen_function(
+        params, returns, built.symtab
+    )
+    c_source = built.comp.codegen(built.symtab, lang="c")
+    lowering = backend.lower(
+        built.comp,
+        params,
+        returns,
+        built.symtab,
+        scalar_source=scalar_source,
+    )
+    if lowering.vector_stats is not None:
+        stats = lowering.vector_stats
+        notes.append(
+            f"{backend.name} backend: {stats['vectorized_nests']} "
+            f"vectorized nest(s), {stats['scalar_nests']} scalar fallback "
+            "nest(s)"
+        )
+        notes.extend(f"{backend.name} backend: {n}" for n in lowering.notes)
+    return LoweredSource(
+        backend=backend.name,
+        source=lowering.source,
+        scalar_source=scalar_source,
+        c_source=c_source,
+        vector_stats=lowering.vector_stats,
+        notes=list(lowering.notes),
+    )

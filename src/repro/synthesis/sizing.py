@@ -1,0 +1,125 @@
+"""Sizing analysis for the build stage.
+
+Two questions the build stage must answer before it can allocate:
+where does each destination-only size symbol come from (an
+insert-populated UF's length, or ``len(P)``), and how large is the
+destination data array.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.formats.descriptor import FormatDescriptor
+from repro.ir import Conjunction, Expr, Sym, Var
+from repro.pipeline.artifacts import CaseMatch
+
+from .compose import _is_bare_var
+from .conversion import PERMUTATION, SynthesisError
+
+
+def derive_size_symbols(
+    src: FormatDescriptor,
+    dst_r: FormatDescriptor,
+    conj: Conjunction,
+    match: CaseMatch,
+    insert_ufs: Sequence[str],
+) -> dict[str, str]:
+    """Map each destination-only size symbol to the object that yields it.
+
+    A symbol bounding an insert-populated UF's domain is that UF's length;
+    ``len(P)`` counts distinct destination positions, so it can only stand
+    in for a symbol that bounds the *position-indexed* arrays: some
+    unknown UF must be applied to the bare position variable and carry
+    this symbol as its domain bound (CSR's ``col2(k)`` with domain NNZ;
+    BCSR's ``bcol(bk)`` with domain NB).  ELL's width ``W`` has no such
+    witness and is rejected.
+    """
+    derived_syms = sorted(dst_r.size_symbols() - set(src.size_symbols()))
+    sym_sources: dict[str, str] = {}
+    position_var = match.position_var
+
+    def counts_positions(symbol: str) -> bool:
+        if position_var is None:
+            return False
+        for c in conj.constraints:
+            for call in c.uf_calls():
+                if (
+                    call.name in match.unknown_ufs
+                    and call.args == (Var(position_var).as_expr(),)
+                ):
+                    domain = dst_r.uf_domains.get(call.name)
+                    if domain is not None and symbol in domain.sym_names():
+                        return True
+        return False
+
+    for sym in derived_syms:
+        for uf in insert_ufs:
+            domain = dst_r.uf_domains.get(uf)
+            if domain is not None and sym in domain.sym_names():
+                sym_sources[sym] = uf
+                break
+        else:
+            if match.use_perm_lookup and counts_positions(sym):
+                sym_sources[sym] = PERMUTATION
+            else:
+                raise SynthesisError(
+                    f"cannot derive destination size symbol {sym!r} from "
+                    "the source format"
+                )
+    return sym_sources
+
+
+def dest_data_size(
+    src: FormatDescriptor,
+    dst_r: FormatDescriptor,
+    conj: Conjunction,
+    match: CaseMatch,
+    sym_sources: dict[str, str],
+) -> Expr:
+    """Size of the destination data array."""
+    kd_expr = match.kd_expr
+    position_var = match.position_var
+    if (
+        position_var is not None
+        and _is_bare_var(kd_expr)
+        and position_var in kd_expr.var_names()
+    ):
+        # Positional layout: one slot per nonzero.
+        nnz_sym = None
+        for candidate in ("NNZ",):
+            if candidate in (src.size_symbols() | set(sym_sources)):
+                nnz_sym = candidate
+        if nnz_sym is None:
+            raise SynthesisError("cannot size the destination data array")
+        return Sym(nnz_sym).as_expr()
+    # Strided layout (DIA, BCSR): substitute each variable's maximum.
+    # A variable whose only upper bounds involve UF calls (BCSR's
+    # ``bk < browptr(bi+1)``) is bounded instead by the domain of an
+    # unknown UF indexed by it (``bcol``'s domain gives ``bk < NB``).
+    substitution: dict = {}
+    dst_conj = dst_r.sparse_to_dense.domain(strict=False).single_conjunction
+    for v in kd_expr.var_names():
+        uppers = [u for u in dst_conj.upper_bounds(v) if not u.uf_calls()]
+        if not uppers:
+            for c in conj.constraints:
+                for call in c.uf_calls():
+                    if (
+                        call.name in match.unknown_ufs
+                        and call.args == (Var(v).as_expr(),)
+                    ):
+                        domain = dst_r.uf_domains.get(call.name)
+                        if domain is None:
+                            continue
+                        dvar = domain.tuple_vars[0]
+                        uppers = domain.single_conjunction.upper_bounds(dvar)
+                        if uppers:
+                            break
+                if uppers:
+                    break
+        if not uppers:
+            raise SynthesisError(
+                f"cannot bound {v!r} to size the destination data array"
+            )
+        substitution[Var(v)] = uppers[0]
+    return kd_expr.substitute(substitution) + 1

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import repro.obs as obs
+from repro.backends import get_backend
 from repro.errors import ValidationError
 from repro.formats import get_format
 from repro.runtime import (
@@ -487,10 +488,11 @@ def _run_case_2d(dense: Dense, src: str, dst: str, backend: str,
                 f"synthesized {differing} differs from "
                 f"{type(ref).__name__} baseline",
             )
-    if backend == "numpy":
+    reference_backend = get_backend(backend).differential_reference
+    if reference_backend is not None:
         scalar = convert(
             container, dst,
-            backend="python",
+            backend=reference_backend,
             optimize=optimize,
             assume_sorted=(src != "COO"),
             validate="off",
@@ -499,8 +501,8 @@ def _run_case_2d(dense: Dense, src: str, dst: str, backend: str,
         if differing is not None:
             return (
                 "backend",
-                f"numpy lowering's {differing} differs from the scalar "
-                f"lowering",
+                f"{backend} lowering's {differing} differs from the "
+                f"{reference_backend} lowering",
             )
     return None
 
@@ -527,10 +529,11 @@ def _run_case_3d(tensor: COOTensor3D, src: str, dst: str, backend: str,
         out.check_against_dense(reference)
     except ValidationError as err:
         return "dense", str(err)
-    if backend == "numpy":
+    reference_backend = get_backend(backend).differential_reference
+    if reference_backend is not None:
         scalar = convert(
             container, dst,
-            backend="python",
+            backend=reference_backend,
             optimize=optimize,
             assume_sorted=(src != "COO3D"),
             validate="off",
@@ -539,8 +542,8 @@ def _run_case_3d(tensor: COOTensor3D, src: str, dst: str, backend: str,
         if differing is not None:
             return (
                 "backend",
-                f"numpy lowering's {differing} differs from the scalar "
-                f"lowering",
+                f"{backend} lowering's {differing} differs from the "
+                f"{reference_backend} lowering",
             )
     return None
 

@@ -1,0 +1,162 @@
+"""The PassManager: registration, canonical ordering, config resolution.
+
+The load-bearing property is determinism: the pipeline a request resolves
+to depends only on the registered passes and the request flags, never on
+the order passes happened to be registered in.
+"""
+
+import pytest
+
+from repro.formats import csr, scoo
+from repro.pipeline import (
+    BINARY_SEARCH,
+    PASSES,
+    Pass,
+    PassConfig,
+    PassContext,
+    PassManager,
+)
+from repro.synthesis import synthesize
+
+
+def _noop(_ctx):
+    return 0
+
+
+class TestRegistry:
+    def test_standard_passes_registered(self):
+        assert PASSES.names() == ("dedup", "dce", "fusion", "binary-search")
+
+    def test_duplicate_registration_rejected(self):
+        pm = PassManager()
+        pm.register(Pass("x", "first", _noop))
+        with pytest.raises(ValueError, match="already registered"):
+            pm.register(Pass("x", "second", _noop))
+
+    def test_replace_overrides(self):
+        pm = PassManager()
+        pm.register(Pass("x", "first", _noop))
+        pm.register(Pass("x", "second", _noop), replace=True)
+        assert pm.get("x").description == "second"
+
+    def test_unregister_returns_pass(self):
+        pm = PassManager()
+        p = pm.register(Pass("x", "", _noop))
+        assert pm.unregister("x") is p
+        assert pm.unregister("x") is None
+        assert pm.names() == ()
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(ValueError, match="unknown optimization pass"):
+            PassManager().get("nope")
+
+
+class TestCanonicalOrdering:
+    def test_position_independent_of_registration_order(self):
+        forward, reverse = PassManager(), PassManager()
+        passes = [
+            Pass("c", "", _noop, order=30),
+            Pass("a", "", _noop, order=10),
+            Pass("b", "", _noop, order=20),
+        ]
+        for p in passes:
+            forward.register(p)
+        for p in reversed(passes):
+            reverse.register(p)
+        assert forward.names() == reverse.names() == ("a", "b", "c")
+
+    def test_name_breaks_order_ties(self):
+        pm = PassManager()
+        pm.register(Pass("zeta", "", _noop, order=10))
+        pm.register(Pass("alpha", "", _noop, order=10))
+        assert pm.names() == ("alpha", "zeta")
+
+    def test_synthesis_invariant_under_reregistration(self):
+        """Re-registering the standard passes in any order must produce a
+        byte-identical inspector — the engine runs canonical positions,
+        not registration order."""
+        baseline = synthesize(scoo(), csr())
+        saved = PASSES.passes()
+        try:
+            for p in saved:
+                PASSES.unregister(p.name)
+            for p in reversed(saved):
+                PASSES.register(p)
+            reordered = synthesize(scoo(), csr())
+        finally:
+            for p in saved:
+                PASSES.unregister(p.name)
+            for p in saved:
+                PASSES.register(p)
+        assert reordered.source == baseline.source
+        assert reordered.notes == baseline.notes
+
+
+class TestConfigResolution:
+    def test_default_enables_non_opt_in(self):
+        cfg = PASSES.config()
+        assert cfg.enabled == ("dedup", "dce", "fusion")
+        assert BINARY_SEARCH not in cfg
+
+    def test_optimize_off_disables_everything(self):
+        assert PASSES.config(optimize=False).enabled == ()
+
+    def test_opt_in_requires_request(self):
+        cfg = PASSES.config(requested=(BINARY_SEARCH,))
+        assert cfg.enabled == ("dedup", "dce", "fusion", "binary-search")
+
+    def test_requested_opt_in_survives_optimize_off(self):
+        # binary_search=True with optimize=False still runs the rewrite:
+        # the flag requests the pass explicitly.
+        cfg = PASSES.config(optimize=False, requested=(BINARY_SEARCH,))
+        assert cfg.enabled == ("binary-search",)
+
+    def test_disabled_removes_pass(self):
+        cfg = PASSES.config(disabled=("fusion",))
+        assert cfg.enabled == ("dedup", "dce")
+
+    def test_unknown_disabled_name_fails_loudly(self):
+        with pytest.raises(ValueError, match="registered passes:"):
+            PASSES.config(disabled=("fusoin",))
+
+    def test_unknown_requested_name_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown optimization pass"):
+            PASSES.config(requested=("turbo",))
+
+
+class TestFingerprint:
+    def test_reflects_enabled_passes(self):
+        full = PASSES.fingerprint(PASSES.config())
+        partial = PASSES.fingerprint(PASSES.config(disabled=("fusion",)))
+        assert full == "dedup,dce,fusion"
+        assert partial == "dedup,dce"
+
+    def test_empty_pipeline_has_sentinel(self):
+        assert PASSES.fingerprint(PassConfig(enabled=())) == "none"
+
+
+class _FakeComp:
+    """Just enough Computation surface for PassManager.run's accounting."""
+
+    def __init__(self):
+        self.stmts = []
+
+
+class TestRun:
+    def test_results_report_statement_deltas(self):
+        pm = PassManager()
+        pm.register(Pass("touch", "", lambda _ctx: 3, order=1))
+        ctx = PassContext(comp=_FakeComp(), returns=(), symtab=None)
+        results = pm.run(ctx, pm.config())
+        assert len(results) == 1
+        assert results[0].name == "touch"
+        assert results[0].changed == 3
+
+    def test_disabled_pass_not_run(self):
+        ran = []
+        pm = PassManager()
+        pm.register(Pass("a", "", lambda c: ran.append("a") or 0, order=1))
+        pm.register(Pass("b", "", lambda c: ran.append("b") or 0, order=2))
+        ctx = PassContext(comp=_FakeComp(), returns=(), symtab=None)
+        pm.run(ctx, pm.config(disabled=("a",)))
+        assert ran == ["b"]

@@ -116,3 +116,53 @@ class TestExecution:
         first = dict(planner._edges)
         planner.plan("SCOO", "CSR")
         assert planner._edges == first  # no re-synthesis
+
+
+class TestDefaultPlannerSingletons:
+    def test_concurrent_first_calls_share_one_planner(self):
+        # Regression: two threads racing the first default_planner() call
+        # used to each build a planner, and the loser's memoized edge
+        # costs were thrown away.
+        import threading
+
+        from repro import planner as planner_mod
+
+        with planner_mod._PLANNER_LOCK:
+            saved = dict(planner_mod._DEFAULT_PLANNERS)
+            planner_mod._DEFAULT_PLANNERS.clear()
+        try:
+            barrier = threading.Barrier(8)
+            seen = []
+
+            def grab():
+                barrier.wait()
+                seen.append(planner_mod.default_planner())
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(seen) == 8
+            assert all(p is seen[0] for p in seen)
+        finally:
+            with planner_mod._PLANNER_LOCK:
+                planner_mod._DEFAULT_PLANNERS.clear()
+                planner_mod._DEFAULT_PLANNERS.update(saved)
+
+    def test_backend_instances_share_the_string_singleton(self):
+        from repro.backends import get_backend
+        from repro.planner import default_planner
+
+        assert default_planner(get_backend("numpy")) is default_planner(
+            "numpy"
+        )
+
+    def test_disabled_passes_thread_into_synthesis(self):
+        planner = ConversionPlanner(
+            ["SCOO", "CSR"], disabled_passes=("fusion",)
+        )
+        conv = planner.conversion("SCOO", "CSR")
+        assert all(
+            "into shared loops" not in note for note in conv.notes
+        )

@@ -107,3 +107,74 @@ class TestArgparse:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestPasses:
+    def test_lists_passes_and_backends(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dedup", "dce", "fusion", "binary-search"):
+            assert name in out
+        assert "python" in out and "numpy" in out
+        assert "opt-in" in out
+        assert "vectorized=true" in out
+
+    def test_json_dump(self, capsys):
+        import json
+
+        assert main(["passes", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload["passes"]] == [
+            "dedup", "dce", "fusion", "binary-search"
+        ]
+        assert payload["passes"][-1]["opt_in"] is True
+        backends = {b["name"]: b for b in payload["backends"]}
+        assert backends["numpy"]["capabilities"]["vectorized"] is True
+
+
+class TestDisablePass:
+    def make_input(self, tmp_path):
+        path = tmp_path / "in.mtx"
+        write_matrix(COOMatrix.from_dense(DENSE), path)
+        return path
+
+    def test_convert_with_disabled_pass(self, tmp_path):
+        src = self.make_input(tmp_path)
+        dst = tmp_path / "out.mtx"
+        assert main(
+            ["convert", str(src), str(dst), "--to", "CSR",
+             "--disable-pass", "fusion", "--verify"]
+        ) == 0
+        assert dense_equal(read_matrix(dst).to_dense(), DENSE)
+
+    def test_unknown_pass_is_a_friendly_error(self, tmp_path, capsys):
+        src = self.make_input(tmp_path)
+        dst = tmp_path / "out.mtx"
+        assert main(
+            ["convert", str(src), str(dst), "--to", "CSR",
+             "--disable-pass", "fusoin"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown optimization pass" in err
+        assert "registered passes" in err
+
+    def test_trace_with_disabled_pass(self, capsys):
+        assert main(
+            ["trace", "COO", "CSR", "--nnz", "16", "--rows", "8",
+             "--cols", "8", "--disable-pass", "fusion"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pass.dce" in out
+        assert "pass.fusion" not in out
+
+
+class TestTraceSpans:
+    def test_per_pass_spans_present(self, capsys):
+        assert main(
+            ["trace", "COO", "CSR", "--nnz", "16", "--rows", "8",
+             "--cols", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "synthesis.optimize" in out
+        for name in ("pass.dedup", "pass.dce", "pass.fusion"):
+            assert name in out

@@ -1,0 +1,62 @@
+"""The src/repro module-level import graph must stay acyclic.
+
+The staged pipeline's layering (``repro.backends`` and ``repro.pipeline``
+importable from every layer) only holds while no module-level cycle
+exists; lazy imports inside functions are the sanctioned escape hatch and
+are ignored by the checker.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_import_cycles import find_cycles, main  # noqa: E402
+
+
+class TestRepoGraph:
+    def test_no_module_level_cycles(self):
+        cycles = find_cycles(REPO / "src" / "repro", REPO / "src")
+        assert cycles == [], (
+            "module-level import cycles (use a lazy import inside the "
+            f"function that needs it): {cycles}"
+        )
+
+    def test_cli_reports_success(self, capsys):
+        assert main([str(REPO / "src" / "repro")]) == 0
+        assert "no module-level import cycles" in capsys.readouterr().out
+
+
+class TestCheckerDetectsCycles:
+    def make_cyclic_package(self, tmp_path):
+        pkg = tmp_path / "src" / "cyclic"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("from cyclic.b import beta\nalpha = 1\n")
+        (pkg / "b.py").write_text("from cyclic.a import alpha\nbeta = 2\n")
+        return pkg
+
+    def test_direct_cycle_found(self, tmp_path):
+        pkg = self.make_cyclic_package(tmp_path)
+        cycles = find_cycles(pkg, pkg.parent)
+        assert cycles == [["cyclic.a", "cyclic.b"]]
+
+    def test_cli_exits_nonzero(self, tmp_path, capsys):
+        pkg = self.make_cyclic_package(tmp_path)
+        assert main([str(pkg)]) == 1
+        assert "cycle" in capsys.readouterr().out
+
+    def test_lazy_import_not_flagged(self, tmp_path):
+        pkg = tmp_path / "src" / "lazy"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text(
+            "def get():\n    from lazy.b import beta\n    return beta\n"
+        )
+        (pkg / "b.py").write_text("from lazy.a import get\nbeta = 2\n")
+        assert find_cycles(pkg, pkg.parent) == []
+
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

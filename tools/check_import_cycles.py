@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Fail when ``src/repro`` has a module-level import cycle.
+
+The layering rule the staged pipeline depends on — ``repro.backends`` and
+``repro.pipeline`` importable from anywhere — only holds while the
+*module-level* import graph stays acyclic.  Imports inside functions are
+the sanctioned escape hatch for runtime dependencies (a backend's
+``namespace()`` pulling in the executor) and are deliberately ignored
+here.
+
+Stdlib-only on purpose: this runs in CI next to ruff but needs nothing
+installed, so it also works as a plain pre-commit hook.
+
+Usage: ``python tools/check_import_cycles.py [ROOT]`` (default
+``src/repro``).  Exits 1 and prints every strongly-connected component
+with more than one module (or a self-import).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    """``src/repro/spf/codegen.py`` -> ``repro.spf.codegen``."""
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def resolve_relative(importer: str, is_package: bool, node: ast.ImportFrom):
+    """The absolute module an ``ast.ImportFrom`` targets, or None."""
+    if node.level == 0:
+        return node.module
+    # Level 1 from a package (__init__) means the package itself;
+    # from a plain module it means the parent package.
+    anchor = importer.split(".")
+    if not is_package:
+        anchor = anchor[:-1]
+    drop = node.level - 1
+    if drop >= len(anchor):
+        return None
+    if drop:
+        anchor = anchor[:-drop]
+    return ".".join(anchor + ([node.module] if node.module else []))
+
+
+def module_level_imports(tree: ast.Module, importer: str, is_package: bool):
+    """Imported module names reachable without calling anything.
+
+    Walks module-level statements plus ``if``/``try`` bodies while
+    skipping function and class bodies, and ``if TYPE_CHECKING`` blocks
+    (those import nothing at runtime).
+    """
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            target = resolve_relative(importer, is_package, node)
+            if target:
+                yield target
+                # ``from pkg import sub`` may bind the submodule, which
+                # executes it: count both edges.
+                for alias in node.names:
+                    yield f"{target}.{alias.name}"
+        elif isinstance(node, (ast.If, ast.Try, ast.With)):
+            if isinstance(node, ast.If) and _is_type_checking(node.test):
+                stack.extend(node.orelse)
+                continue
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, field, []):
+                    stack.extend(
+                        child.body
+                        if isinstance(child, ast.ExceptHandler)
+                        else [child]
+                    )
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def build_graph(root: Path, src_root: Path) -> dict[str, set[str]]:
+    modules: dict[str, Path] = {}
+    for path in sorted(root.rglob("*.py")):
+        modules[module_name(path, src_root)] = path
+    graph: dict[str, set[str]] = {name: set() for name in modules}
+    for name, path in modules.items():
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        is_package = path.name == "__init__.py"
+        for target in module_level_imports(tree, name, is_package):
+            # Collapse to the longest known prefix (importing a submodule
+            # executes its ancestors), stopping at the importer itself so
+            # a self-referencing bind never walks up to the parent.
+            candidate = target
+            while candidate:
+                if candidate == name:
+                    break
+                if candidate in graph:
+                    # A submodule importing from its own ancestor package
+                    # is the sanctioned partially-initialized-package
+                    # pattern, not a layering violation.
+                    if not name.startswith(candidate + "."):
+                        graph[name].add(candidate)
+                    break
+                candidate = candidate.rpartition(".")[0]
+    return graph
+
+
+def strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's algorithm, iterative (the graph is small but deep)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for start in graph:
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph[start])))]
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for nxt in edges:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs
+
+
+def find_cycles(root: Path, src_root: Path) -> list[list[str]]:
+    graph = build_graph(root, src_root)
+    return [
+        scc
+        for scc in strongly_connected(graph)
+        if len(scc) > 1
+        or (len(scc) == 1 and scc[0] in graph[scc[0]])
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else Path("src/repro")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    # A package root's module names are anchored at its parent; a bare
+    # source tree (no __init__.py) is its own anchor.
+    src_root = root.parent if (root / "__init__.py").exists() else root
+    cycles = find_cycles(root, src_root)
+    if cycles:
+        print("module-level import cycle(s) found:")
+        for scc in cycles:
+            print("  " + " <-> ".join(scc))
+        return 1
+    count = len(build_graph(root, src_root))
+    print(f"no module-level import cycles across {count} modules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
