@@ -9,6 +9,12 @@ Commands:
   numpy`` prints the vectorized lowering,
 * ``convert IN.mtx OUT.mtx --to FORMAT`` — convert a Matrix Market file
   through a synthesized inspector (multi-step planning with ``--plan``),
+* ``plan SRC DST`` — print the planner's cheapest conversion route with
+  per-step predicted costs; ``--matrix FILE.mtx`` switches to
+  matrix-aware planning (profiled stats + learned costs) and also runs
+  the plan, reporting measured seconds and prediction error per step;
+  ``--tune`` additionally auto-tunes the destination family's
+  parameterization (BCSR block size, DIA search strategy),
 * ``kernel FORMAT KIND`` — print a generated executor kernel,
 * ``passes`` — list the registered optimization passes (canonical order,
   opt-in flags) and lowering backends with their capability declarations;
@@ -138,6 +144,154 @@ def cmd_convert(args) -> int:
     write_matrix(out_coo, args.output,
                  comment=f"converted to {args.to} by repro")
     print(f"wrote {args.output} ({result})", file=sys.stderr)
+    return 0
+
+
+def _stage_matrix(matrix, src: str):
+    """Re-materialize a read matrix as a ``src``-format container.
+
+    Built from the dense image with the runtime constructors —
+    independent of the synthesized conversions the plan will exercise.
+    """
+    from repro.runtime import (
+        BCSRMatrix,
+        COOMatrix,
+        CSCMatrix,
+        CSRMatrix,
+        DIAMatrix,
+        ELLMatrix,
+        MortonCOOMatrix,
+    )
+
+    src = src.upper()
+    if src == "COO":
+        return matrix
+    dense = matrix.to_dense()
+    if src == "SCOO":
+        return COOMatrix.from_dense(dense)
+    if src == "MCOO":
+        return MortonCOOMatrix.from_coo(COOMatrix.from_dense(dense))
+    if src == "CSR":
+        return CSRMatrix.from_dense(dense)
+    if src == "CSC":
+        return CSCMatrix.from_dense(dense)
+    if src == "DIA":
+        return DIAMatrix.from_dense(dense)
+    if src == "ELL":
+        return ELLMatrix.from_dense(dense)
+    if src.startswith("BCSR"):
+        bsize = int(src[4:]) if src[4:] else 2
+        return BCSRMatrix.from_dense(dense, bsize)
+    raise ValueError(f"cannot stage a matrix as source format {src!r}")
+
+
+def cmd_plan(args) -> int:
+    import json
+
+    from repro.planner import ConversionPlanner, matrix_stats
+
+    src, dst = args.src.upper(), args.to.upper()
+    planner = ConversionPlanner(backend=args.backend)
+    payload: dict = {
+        "schema": "repro-plan/1",
+        "src": src,
+        "dst": dst,
+        "backend": planner.backend,
+        "matrix_aware": bool(args.matrix),
+    }
+
+    container = None
+    stats = None
+    if args.matrix:
+        from repro.io import read_matrix
+
+        matrix = read_matrix(args.matrix)
+        print(f"read {matrix} from {args.matrix}", file=sys.stderr)
+        container = _stage_matrix(matrix, src)
+        stats = matrix_stats(container)
+        payload["stats"] = stats.to_dict()
+
+    if args.tune:
+        if container is None:
+            print("error: --tune requires --matrix", file=sys.stderr)
+            return 2
+        from repro.planner.tune import TUNABLE, TuneError, tune
+
+        family = dst.rstrip("0123456789")
+        if family not in TUNABLE:
+            print(f"error: destination {dst} is not tunable "
+                  f"(tunable families: {', '.join(TUNABLE)})",
+                  file=sys.stderr)
+            return 2
+        try:
+            tuned = tune(
+                container, family,
+                backend=args.backend,
+                store=planner.cost_store,
+                stats=stats,
+            )
+        except TuneError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        payload["tune"] = tuned.to_dict()
+        dst = tuned.best.candidate.dst
+        payload["dst"] = dst
+
+    plan = planner.plan(src, dst, stats=stats)
+    payload["route"] = list(plan.formats)
+    payload["steps"] = [
+        {"src": s.src, "dst": s.dst, "predicted": s.cost}
+        for s in plan.steps
+    ]
+    payload["total_predicted"] = plan.total_cost
+
+    if container is not None:
+        _, timings = planner.execute_plan(
+            plan, container, validate=args.validate, original=container
+        )
+        calibration = planner.cost_store.calibration()
+        total_seconds = sum(t.seconds for t in timings)
+        for entry, timing in zip(payload["steps"], timings):
+            entry["seconds"] = timing.seconds
+            if calibration is not None and timing.seconds > 0:
+                entry["prediction_error"] = (
+                    timing.predicted * calibration - timing.seconds
+                ) / timing.seconds
+        payload["total_seconds"] = total_seconds
+        payload["calibration"] = calibration
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    if "tune" in payload:
+        best = payload["tune"]["best"]
+        print(f"tuned {payload['tune']['family']}: {best['label']} "
+              f"(predicted {best['predicted']:.3g}"
+              + (f", measured {best['seconds'] * 1e3:.3f} ms"
+                 if best["seconds"] is not None else "")
+              + (", learned" if best["learned"] else "")
+              + ")")
+        for cand in payload["tune"]["candidates"][1:]:
+            measured = (
+                f"{cand['seconds'] * 1e3:.3f} ms" if cand["seconds"]
+                is not None else "unmeasured"
+            )
+            print(f"  also ran: {cand['label']:20s} "
+                  f"predicted {cand['predicted']:<12.4g} {measured}")
+    mode = "matrix-aware" if payload["matrix_aware"] else "structural"
+    print(f"plan ({mode}): {' -> '.join(payload['route'])}   "
+          f"total predicted {payload['total_predicted']:.4g}")
+    for entry in payload["steps"]:
+        line = (f"  {entry['src']:6s} -> {entry['dst']:6s} "
+                f"predicted {entry['predicted']:<12.4g}")
+        if "seconds" in entry:
+            line += f" measured {entry['seconds'] * 1e3:8.3f} ms"
+            if "prediction_error" in entry:
+                line += f"  prediction error {entry['prediction_error']:+.0%}"
+        print(line)
+    if "total_seconds" in payload:
+        print(f"  total measured {payload['total_seconds'] * 1e3:.3f} ms")
     return 0
 
 
@@ -388,6 +542,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="drop an optimization pass by name "
                              "(repeatable; see `repro passes`)")
 
+    p_plan = sub.add_parser(
+        "plan",
+        help="print (and with --matrix, run) the cheapest conversion "
+             "route between two formats",
+    )
+    p_plan.add_argument("src", help="source format name")
+    p_plan.add_argument("to", metavar="dst", help="destination format name")
+    p_plan.add_argument("--matrix", metavar="FILE.mtx",
+                        help="profile this matrix for matrix-aware "
+                             "planning, then run and time the plan")
+    p_plan.add_argument("--tune", action="store_true",
+                        help="auto-tune the destination family's "
+                             "parameterization first (needs --matrix)")
+    p_plan.add_argument("--backend", choices=BACKENDS, default="python",
+                        help="lowering backend for the inspectors")
+    p_plan.add_argument("--validate", choices=["off", "inputs", "full"],
+                        default="off",
+                        help="validation gate while running the plan "
+                             "(default off)")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the repro-plan/1 JSON document")
+
     p_self = sub.add_parser(
         "selftest", help="differential-test all conversions on random data"
     )
@@ -495,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
         "show": cmd_show,
         "synthesize": cmd_synthesize,
         "convert": cmd_convert,
+        "plan": cmd_plan,
         "passes": cmd_passes,
         "kernel": cmd_kernel,
         "selftest": cmd_selftest,

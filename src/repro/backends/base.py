@@ -27,10 +27,12 @@ lazily.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.stats import MatrixStats
     from repro.spf import Computation, SymbolTable
 
 
@@ -68,6 +70,68 @@ class Lowering:
     #: backend has no vectorization split to report.
     vector_stats: dict | None = None
     notes: list[str] = field(default_factory=list)
+
+
+def structural_features(conversion) -> dict:
+    """Cost-relevant structure shared by the backend cost models.
+
+    Derived from the generated source: loop-nest count, whether a
+    comparison-sort permutation / ordered-set / bucket permutation is
+    built, and whether per-nonzero searches (linear or binary) survive in
+    the code.  Backends weight these features differently but detect them
+    identically.
+    """
+    source = conversion.source
+    return {
+        "passes": source.count("for "),
+        "sort": "OrderedList(" in source,
+        "set": "OrderedSet(" in source,
+        "bucket_perm": (
+            "LexBucketPermutation(" in source or "P_count" in source
+        ),
+        "bsearch": "BSEARCH(" in source or "BSEARCH_V(" in source,
+        # A guarded loop inside the copy is a per-nonzero linear search.
+        "linear_search": "if (" in source and "for d in range" in source,
+    }
+
+
+def _bcsr_block(name: str) -> int:
+    digits = name[4:]
+    return int(digits) if digits.isdigit() else 2
+
+
+def workload_units(conversion, stats: "MatrixStats") -> dict:
+    """Per-feature element counts for one conversion on one matrix.
+
+    The matrix-independent cost models charge each structural feature a
+    constant; this scales those constants by how many elements the
+    feature actually touches on a concrete matrix:
+
+    * a pass visits every *storage slot* — nnz for coordinate and
+      compressed formats, ``nrows * ndiags`` for DIA, ``nrows * width``
+      for ELL, ``nnz / fill`` for a blocked format's padded blocks,
+    * a comparison sort is ``nnz * log2(nnz)``,
+    * a linear diagonal search is ``nnz * ndiags / 2``; its binary
+      variant ``nnz * log2(ndiags)``.
+    """
+    n = max(stats.nnz, 1)
+    slots = float(n)
+    for fmt in (conversion.src_format, conversion.dst_format):
+        name = (fmt or "").upper()
+        if name.startswith("DIA"):
+            slots = max(slots, float(stats.nrows * max(stats.ndiags, 1)))
+        elif name.startswith("ELL"):
+            slots = max(slots, float(stats.nrows * max(stats.row_max, 1)))
+        elif name.startswith("BCSR"):
+            fill = max(stats.fill(_bcsr_block(name)), 1e-3)
+            slots = max(slots, n / fill)
+    nd = max(stats.ndiags, 1)
+    return {
+        "pass_elems": slots,
+        "sort_elems": n * math.log2(n + 1),
+        "linear_search_elems": n * nd / 2.0,
+        "bsearch_elems": n * math.log2(nd + 1),
+    }
 
 
 class Backend:
@@ -117,12 +181,18 @@ class Backend:
         """Stage inspector inputs in the backend's native representation."""
         return dict(inputs)
 
-    def estimate_cost(self, conversion) -> float:
+    def estimate_cost(self, conversion, stats=None) -> float:
         """Machine-independent cost of one synthesized conversion.
 
         Used by :mod:`repro.planner` as the edge weight in the conversion
         graph; the absolute scale is arbitrary but shared across backends
         so chains can mix lowerings.
+
+        ``stats`` — an optional :class:`repro.planner.stats.MatrixStats`
+        profile of the concrete input — switches the model from
+        structural per-pass constants to element-count estimates scaled
+        by the matrix (see :func:`workload_units`).  Omitting it must
+        reproduce the historical matrix-independent estimate.
         """
         raise NotImplementedError
 

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from .base import Backend, BackendCapabilities, Lowering
+from .base import (
+    Backend,
+    BackendCapabilities,
+    Lowering,
+    structural_features,
+    workload_units,
+)
 
 
 class NumpyBackend(Backend):
@@ -92,24 +98,45 @@ class NumpyBackend(Backend):
                 staged[name] = np.asarray(value, dtype=dtype)
         return staged
 
-    def estimate_cost(self, conversion) -> float:
+    def estimate_cost(self, conversion, stats=None) -> float:
         """Cost model for vectorized inspectors.
 
         Residual ``for`` loops are the scalar-fallback nests; vectorized
         nests cost a small constant each (a handful of array passes —
         numpy's per-element work is a couple of orders of magnitude
-        cheaper than an interpreted pass).
+        cheaper than an interpreted pass).  With ``stats``, nests are
+        charged per element touched on the profiled matrix: a vectorized
+        element costs 1% of an interpreted one, and the sort/search
+        helpers (lexsort ranks, vectorized binary search) carry the same
+        discount.
         """
         source = conversion.source
-        stats = conversion.vector_stats or {}
-        cost = float(source.count("for "))
-        cost += 0.05 * stats.get("vectorized_nests", 0)
-        if "STABLE_POS(" in source or "DENSE_POS(" in source:
-            cost += 0.2  # lexsort rank
-        if "FILL_POS(" in source or "COUNT_POS(" in source:
-            cost += 0.05
-        if "BSEARCH_V(" in source:
-            cost += 0.05
-        if "if (" in source and "for d in range" in source:
-            cost += 4.0  # linear search survived in a fallback nest
+        vstats = conversion.vector_stats or {}
+        if stats is None:
+            cost = float(source.count("for "))
+            cost += 0.05 * vstats.get("vectorized_nests", 0)
+            if "STABLE_POS(" in source or "DENSE_POS(" in source:
+                cost += 0.2  # lexsort rank
+            if "FILL_POS(" in source or "COUNT_POS(" in source:
+                cost += 0.05
+            if "BSEARCH_V(" in source:
+                cost += 0.05
+            if "if (" in source and "for d in range" in source:
+                cost += 4.0  # linear search survived in a fallback nest
+            return cost
+        feats = structural_features(conversion)
+        units = workload_units(conversion, stats)
+        vectorized = vstats.get("vectorized_nests", 0)
+        scalar = vstats.get("scalar_nests", feats["passes"])
+        total_nests = max(vectorized + scalar, 1)
+        # Per-element weight of one pass: vectorized share at 0.01,
+        # scalar-fallback share at the interpreted 1.0.
+        unit = (0.01 * vectorized + 1.0 * scalar) / total_nests
+        cost = total_nests * units["pass_elems"] * unit
+        if feats["sort"] or "STABLE_POS(" in source or "DENSE_POS(" in source:
+            cost += 0.05 * units["sort_elems"]
+        if feats["bsearch"]:
+            cost += 0.05 * units["bsearch_elems"]
+        if feats["linear_search"]:
+            cost += units["linear_search_elems"]  # survives interpreted
         return cost

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from .base import Backend, BackendCapabilities, Lowering
+from .base import (
+    Backend,
+    BackendCapabilities,
+    Lowering,
+    structural_features,
+    workload_units,
+)
 
 
 class PythonBackend(Backend):
@@ -51,25 +57,42 @@ class PythonBackend(Backend):
     def native_inputs(self, inputs: Mapping) -> dict:
         return dict(inputs)
 
-    def estimate_cost(self, conversion) -> float:
+    def estimate_cost(self, conversion, stats=None) -> float:
         """Cost model for interpreted scalar inspectors.
 
-        Each loop nest over the nonzeros costs one pass; comparison-sort
-        permutations cost an extra log-factor pass; per-nonzero linear
-        searches cost a diagonal-count factor.
+        Without ``stats``: each loop nest over the nonzeros costs one
+        pass; comparison-sort permutations cost an extra log-factor pass;
+        per-nonzero linear searches cost a diagonal-count factor.  With
+        ``stats``, the same features are charged per element actually
+        touched on the profiled matrix (interpreted per-element weight
+        1.0 everywhere).
         """
-        source = conversion.source
-        cost = float(source.count("for "))
-        if "OrderedList(" in source:
-            cost += 4.0  # comparison sort + hash lookups
-        if "OrderedSet(" in source:
-            cost += 1.0
-        if "LexBucketPermutation(" in source or "P_count" in source:
-            cost += 0.5
-        if "BSEARCH(" in source:
-            cost += 1.0
-        # A linear search loop (guarded loop inside the copy) is the
-        # costliest per-nonzero pattern.
-        if "if (" in source and "for d in range" in source:
-            cost += 4.0
+        feats = structural_features(conversion)
+        if stats is None:
+            cost = float(feats["passes"])
+            if feats["sort"]:
+                cost += 4.0  # comparison sort + hash lookups
+            if feats["set"]:
+                cost += 1.0
+            if feats["bucket_perm"]:
+                cost += 0.5
+            if feats["bsearch"]:
+                cost += 1.0
+            # A linear search loop (guarded loop inside the copy) is the
+            # costliest per-nonzero pattern.
+            if feats["linear_search"]:
+                cost += 4.0
+            return cost
+        units = workload_units(conversion, stats)
+        cost = feats["passes"] * units["pass_elems"]
+        if feats["sort"]:
+            cost += 1.5 * units["sort_elems"]  # tuple keys + hash lookups
+        if feats["set"]:
+            cost += 1.0 * units["sort_elems"]
+        if feats["bucket_perm"]:
+            cost += 0.5 * units["pass_elems"]
+        if feats["bsearch"]:
+            cost += 1.5 * units["bsearch_elems"]  # call overhead per probe
+        if feats["linear_search"]:
+            cost += units["linear_search_elems"]
         return cost

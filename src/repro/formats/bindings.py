@@ -48,7 +48,10 @@ def container_format(container, *, assume_sorted: bool = True) -> str:
     if isinstance(container, DIAMatrix):
         return "DIA"
     if isinstance(container, BCSRMatrix):
-        return "BCSR"
+        # Non-default block sizes bind to their parameterized descriptor;
+        # mapping every BCSRMatrix to the block-2 "BCSR" would hand a
+        # bsize-4 container to an inspector reading 2x2 blocks.
+        return "BCSR" if container.bsize == 2 else f"BCSR{container.bsize}"
     if isinstance(container, ELLMatrix):
         return "ELL"
     if isinstance(container, CSFTensor):

@@ -367,16 +367,26 @@ _BUILT: dict[str, FormatDescriptor] = {}
 
 
 def get_format(name: str) -> FormatDescriptor:
-    """Look up a format descriptor by name (case-insensitive, memoized)."""
+    """Look up a format descriptor by name (case-insensitive, memoized).
+
+    Parameterized blocked names resolve too: ``"BCSR4"`` builds (and
+    memoizes) ``bcsr(block=4)``, so the planner and auto-tuner can refer
+    to tuned parameterizations by plain string.
+    """
     key = name.upper()
+    if key == "BCSR2":
+        key = "BCSR"  # the library's default blocked descriptor
     fmt = _BUILT.get(key)
     if fmt is None:
-        try:
-            factory = _FACTORIES[key]
-        except KeyError:
+        factory = _FACTORIES.get(key)
+        if factory is None and key.startswith("BCSR") and key[4:].isdigit():
+            block = int(key[4:])
+            def factory(block=block):
+                return bcsr(block=block)
+        if factory is None:
             raise KeyError(
                 f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
-            ) from None
+            )
         import repro.obs as obs
 
         with obs.span("parse.format", category="parse", format=key):

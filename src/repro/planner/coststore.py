@@ -1,0 +1,279 @@
+"""Persistent learned-cost store: (conversion, stats-bucket) -> seconds.
+
+The matrix-aware planner predicts edge costs from code structure scaled
+by :class:`~repro.planner.stats.MatrixStats`; the auto-tuner confirms
+predictions with short measured runs.  This module keeps those
+measurements, so the second user with a *similar* matrix (same stats
+bucket) gets the tuned plan with zero measurement.
+
+Follows the PR 2 inspector-cache conventions (:mod:`repro.synthesis.cache`):
+
+* one JSON file per code-version partition under ``$REPRO_COSTS_DIR``
+  (default ``<cache root>/costs``), written atomically,
+* a hash of the package source partitions the store, so entries measured
+  against an older synthesizer can never steer a newer one,
+* an env kill switch, ``REPRO_COSTS_DISABLE=1``.
+
+Entries are keyed ``<conversion key>|<stats bucket>`` where the
+conversion key hashes the *generated inspector source* plus backend —
+two descriptor parameterizations that lower to identical code share
+their measurements, and any code change invalidates them.  Each entry
+keeps an exponentially weighted mean of the measured seconds, the
+prediction (in abstract cost units) current when it was recorded, and an
+update count.  The store is size-bounded: beyond ``REPRO_COSTS_MAX``
+entries (default 4096) the oldest-updated entries are evicted.
+
+:meth:`CostStore.calibration` returns the median measured-seconds per
+predicted-unit over all entries — the bridge that lets Dijkstra mix
+learned (seconds) and predicted (unit) edge costs on one scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro._prof import PROF
+
+#: Default bound on stored entries; evictions drop the oldest-updated.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Weight of the newest measurement in the per-entry running mean.
+EWMA_ALPHA = 0.5
+
+_SCHEMA = 1
+
+
+def costs_enabled() -> bool:
+    return os.environ.get("REPRO_COSTS_DISABLE", "") not in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+def costs_root() -> Path:
+    env = os.environ.get("REPRO_COSTS_DIR")
+    if env:
+        return Path(env)
+    from repro.synthesis.cache import cache_root
+
+    return cache_root() / "costs"
+
+
+def costs_dir() -> Path:
+    """Version-partitioned store directory for the current source tree."""
+    from repro.codeversion import code_version_hash
+
+    return costs_root() / code_version_hash()[:16]
+
+
+def max_entries() -> int:
+    try:
+        return int(os.environ.get("REPRO_COSTS_MAX", DEFAULT_MAX_ENTRIES))
+    except ValueError:
+        return DEFAULT_MAX_ENTRIES
+
+
+def conversion_cost_key(conversion) -> str:
+    """Identity of one conversion for cost purposes.
+
+    Hashes the generated source and the backend: identical code has
+    identical cost behavior regardless of which descriptor names or
+    parameterizations produced it.
+    """
+    blob = f"{conversion.backend}\n{conversion.source}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class CostStore:
+    """A small, bounded, atomically persisted measured-cost table."""
+
+    def __init__(
+        self,
+        path: Path | str | None = None,
+        *,
+        max_entries: int | None = None,
+        enabled: bool | None = None,
+    ):
+        self.enabled = costs_enabled() if enabled is None else enabled
+        self._explicit_path = Path(path) if path is not None else None
+        self._max = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] | None = None
+
+    # -- file plumbing --------------------------------------------------
+    @property
+    def path(self) -> Path:
+        if self._explicit_path is not None:
+            return self._explicit_path
+        return costs_dir() / "costs.json"
+
+    @property
+    def limit(self) -> int:
+        return self._max if self._max is not None else max_entries()
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            entries: dict[str, dict] = {}
+            if self.enabled:
+                try:
+                    with open(self.path) as fh:
+                        payload = json.load(fh)
+                    if payload.get("schema") == _SCHEMA:
+                        entries = dict(payload.get("entries", {}))
+                except (OSError, ValueError):
+                    entries = {}
+            self._entries = entries
+        return self._entries
+
+    def _flush(self) -> None:
+        from repro.synthesis.cache import _atomic_write_json
+
+        payload = {"schema": _SCHEMA, "entries": self._entries or {}}
+        try:
+            _atomic_write_json(self.path, payload)
+            PROF.incr("costs.write")
+        except OSError:
+            PROF.incr("costs.write_error")
+
+    # -- the store API --------------------------------------------------
+    @staticmethod
+    def _key(conv_key: str, bucket: str) -> str:
+        return f"{conv_key}|{bucket}"
+
+    def lookup(self, conv_key: str, bucket: str) -> dict | None:
+        """The learned entry for (conversion, bucket), or None.
+
+        Entries look like ``{"seconds": float, "predicted": float|None,
+        "count": int, "updated": float, "label": str}``.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._load().get(self._key(conv_key, bucket))
+        PROF.incr("costs.hit" if entry else "costs.miss")
+        return dict(entry) if entry else None
+
+    def record(
+        self,
+        conv_key: str,
+        bucket: str,
+        seconds: float,
+        *,
+        predicted: float | None = None,
+        label: str = "",
+    ) -> None:
+        """Fold one measurement into the store and persist it."""
+        if not self.enabled:
+            return
+        with self._lock:
+            entries = self._load()
+            key = self._key(conv_key, bucket)
+            prev = entries.get(key)
+            if prev is None:
+                entry = {"seconds": seconds, "count": 1}
+            else:
+                entry = {
+                    "seconds": (
+                        EWMA_ALPHA * seconds
+                        + (1 - EWMA_ALPHA) * prev["seconds"]
+                    ),
+                    "count": prev.get("count", 0) + 1,
+                }
+            entry["predicted"] = predicted
+            entry["label"] = label
+            entry["updated"] = time.time()
+            entries[key] = entry
+            self._evict_locked(entries)
+            self._flush()
+        PROF.incr("costs.record")
+
+    def _evict_locked(self, entries: dict[str, dict]) -> None:
+        excess = len(entries) - self.limit
+        if excess <= 0:
+            return
+        oldest = sorted(
+            entries, key=lambda k: entries[k].get("updated", 0.0)
+        )[:excess]
+        for key in oldest:
+            del entries[key]
+        PROF.incr("costs.evict", excess)
+
+    def calibration(self) -> float | None:
+        """Median measured-seconds per predicted-unit, or None if unknown.
+
+        Multiplying a predicted edge cost by this factor puts it on the
+        same scale as learned (measured) edge costs, so a plan search can
+        mix both.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            ratios = sorted(
+                e["seconds"] / e["predicted"]
+                for e in self._load().values()
+                if e.get("predicted")
+            )
+        if not ratios:
+            return None
+        return ratios[len(ratios) // 2]
+
+    # -- maintenance ----------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._load())
+
+    def entries(self) -> dict[str, dict]:
+        with self._lock:
+            return {k: dict(v) for k, v in self._load().items()}
+
+    def clear(self) -> int:
+        with self._lock:
+            entries = self._load()
+            removed = len(entries)
+            entries.clear()
+            if self.enabled:
+                self._flush()
+        return removed
+
+    def stats(self) -> dict:
+        with self._lock:
+            entries = self._load()
+            measured = sum(e.get("count", 0) for e in entries.values())
+        return {
+            "path": str(self.path),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "measurements": measured,
+            "limit": self.limit,
+            "calibration": self.calibration(),
+        }
+
+
+#: Guards the process-wide default store singleton.
+_STORE_LOCK = threading.Lock()
+_DEFAULT_STORE: CostStore | None = None
+
+
+def default_cost_store() -> CostStore:
+    global _DEFAULT_STORE
+    store = _DEFAULT_STORE
+    if store is None:
+        with _STORE_LOCK:
+            store = _DEFAULT_STORE
+            if store is None:
+                store = _DEFAULT_STORE = CostStore()
+    return store
+
+
+def reset_default_store() -> None:
+    """Drop the singleton (tests re-point REPRO_COSTS_DIR between cases)."""
+    global _DEFAULT_STORE
+    with _STORE_LOCK:
+        _DEFAULT_STORE = None

@@ -1,0 +1,241 @@
+"""One-pass matrix statistics for matrix-aware planning.
+
+The planner's structural edge costs rank conversions by the *shape of the
+generated code* — passes, sorts, searches — which makes a power-law matrix
+and a banded matrix get the identical plan.  :func:`matrix_stats` profiles
+a concrete container in one pass over its nonzeros and returns the
+:class:`MatrixStats` the backends' ``estimate_cost(conversion, stats)``
+hook scales edge costs with: nnz, shape, density, the row-length
+distribution, the distinct-diagonal count (DIA padding), and block-fill
+ratios for the tuner's candidate block sizes (BCSR padding).
+
+``MatrixStats.bucket()`` quantizes the profile into a short string key so
+the learned-cost store (:mod:`repro.planner.coststore`) can transfer
+measured costs between *similar* matrices, not just identical ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.runtime import (
+    BCSRMatrix,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DIAMatrix,
+    ELLMatrix,
+)
+
+#: Block sizes the profiler computes fill ratios for; the auto-tuner's
+#: BCSR candidate space is drawn from this set (block 1 is excluded:
+#: Case 6 needs a non-trivial affine decomposition to resolve positions).
+BLOCK_CANDIDATES = (2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """A cheap structural profile of one concrete sparse matrix."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    #: nnz / (nrows * ncols); 0.0 for degenerate shapes.
+    density: float
+    #: Longest row (the ELL width an ELL staging would need).
+    row_max: int
+    #: Mean nonzeros per *populated* row.
+    row_mean: float
+    #: Coefficient of variation of row lengths — near 0 for stencils and
+    #: uniform matrices, large for power-law degree distributions.
+    row_cv: float
+    #: Distinct ``j - i`` values: the ND a DIA destination would store.
+    ndiags: int
+    #: max |j - i| over the nonzeros.
+    bandwidth: int
+    #: block size -> nnz / (populated_blocks * b*b), in (0, 1].
+    block_fill: Mapping[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def dia_padding(self) -> float:
+        """Slots a DIA layout stores per nonzero (>= 1)."""
+        if self.nnz == 0:
+            return 1.0
+        return max(1.0, (self.nrows * max(self.ndiags, 1)) / self.nnz)
+
+    def fill(self, block: int) -> float:
+        """Block-fill ratio for ``block``, estimated when unprofiled."""
+        got = self.block_fill.get(block)
+        if got is not None:
+            return got
+        # Fall back to the nearest profiled size, then to fully dense.
+        for b in sorted(self.block_fill, key=lambda b: abs(b - block)):
+            return self.block_fill[b]
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def bucket(self) -> str:
+        """A coarse, stable key quantizing this profile.
+
+        Two matrices in the same bucket are assumed to have similar
+        per-edge conversion costs, so the learned-cost store indexes
+        measured timings by ``(conversion, bucket)``.  Quantization is
+        logarithmic in the counts and coarse in the shape descriptors —
+        the same generator family at the same scale lands in one bucket
+        across seeds.
+        """
+
+        def lg(x: int) -> int:
+            return int(math.log2(x)) if x > 0 else -1
+
+        cv = round(min(self.row_cv, 8.0) * 2) / 2
+        fill2 = round(self.fill(2) * 4) / 4
+        return (
+            f"r{lg(self.nrows)}c{lg(self.ncols)}n{lg(self.nnz)}"
+            f"d{lg(self.ndiags)}v{cv}f{fill2}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "nrows": self.nrows,
+            "ncols": self.ncols,
+            "nnz": self.nnz,
+            "density": self.density,
+            "row_max": self.row_max,
+            "row_mean": self.row_mean,
+            "row_cv": self.row_cv,
+            "ndiags": self.ndiags,
+            "bandwidth": self.bandwidth,
+            "block_fill": {str(b): f for b, f in self.block_fill.items()},
+            "bucket": self.bucket(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Coordinate extraction — each container yields (i, j) pairs without
+# densifying.  Unknown containers fall back to their dense image.
+# ----------------------------------------------------------------------
+def _iter_coords(container):
+    if isinstance(container, COOMatrix):  # covers MCOO subclasses
+        return zip(container.row, container.col)
+    if isinstance(container, CSRMatrix):
+        def gen_csr():
+            for i in range(container.nrows):
+                for k in range(container.rowptr[i], container.rowptr[i + 1]):
+                    yield i, container.col[k]
+        return gen_csr()
+    if isinstance(container, CSCMatrix):
+        def gen_csc():
+            for j in range(container.ncols):
+                for k in range(container.colptr[j], container.colptr[j + 1]):
+                    yield container.row[k], j
+        return gen_csc()
+    if isinstance(container, DIAMatrix):
+        def gen_dia():
+            nd = container.ndiags
+            for i in range(container.nrows):
+                for d in range(nd):
+                    j = i + container.off[d]
+                    if 0 <= j < container.ncols and (
+                        container.data[nd * i + d] != 0.0
+                    ):
+                        yield i, j
+        return gen_dia()
+    if isinstance(container, BCSRMatrix):
+        def gen_bcsr():
+            bs = container.bsize
+            for bi in range(container.nblockrows):
+                for bk in range(
+                    container.browptr[bi], container.browptr[bi + 1]
+                ):
+                    bj = container.bcol[bk]
+                    base = bk * bs * bs
+                    for r in range(bs):
+                        for c in range(bs):
+                            if container.data[base + r * bs + c] != 0.0:
+                                yield bi * bs + r, bj * bs + c
+        return gen_bcsr()
+    if isinstance(container, ELLMatrix):
+        def gen_ell():
+            for i in range(container.nrows):
+                for w in range(container.width):
+                    j = container.col[i * container.width + w]
+                    if j != ELLMatrix.PAD:
+                        yield i, j
+        return gen_ell()
+    if hasattr(container, "to_dense"):
+        def gen_dense():
+            for i, row in enumerate(container.to_dense()):
+                for j, v in enumerate(row):
+                    if v != 0.0:
+                        yield i, j
+        return gen_dense()
+    raise TypeError(f"cannot profile container {container!r}")
+
+
+def _shape(container) -> tuple[int, int]:
+    if hasattr(container, "nrows"):
+        return container.nrows, container.ncols
+    dims = getattr(container, "dims", None)
+    if dims is not None:  # 3-D containers: profile the leading two modes
+        return dims[0], dims[1]
+    raise TypeError(f"container {container!r} has no shape")
+
+
+def matrix_stats(
+    container, *, blocks: tuple[int, ...] = BLOCK_CANDIDATES
+) -> MatrixStats:
+    """Profile a container in one pass over its nonzeros.
+
+    Accepts any 2-D runtime container (COO/CSR/CSC/DIA/BCSR/ELL and the
+    Morton orders); anything else is profiled through its dense image.
+    Cost: O(nnz * len(blocks)) time, O(rows + diags + blocks) space.
+    """
+    import repro.obs as obs
+    from repro._prof import PROF
+
+    nrows, ncols = _shape(container)
+    with obs.span("plan.stats", category="plan"), PROF.timer("plan.stats"):
+        row_counts: dict[int, int] = {}
+        diags: set[int] = set()
+        block_sets: dict[int, set] = {b: set() for b in blocks}
+        bandwidth = 0
+        nnz = 0
+        for i, j in _iter_coords(container):
+            nnz += 1
+            row_counts[i] = row_counts.get(i, 0) + 1
+            d = j - i
+            diags.add(d)
+            if abs(d) > bandwidth:
+                bandwidth = abs(d)
+            for b, seen in block_sets.items():
+                seen.add((i // b) * ncols + j // b)
+
+        if nnz:
+            counts = row_counts.values()
+            row_mean = nnz / len(row_counts)
+            var = sum((c - row_mean) ** 2 for c in counts) / len(row_counts)
+            row_cv = math.sqrt(var) / row_mean if row_mean else 0.0
+            row_max = max(counts)
+        else:
+            row_mean = row_cv = 0.0
+            row_max = 0
+        cells = nrows * ncols
+        return MatrixStats(
+            nrows=nrows,
+            ncols=ncols,
+            nnz=nnz,
+            density=(nnz / cells) if cells else 0.0,
+            row_max=row_max,
+            row_mean=row_mean,
+            row_cv=row_cv,
+            ndiags=len(diags),
+            bandwidth=bandwidth,
+            block_fill={
+                b: (nnz / (len(seen) * b * b)) if seen else 1.0
+                for b, seen in block_sets.items()
+            },
+        )

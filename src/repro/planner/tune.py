@@ -1,0 +1,361 @@
+"""Auto-tuning of parameterized destination formats.
+
+Choosing "BCSR" or "DIA" as a destination still leaves parameters open —
+the BCSR block size, whether the DIA diagonal lookup is a linear scan or
+a binary search — and the best choice depends on the matrix: a 7×7-blocked
+FEM matrix stored as 2×2 blocks pads every block boundary, a 33-diagonal
+banded matrix pays for every linear probe.  :func:`tune` searches that
+space the AutoSparse way: the matrix-aware cost model
+(:func:`repro.planner.estimate_cost` with :class:`MatrixStats`) ranks all
+candidates, only the predicted-cheapest ``top_k`` are confirmed with
+short measured runs, and measurements land in the learned-cost store so
+the next similar matrix (same stats bucket) tunes without measuring at
+all.
+
+The search is deterministic: candidate enumeration is ordered, the final
+ranking breaks ties on (seconds, predicted, label), and the seed only
+shuffles the measurement *order* (guarding against systematic warm-up
+bias), never the outcome set.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.formats import container_format, container_to_env, get_format
+from repro.synthesis import SynthesisError, synthesize_cached
+
+from .coststore import CostStore, conversion_cost_key, default_cost_store
+from .stats import BLOCK_CANDIDATES, MatrixStats, matrix_stats
+
+#: Default padding budget: a parameterization storing more than this many
+#: slots per nonzero is rejected before synthesis (``REPRO_DIA_BUDGET``).
+DEFAULT_PADDING_BUDGET = 64.0
+
+#: Families with tunable parameterizations.
+TUNABLE = ("BCSR", "DIA", "ELL")
+
+
+class TuneError(SynthesisError):
+    """No viable parameterization for this family on this matrix."""
+
+
+def padding_budget() -> float:
+    try:
+        return float(
+            os.environ.get("REPRO_DIA_BUDGET", DEFAULT_PADDING_BUDGET)
+        )
+    except ValueError:
+        return DEFAULT_PADDING_BUDGET
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in a family's parameter space."""
+
+    family: str
+    #: Concrete destination format name ("BCSR4", "DIA", ...).
+    dst: str
+    label: str
+    #: Synthesize the DIA diagonal lookup as a binary search.
+    binary_search: bool = False
+    block: Optional[int] = None
+
+
+@dataclass
+class TunedCandidate:
+    """A candidate with its predicted — and possibly measured — cost."""
+
+    candidate: Candidate
+    predicted: float
+    #: Best measured (or learned) seconds; None when never measured.
+    seconds: Optional[float] = None
+    #: True when ``seconds`` came from the learned-cost store.
+    learned: bool = False
+    measured_runs: int = 0
+
+    @property
+    def cost(self) -> float:
+        """The comparable cost: measured seconds when known, else the
+        prediction (only compared against other unmeasured predictions)."""
+        return self.seconds if self.seconds is not None else self.predicted
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.candidate.family,
+            "dst": self.candidate.dst,
+            "label": self.candidate.label,
+            "binary_search": self.candidate.binary_search,
+            "block": self.candidate.block,
+            "predicted": self.predicted,
+            "seconds": self.seconds,
+            "learned": self.learned,
+            "measured_runs": self.measured_runs,
+        }
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one :func:`tune` call: ranked candidates, best first."""
+
+    family: str
+    src: str
+    bucket: str
+    candidates: list[TunedCandidate] = field(default_factory=list)
+    #: Candidates rejected before ranking, label -> reason.
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def best(self) -> TunedCandidate:
+        return self.candidates[0]
+
+    @property
+    def measured_runs(self) -> int:
+        return sum(c.measured_runs for c in self.candidates)
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "src": self.src,
+            "bucket": self.bucket,
+            "best": self.best.to_dict(),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "rejected": dict(self.rejected),
+            "measured_runs": self.measured_runs,
+        }
+
+
+# ----------------------------------------------------------------------
+def candidates_for(
+    family: str,
+    stats: MatrixStats,
+    *,
+    budget: float | None = None,
+    blocks: Sequence[int] = BLOCK_CANDIDATES,
+) -> tuple[list[Candidate], dict[str, str]]:
+    """Enumerate (viable, rejected) parameterizations of ``family``.
+
+    Viability is cheap and matrix-driven: blocks larger than the matrix
+    are out, and padded layouts whose slots-per-nonzero exceed the
+    padding budget are rejected *before* any synthesis or measurement —
+    storing a power-law matrix as DIA is wrong at enumeration time.
+    """
+    family = family.upper()
+    limit = budget if budget is not None else padding_budget()
+    viable: list[Candidate] = []
+    rejected: dict[str, str] = {}
+    if family == "BCSR":
+        for b in blocks:
+            label = f"BCSR block={b}"
+            if b > max(min(stats.nrows, stats.ncols), 1):
+                rejected[label] = "block exceeds matrix dimensions"
+                continue
+            padding = 1.0 / max(stats.fill(b), 1e-9)
+            if padding > limit:
+                rejected[label] = (
+                    f"padding {padding:.1f} slots/nnz exceeds budget {limit:g}"
+                )
+                continue
+            viable.append(
+                Candidate(
+                    family="BCSR",
+                    dst="BCSR" if b == 2 else f"BCSR{b}",
+                    label=label,
+                    block=b,
+                )
+            )
+    elif family == "DIA":
+        padding = stats.dia_padding
+        if padding > limit:
+            rejected["DIA"] = (
+                f"padding {padding:.1f} slots/nnz exceeds budget {limit:g}"
+            )
+        else:
+            viable.append(
+                Candidate(family="DIA", dst="DIA", label="DIA linear-search")
+            )
+            viable.append(
+                Candidate(
+                    family="DIA",
+                    dst="DIA",
+                    label="DIA binary-search",
+                    binary_search=True,
+                )
+            )
+    elif family == "ELL":
+        padding = (
+            stats.nrows * max(stats.row_max, 1) / max(stats.nnz, 1)
+        )
+        if padding > limit:
+            rejected["ELL"] = (
+                f"padding {padding:.1f} slots/nnz exceeds budget {limit:g}"
+            )
+        else:
+            viable.append(
+                Candidate(
+                    family="ELL",
+                    dst="ELL",
+                    label=f"ELL width={stats.row_max}",
+                )
+            )
+    else:
+        raise TuneError(
+            f"family {family!r} has no tunable parameterizations; "
+            f"tunable: {TUNABLE}"
+        )
+    return viable, rejected
+
+
+# ----------------------------------------------------------------------
+def tune(
+    container,
+    family: str,
+    *,
+    backend: str = "python",
+    top_k: int = 3,
+    repeats: int = 2,
+    seed: int = 0,
+    measure: bool = True,
+    store: CostStore | None = None,
+    stats: MatrixStats | None = None,
+) -> TuneResult:
+    """Pick the best parameterization of ``family`` for ``container``.
+
+    Predicted cost (matrix-aware) ranks every viable candidate; the
+    cheapest ``top_k`` are confirmed — from the learned-cost store when a
+    measurement for this stats bucket already exists, otherwise by
+    ``repeats`` short measured runs (best-of, recorded back into the
+    store).  ``measure=False`` ranks purely on predictions (and learned
+    entries), spawning no measured runs.
+    """
+    import repro.obs as obs
+    from repro.planner import estimate_cost, record_measurement
+
+    if store is None:
+        store = default_cost_store()
+    if stats is None:
+        stats = matrix_stats(container)
+    src = container_format(container)
+    with obs.span(
+        "plan.tune", category="plan", family=family, src=src, backend=backend
+    ) as span:
+        viable, rejected = candidates_for(family, stats)
+        result = TuneResult(
+            family=family.upper(), src=src, bucket=stats.bucket(),
+            rejected=rejected,
+        )
+
+        # Predict: synthesize each candidate's inspector (memoized across
+        # calls) and scale its structural cost by the profile.
+        scored: list[tuple[TunedCandidate, object]] = []
+        for cand in viable:
+            try:
+                conversion = synthesize_cached(
+                    get_format(src),
+                    get_format(cand.dst),
+                    backend=backend,
+                    binary_search=cand.binary_search,
+                )
+            except SynthesisError as err:
+                result.rejected[cand.label] = f"synthesis failed: {err}"
+                continue
+            predicted = estimate_cost(conversion, stats)
+            scored.append((TunedCandidate(cand, predicted), conversion))
+        if not scored:
+            raise TuneError(
+                f"no viable {family} parameterization for {src}: "
+                f"{result.rejected}"
+            )
+        scored.sort(key=lambda sc: (sc[0].predicted, sc[0].candidate.label))
+
+        # Prune: only the predicted-cheapest top_k get confirmed.
+        for tuned, _ in scored[top_k:]:
+            result.candidates.append(tuned)
+        confirm = scored[:top_k]
+
+        # Confirm: learned entries first, measured runs for the rest.
+        to_measure: list[tuple[TunedCandidate, object]] = []
+        for tuned, conversion in confirm:
+            learned = store.lookup(
+                conversion_cost_key(conversion), stats.bucket()
+            )
+            if learned is not None:
+                tuned.seconds = learned["seconds"]
+                tuned.learned = True
+                result.candidates.append(tuned)
+            elif measure:
+                to_measure.append((tuned, conversion))
+            else:
+                result.candidates.append(tuned)
+
+        if to_measure:
+            env = container_to_env(container)
+            # The seed shuffles only the measurement order, so warm-up
+            # effects don't systematically favor late candidates; the
+            # result ranking below is order-independent.  Repeats are
+            # round-robined across candidates (not run back to back) so
+            # a transient load spike costs each candidate at most one
+            # run — the per-candidate minimum discards it — instead of
+            # poisoning one candidate's entire measurement window.
+            order = list(range(len(to_measure)))
+            random.Random(seed).shuffle(order)
+            runs = [
+                (idx, {p: env[p] for p in to_measure[idx][1].params})
+                for idx in order
+            ]
+            best: dict[int, float] = {}
+            for _ in range(max(repeats, 1)):
+                for idx, inputs in runs:
+                    conversion = to_measure[idx][1]
+                    start = time.perf_counter()
+                    conversion(**inputs)
+                    elapsed = time.perf_counter() - start
+                    if idx not in best or elapsed < best[idx]:
+                        best[idx] = elapsed
+            for idx, tuned_conversion in enumerate(to_measure):
+                tuned, conversion = tuned_conversion
+                tuned.seconds = best[idx]
+                tuned.measured_runs = max(repeats, 1)
+                record_measurement(
+                    store,
+                    conversion,
+                    stats,
+                    best[idx],
+                    predicted=tuned.predicted,
+                    label=f"tune:{tuned.candidate.label}",
+                )
+                result.candidates.append(tuned)
+
+        # Rank: measured/learned candidates by seconds ahead of
+        # prediction-only ones, deterministic tie-breaks throughout.
+        result.candidates.sort(
+            key=lambda t: (
+                t.seconds is None,
+                t.cost,
+                t.predicted,
+                t.candidate.label,
+            )
+        )
+        span.set(
+            best=result.best.candidate.label,
+            candidates=len(result.candidates),
+            measured_runs=result.measured_runs,
+        )
+    return result
+
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_PADDING_BUDGET",
+    "TUNABLE",
+    "TuneError",
+    "TuneResult",
+    "TunedCandidate",
+    "candidates_for",
+    "padding_budget",
+    "tune",
+]

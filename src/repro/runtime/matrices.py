@@ -682,14 +682,27 @@ class ELLMatrix(_ValidatedMatrix):
         return dense
 
     @classmethod
-    def from_dense(cls, dense: Dense) -> "ELLMatrix":
+    def from_dense(cls, dense: Dense, width: int | None = None) -> "ELLMatrix":
+        """Build from a dense image.
+
+        ``width`` pads beyond the natural (longest-row) width — the
+        fuzzer uses this to exercise inspectors on over-allocated ELL
+        sources.  It must not truncate: below the natural width rows
+        would silently drop entries, so that raises instead.
+        """
         nrows = len(dense)
         ncols = len(dense[0]) if nrows else 0
         per_row = [
             [(j, dense[i][j]) for j in range(ncols) if dense[i][j] != 0.0]
             for i in range(nrows)
         ]
-        width = max((len(r) for r in per_row), default=0)
+        natural = max((len(r) for r in per_row), default=0)
+        if width is None:
+            width = natural
+        elif width < natural:
+            raise ValueError(
+                f"width {width} below natural ELL width {natural}"
+            )
         col, val = [], []
         for entries in per_row:
             for j, v in entries:

@@ -21,6 +21,7 @@ from repro.ir import (
     IntSet,
     MonotonicQuantifier,
     Relation,
+    Sym,
     UFCall,
     Var,
     bounds_on_var,
@@ -30,10 +31,59 @@ from repro.pipeline.artifacts import ComposedRelation, DescriptorPair
 from .conversion import POSITION_VAR_SUFFIX, SynthesisError
 
 
+def _counts_nonzeros(fmt: FormatDescriptor) -> bool:
+    """Whether the format's position variable indexes nonzeros 1:1.
+
+    True when the data access is the bare ``kd = position`` (coordinate
+    and compressed formats); false for padded or aggregated layouts
+    (DIA's ``kd = ND*i + d``, BCSR's block-linearized ``kd``), whose
+    position counts depend on the layout parameters.
+    """
+    da = fmt.data_access
+    if len(da.conjunctions) != 1 or len(da.out_vars) != 1:
+        return False
+    constraints = da.conjunctions[0].constraints
+    if len(constraints) != 1 or not isinstance(constraints[0], Eq):
+        return False
+    kd = Var(da.out_vars[0]).as_expr()
+    pos = Var(fmt.position_var).as_expr()
+    return constraints[0].expr in (kd - pos, pos - kd)
+
+
+def _rename_syms_relation(rel: Relation, subst: dict) -> Relation:
+    return Relation(
+        rel.in_vars,
+        rel.out_vars,
+        [
+            Conjunction([c.substitute(subst) for c in conj.constraints])
+            for conj in rel.conjunctions
+        ],
+    )
+
+
+def _rename_syms_set(s: IntSet, subst: dict) -> IntSet:
+    return IntSet(
+        s.tuple_vars,
+        [
+            Conjunction([c.substitute(subst) for c in conj.constraints])
+            for conj in s.conjunctions
+        ],
+    )
+
+
 def _disambiguate(
     dst: FormatDescriptor, src: FormatDescriptor
 ) -> tuple[FormatDescriptor, dict[str, str]]:
-    """Rename destination tuple vars (always) and colliding UFs."""
+    """Rename destination tuple vars (always) and colliding UFs.
+
+    Colliding *size symbols* are renamed too, unless both formats count
+    positions 1:1 with nonzeros: NNZ genuinely carries over from SCOO to
+    MCOO, but BCSR3's block count NB is not BCSR2's — leaving them
+    unified sizes the destination arrays with the source's block count,
+    which is exactly wrong for cross-parameter conversions.  A renamed
+    symbol becomes destination-only, so the sizing stage derives it from
+    the position permutation (``NB2 = len(P)``).
+    """
     var_map = {}
     taken = set(src.sparse_vars) | set(src.data_access.out_vars)
     for v in dst.sparse_vars + dst.data_access.out_vars:
@@ -51,6 +101,17 @@ def _disambiguate(
             new = new + POSITION_VAR_SUFFIX
         uf_map[uf] = new
 
+    sym_map: dict[str, str] = {}
+    if not (_counts_nonzeros(src) and _counts_nonzeros(dst)):
+        src_syms = src.size_symbols()
+        for name in sorted(dst.size_symbols() - set(dst.shape_syms)):
+            if name in src_syms:
+                new = name
+                while new in src_syms or new in sym_map.values():
+                    new = new + POSITION_VAR_SUFFIX
+                sym_map[name] = new
+    subst = {Sym(a): Sym(b) for a, b in sym_map.items()}
+
     sd = dst.sparse_to_dense.rename_ufs(uf_map).with_tuple_vars(
         [var_map[v] for v in dst.sparse_to_dense.in_vars],
         dst.sparse_to_dense.out_vars,
@@ -59,12 +120,23 @@ def _disambiguate(
         [var_map[v] for v in dst.data_access.in_vars],
         [var_map[v] for v in dst.data_access.out_vars],
     )
+    uf_domains = {uf_map[u]: s for u, s in dst.uf_domains.items()}
+    uf_ranges = {uf_map[u]: s for u, s in dst.uf_ranges.items()}
+    if subst:
+        sd = _rename_syms_relation(sd, subst)
+        da = _rename_syms_relation(da, subst)
+        uf_domains = {
+            u: _rename_syms_set(s, subst) for u, s in uf_domains.items()
+        }
+        uf_ranges = {
+            u: _rename_syms_set(s, subst) for u, s in uf_ranges.items()
+        }
     renamed = FormatDescriptor(
         name=dst.name,
         sparse_to_dense=sd,
         data_access=da,
-        uf_domains={uf_map[u]: s for u, s in dst.uf_domains.items()},
-        uf_ranges={uf_map[u]: s for u, s in dst.uf_ranges.items()},
+        uf_domains=uf_domains,
+        uf_ranges=uf_ranges,
         monotonic=[
             MonotonicQuantifier(uf_map[q.uf], strict=q.strict)
             for q in dst.monotonic.values()

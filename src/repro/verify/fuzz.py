@@ -54,8 +54,12 @@ Dense = list
 #: Conversion sources/destinations covered by the fuzzer.  Sources span
 #: every container with a descriptor; destinations are the formats
 #: ``outputs_to_container`` can materialize.
-SOURCES_2D = ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR", "ELL")
-DESTS_2D = ("SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR")
+#: Parameterized BCSR names ride along so the tuner's non-default block
+#: sizes get the same differential coverage as the block-2 default.
+SOURCES_2D = (
+    "COO", "SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR", "BCSR3", "ELL",
+)
+DESTS_2D = ("SCOO", "MCOO", "CSR", "CSC", "DIA", "BCSR", "BCSR3", "BCSR4")
 SOURCES_3D = ("COO3D", "SCOO3D", "MCOO3", "CSF")
 DESTS_3D = ("SCOO3D", "MCOO3")
 
@@ -250,10 +254,16 @@ def _make_source_2d(src: str, dense: Dense, rng) -> object | None:
         return CSCMatrix.from_dense(dense)
     if src == "DIA":
         return DIAMatrix.from_dense(dense)
-    if src == "BCSR":
-        return BCSRMatrix.from_dense(dense, BCSR_BSIZE)
+    if src.startswith("BCSR"):
+        bsize = int(src[4:]) if src[4:] else BCSR_BSIZE
+        return BCSRMatrix.from_dense(dense, bsize)
     if src == "ELL":
-        return ELLMatrix.from_dense(dense)
+        ell = ELLMatrix.from_dense(dense)
+        # Sometimes over-allocate the width: inspectors must treat PAD
+        # columns as absent whether or not any row fills the width.
+        if rng.random() < 0.5:
+            return ELLMatrix.from_dense(dense, ell.width + rng.randint(1, 3))
+        return ell
     raise KeyError(src)
 
 
@@ -327,7 +337,10 @@ _ARRAY_FIELDS = {
 
 
 def _arrays_differ(dst: str, a, b) -> Optional[str]:
-    for name in _ARRAY_FIELDS.get(dst, ()):
+    fields = _ARRAY_FIELDS.get(dst)
+    if fields is None and dst.startswith("BCSR"):
+        fields = _ARRAY_FIELDS["BCSR"]
+    for name in fields or ():
         if list(getattr(a, name)) != list(getattr(b, name)):
             return name
     return None
