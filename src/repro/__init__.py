@@ -126,8 +126,12 @@ def convert(
     ``False`` force tracing on/off for the calling thread.
     """
     import repro.obs as obs
+    from repro.backends import available_backend
     from repro.verify import gate
 
+    # Degrade gracefully: an unavailable tier (no cffi / no C compiler)
+    # falls back through numpy to the scalar reference instead of failing.
+    backend = available_backend(backend).name
     level = gate.normalize_level(validate)
     with obs.TRACER.forced(trace):
         with obs.span(

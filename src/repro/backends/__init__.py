@@ -7,15 +7,21 @@ that actually differ between lowerings: source generation, the execution
 namespace, result materialization, benchmark input staging, and the
 planner's cost model.
 
-The scalar-Python and NumPy backends are the two built-in instances;
-:func:`register_backend` accepts new ones, which immediately become valid
-values for every ``backend=`` keyword and ``--backend`` CLI flag.
+The scalar-Python, NumPy and compiled-C backends are the three built-in
+instances; :func:`register_backend` accepts new ones, which immediately
+become valid values for every ``backend=`` keyword and ``--backend`` CLI
+flag.  Registration does not imply availability: the C tier registers
+unconditionally and :meth:`Backend.require` raises
+:class:`BackendUnavailableError` when cffi or a compiler is missing.
 """
 
 from .base import Backend, BackendCapabilities, Lowering
+from .c_backend import CBackend
 from .numpy_backend import NumpyBackend
 from .registry import (
+    BackendUnavailableError,
     all_backends,
+    available_backend,
     backend_names,
     get_backend,
     register_backend,
@@ -26,10 +32,13 @@ from .scalar import PythonBackend
 __all__ = [
     "Backend",
     "BackendCapabilities",
+    "BackendUnavailableError",
+    "CBackend",
     "Lowering",
     "NumpyBackend",
     "PythonBackend",
     "all_backends",
+    "available_backend",
     "backend_names",
     "get_backend",
     "register_backend",
@@ -40,3 +49,4 @@ __all__ = [
 #: default and reference backend.
 PYTHON_BACKEND = register_backend(PythonBackend())
 NUMPY_BACKEND = register_backend(NumpyBackend())
+C_BACKEND = register_backend(CBackend())

@@ -81,7 +81,16 @@ def structural_features(conversion) -> dict:
     the code.  Backends weight these features differently but detect them
     identically.
     """
-    source = conversion.source
+    return source_features(conversion.source)
+
+
+def source_features(source: str) -> dict:
+    """:func:`structural_features` over a source string directly.
+
+    Backends whose executable ``conversion.source`` is not the scalar
+    lowering (the C backend's is a marshalling wrapper) feature-extract
+    from ``conversion.scalar_source`` instead.
+    """
     return {
         "passes": source.count("for "),
         "sort": "OrderedList(" in source,
@@ -148,6 +157,11 @@ class Backend:
     #: Name of the backend whose outputs this one must agree with in the
     #: differential fuzzer, or None when this backend *is* the reference.
     differential_reference: str | None = None
+    #: All reference backends the fuzzer cross-checks this one against;
+    #: empty means "just :attr:`differential_reference`".  The C backend
+    #: sets both python and numpy so a shared bug in either pairing is
+    #: caught.
+    differential_references: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     def require(self) -> None:

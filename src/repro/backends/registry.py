@@ -12,6 +12,22 @@ _LOCK = threading.Lock()
 _REGISTRY: dict[str, Backend] = {}
 
 
+class BackendUnavailableError(ValueError):
+    """A registered backend cannot run in this environment.
+
+    This is the registry's standard unavailable-backend error: every
+    :meth:`Backend.require` implementation raises it (or a subclass) when
+    a soft dependency is missing — cffi not importable, no C compiler on
+    PATH — so callers can catch one exception type to degrade gracefully
+    to another tier.
+    """
+
+    def __init__(self, backend: str, reason: str):
+        super().__init__(f"backend {backend!r} is unavailable: {reason}")
+        self.backend = backend
+        self.reason = reason
+
+
 def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
     """Register a backend instance under its :attr:`Backend.name`.
 
@@ -50,6 +66,40 @@ def get_backend(backend: "str | Backend") -> Backend:
     if found is None:
         raise ValueError(f"unknown lowering backend {backend!r}")
     return found
+
+
+def available_backend(backend: "str | Backend") -> Backend:
+    """Resolve ``backend``, degrading to the best available lowering.
+
+    The requested backend is returned when its :meth:`Backend.require`
+    passes.  Otherwise the remaining registered backends are probed from
+    newest registration backwards (c → numpy → python), so a request for
+    the compiled tier on a box without a toolchain degrades to the numpy
+    tier, and to the reference scalar backend as the last resort.  Every
+    degradation increments the ``backend.fallback`` profile counters; if
+    nothing is available the requested backend's own
+    :class:`BackendUnavailableError` propagates.
+    """
+    requested = get_backend(backend)
+    try:
+        requested.require()
+        return requested
+    except Exception:  # noqa: BLE001 - any require failure triggers fallback
+        pass
+    from repro._prof import PROF
+
+    for candidate in reversed(all_backends()):
+        if candidate.name == requested.name:
+            continue
+        try:
+            candidate.require()
+        except Exception:  # noqa: BLE001
+            continue
+        PROF.incr("backend.fallback")
+        PROF.incr(f"backend.fallback.{requested.name}->{candidate.name}")
+        return candidate
+    requested.require()  # nothing available: surface the original error
+    return requested
 
 
 def backend_names() -> tuple[str, ...]:

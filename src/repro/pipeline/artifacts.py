@@ -108,12 +108,13 @@ class LoweredSource:
 
     ``scalar_source`` is always the scalar-Python lowering (kept for
     display, differential testing, and the disk-cache payload); ``source``
-    is the active backend's executable lowering.
+    is the active backend's executable lowering.  The display C rendering
+    is not part of this artifact — it is generated lazily by
+    :attr:`repro.synthesis.SynthesizedConversion.c_source`.
     """
 
     backend: str
     source: str
     scalar_source: str
-    c_source: str
     vector_stats: dict | None = None
     notes: list[str] = field(default_factory=list)

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.backends import get_backend
+from repro.backends import available_backend, get_backend
 from repro.formats import (
     container_format,
     container_to_env,
@@ -122,8 +122,10 @@ class ConversionPlanner:
     ):
         self.format_names = tuple(formats or PLANNABLE_2D)
         # Normalizing through the registry validates the name up front and
-        # lets callers pass a Backend instance directly.
-        self.backend = get_backend(backend).name
+        # lets callers pass a Backend instance directly; an unavailable
+        # tier (no cffi / no C toolchain) degrades to the best available
+        # one so plans built for "c" still execute everywhere.
+        self.backend = available_backend(backend).name
         self.disabled_passes = tuple(disabled_passes)
         self._edges: dict[tuple[str, str], Optional[float]] = {}
         self._conversions: dict[tuple[str, str], SynthesizedConversion] = {}
@@ -440,7 +442,7 @@ _DEFAULT_3D: dict[str, ConversionPlanner] = {}
 
 
 def default_planner(backend: str = "python") -> ConversionPlanner:
-    backend = get_backend(backend).name
+    backend = available_backend(backend).name
     planner = _DEFAULT_PLANNERS.get(backend)
     if planner is None:
         with _PLANNER_LOCK:
@@ -453,7 +455,7 @@ def default_planner(backend: str = "python") -> ConversionPlanner:
 
 
 def default_planner_3d(backend: str = "python") -> ConversionPlanner:
-    backend = get_backend(backend).name
+    backend = available_backend(backend).name
     planner = _DEFAULT_3D.get(backend)
     if planner is None:
         with _PLANNER_LOCK:

@@ -52,7 +52,6 @@ _PAYLOAD_FIELDS = (
     "params",
     "returns",
     "source",
-    "c_source",
     "scalar_source",
     "uf_output_map",
     "notes",
@@ -150,6 +149,10 @@ def _store_disk(
         payload = {f: getattr(conv, f) for f in _PAYLOAD_FIELDS}
         payload["params"] = list(conv.params)
         payload["returns"] = list(conv.returns)
+        # Payload-contract key: the memoized display C if this process
+        # rendered it, else null — reading ``conv.c_source`` here would
+        # defeat the lazy generation the field exists for.
+        payload["c_source"] = conv._c_source
     payload["version"] = _PAYLOAD_VERSION
     payload["code_version"] = code_version_hash()
     try:
@@ -182,7 +185,7 @@ def _load_disk(
         params=tuple(payload["params"]),
         returns=tuple(payload["returns"]),
         source=payload["source"],
-        c_source=payload["c_source"],
+        _c_source=payload.get("c_source"),
         symtab=None,
         uf_output_map=dict(payload["uf_output_map"]),
         notes=list(payload["notes"]),

@@ -60,9 +60,10 @@ def _array_bytes(value) -> int:
 class SynthesizedConversion:
     """The output of :func:`repro.synthesis.synthesize`.
 
-    ``source`` is the generated Python inspector; ``c_source`` the display C
-    version of the loop chain; ``notes`` logs the synthesis decisions (which
-    case produced each statement, whether the permutation was eliminated...).
+    ``source`` is the generated Python inspector; :attr:`c_source` renders
+    the display C version of the loop chain on demand; ``notes`` logs the
+    synthesis decisions (which case produced each statement, whether the
+    permutation was eliminated...).
     """
 
     name: str
@@ -72,7 +73,6 @@ class SynthesizedConversion:
     params: tuple[str, ...]
     returns: tuple[str, ...]
     source: str
-    c_source: str
     symtab: SymbolTable
     uf_output_map: dict[str, str]
     notes: list[str] = field(default_factory=list)
@@ -82,10 +82,30 @@ class SynthesizedConversion:
     scalar_source: str = ""
     #: ``{"vectorized_nests": n, "scalar_nests": m}`` for the numpy backend.
     vector_stats: dict | None = None
+    #: Memoized display-C rendering; populated lazily by :attr:`c_source`
+    #: (or from the disk-cache payload when a past process rendered it).
+    _c_source: str | None = None
     _compiled: object = None
     #: Per-statement instrumented compile, built lazily under tracing;
     #: ``False`` records that instrumentation was attempted and failed.
     _instrumented: object = None
+
+    @property
+    def c_source(self) -> str:
+        """The display C rendering of the loop chain, generated on demand.
+
+        Every conversion used to pay C codegen up front; now only
+        consumers that ask (``repro convert --c``, the walkthrough
+        example) trigger it.  Conversions rehydrated from the disk cache
+        carry whatever the writing process had rendered (possibly
+        nothing — the SPF intermediates needed to regenerate are not
+        persisted, so the display C is empty then).
+        """
+        if self._c_source is None:
+            if self.computation is None or self.symtab is None:
+                return ""
+            self._c_source = self.computation.codegen(self.symtab, lang="c")
+        return self._c_source
 
     def compile(self):
         """Compile the generated inspector into a callable (cached)."""

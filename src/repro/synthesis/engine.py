@@ -203,7 +203,6 @@ def _synthesize_impl(
         params=built.params,
         returns=built.returns,
         source=lowered.source,
-        c_source=lowered.c_source,
         symtab=built.symtab,
         uf_output_map=uf_output_map,
         notes=notes,

@@ -1,10 +1,12 @@
 """Lowering stage: optimized computation → backend source.
 
-The scalar Python lowering and the display C version are always
-generated (the scalar source feeds differential testing and the disk
-cache payload); the active backend's :meth:`~repro.backends.Backend.lower`
-hook then produces the executable source — which for the scalar backend
-is the scalar source itself.
+The scalar Python lowering is always generated (it feeds differential
+testing, backend fallbacks, and the disk-cache payload); the active
+backend's :meth:`~repro.backends.Backend.lower` hook then produces the
+executable source — which for the scalar backend is the scalar source
+itself.  The display C rendering is *not* generated here: it is lazy on
+:attr:`~repro.synthesis.SynthesizedConversion.c_source`, so conversions
+whose consumers never ask for it pay nothing.
 """
 
 from __future__ import annotations
@@ -22,7 +24,6 @@ def lower_stage(
     scalar_source = built.comp.codegen_function(
         params, returns, built.symtab
     )
-    c_source = built.comp.codegen(built.symtab, lang="c")
     lowering = backend.lower(
         built.comp,
         params,
@@ -37,12 +38,11 @@ def lower_stage(
             f"vectorized nest(s), {stats['scalar_nests']} scalar fallback "
             "nest(s)"
         )
-        notes.extend(f"{backend.name} backend: {n}" for n in lowering.notes)
+    notes.extend(f"{backend.name} backend: {n}" for n in lowering.notes)
     return LoweredSource(
         backend=backend.name,
         source=lowering.source,
         scalar_source=scalar_source,
-        c_source=c_source,
         vector_stats=lowering.vector_stats,
         notes=list(lowering.notes),
     )

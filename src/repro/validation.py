@@ -160,17 +160,21 @@ def backend_equivalence_test(
     *,
     seed: int = 0,
     pairs: Sequence[tuple[str, str]] | None = None,
+    backends: Sequence[str] = ("numpy",),
 ) -> DifferentialReport:
-    """Assert the numpy lowering is bit-identical to the scalar lowering.
+    """Assert non-reference lowerings are bit-identical to the scalar one.
 
     For every synthesizable conversion pair (or an explicit ``pairs``
-    list), both backends run on the same randomized inputs — including an
-    empty matrix, a 1x1 matrix, and unsorted COO with duplicate
-    coordinates — and their raw inspector output dicts must compare equal,
-    element for element.  This is a stronger check than
-    :func:`differential_test`'s dense-image comparison: padding, pointer
-    arrays, and permutation outputs must all match exactly.
+    list), the scalar backend and each backend in ``backends`` run on the
+    same randomized inputs — including an empty matrix, a 1x1 matrix, and
+    unsorted COO with duplicate coordinates — and their materialized
+    inspector output dicts must compare equal, element for element.  This
+    is a stronger check than :func:`differential_test`'s dense-image
+    comparison: padding, pointer arrays, and permutation outputs must all
+    match exactly.  ``backends`` defaults to the numpy tier; pass
+    ``("numpy", "c")`` to gate the compiled tier as well.
     """
+    from repro.backends import get_backend
     from repro.planner import PLANNABLE_2D, PLANNABLE_3D
 
     rng = random.Random(seed)
@@ -192,14 +196,16 @@ def backend_equivalence_test(
             if src != dst
         ]
 
+    candidates = [b for b in backends if get_backend(b).name != "python"]
     for src, dst in pairs:
         try:
             scalar = synthesize(
                 get_format(src), get_format(dst), backend="python"
             )
-            vector = synthesize(
-                get_format(src), get_format(dst), backend="numpy"
-            )
+            others = [
+                synthesize(get_format(src), get_format(dst), backend=b)
+                for b in candidates
+            ]
         except SynthesisError:
             continue
         inputs_3d = src in ("COO3D", "SCOO3D", "MCOO3", "CSF")
@@ -211,15 +217,17 @@ def backend_equivalence_test(
         for tag, container in cases:
             env = container_to_env(container)
             scalar_out = scalar(**{p: env[p] for p in scalar.params})
-            env = container_to_env(container)
-            vector_out = vector(**{p: env[p] for p in vector.params})
-            report.conversions_checked += 1
-            if scalar_out != vector_out:
-                diff = [
-                    k for k in scalar_out
-                    if scalar_out[k] != vector_out.get(k)
-                ]
-                report.failures.append(
-                    f"{src}->{dst} on {tag}: outputs differ in {diff}"
-                )
+            for other in others:
+                env = container_to_env(container)
+                other_out = other(**{p: env[p] for p in other.params})
+                report.conversions_checked += 1
+                if scalar_out != other_out:
+                    diff = [
+                        k for k in scalar_out
+                        if scalar_out[k] != other_out.get(k)
+                    ]
+                    report.failures.append(
+                        f"{src}->{dst} on {tag} ({other.backend}): "
+                        f"outputs differ in {diff}"
+                    )
     return report

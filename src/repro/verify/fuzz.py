@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import repro.obs as obs
-from repro.backends import get_backend
+from repro.backends import backend_names, get_backend
 from repro.errors import ValidationError
 from repro.formats import get_format
 from repro.runtime import (
@@ -390,6 +390,10 @@ class FuzzReport:
     combos_total: int = 0
     combos_covered: int = 0
     skipped_pairs: list = field(default_factory=list)
+    #: Backends excluded from the matrix because ``require()`` failed:
+    #: ``[{"backend": name, "reason": message}, ...]`` — a run on a box
+    #: without a C toolchain records *why* the C tier was not fuzzed.
+    skipped_backends: list = field(default_factory=list)
     failures: list = field(default_factory=list)
     #: Per-combo span attribution: ``"SRC->DST:backend:opt" ->
     #: {"cases", "seconds", "failures"}`` aggregated over the run.
@@ -409,6 +413,7 @@ class FuzzReport:
             "combos_total": self.combos_total,
             "combos_covered": self.combos_covered,
             "skipped_pairs": list(self.skipped_pairs),
+            "skipped_backends": [dict(s) for s in self.skipped_backends],
             "ok": self.ok,
             "failures": [f.to_dict() for f in self.failures],
             "combo_timings": {
@@ -430,6 +435,10 @@ class FuzzReport:
             lines.append(
                 f"  ({len(self.skipped_pairs)} pairs have no direct "
                 f"synthesis: {', '.join(self.skipped_pairs)})"
+            )
+        for skip in self.skipped_backends:
+            lines.append(
+                f"  (backend {skip['backend']!r} skipped: {skip['reason']})"
             )
         if self.combos_covered < self.combos_total:
             lines.append(
@@ -463,6 +472,20 @@ def _input_repr(container) -> dict:
         ),
         "container": repr(container),
     }
+
+
+def _reference_backends(backend: str) -> tuple[str, ...]:
+    """Every backend this one is differentially checked against.
+
+    ``differential_references`` (plural) wins when declared — the C tier
+    is compared against both python and numpy; otherwise the single
+    ``differential_reference`` applies.
+    """
+    backend_obj = get_backend(backend)
+    refs = backend_obj.differential_references
+    if not refs and backend_obj.differential_reference is not None:
+        refs = (backend_obj.differential_reference,)
+    return tuple(r for r in refs if r != backend)
 
 
 def _run_case_2d(dense: Dense, src: str, dst: str, backend: str,
@@ -501,8 +524,7 @@ def _run_case_2d(dense: Dense, src: str, dst: str, backend: str,
                 f"synthesized {differing} differs from "
                 f"{type(ref).__name__} baseline",
             )
-    reference_backend = get_backend(backend).differential_reference
-    if reference_backend is not None:
+    for reference_backend in _reference_backends(backend):
         scalar = convert(
             container, dst,
             backend=reference_backend,
@@ -542,8 +564,7 @@ def _run_case_3d(tensor: COOTensor3D, src: str, dst: str, backend: str,
         out.check_against_dense(reference)
     except ValidationError as err:
         return "dense", str(err)
-    reference_backend = get_backend(backend).differential_reference
-    if reference_backend is not None:
+    for reference_backend in _reference_backends(backend):
         scalar = convert(
             container, dst,
             backend=reference_backend,
@@ -735,7 +756,7 @@ def fuzz(
     cases: int = 200,
     *,
     seed: int = 0,
-    backends: Sequence[str] = ("python", "numpy"),
+    backends: Sequence[str] | None = None,
     optimize_levels: Sequence[bool] = (True, False),
     ranks: Sequence[int] = (2, 3),
     sources_2d: Sequence[str] = SOURCES_2D,
@@ -752,6 +773,12 @@ def fuzz(
     every synthesizable pair runs under every backend and optimize flag.
     The fixed malformed-input gate probes always run, for every backend.
 
+    ``backends=None`` (the default) fuzzes every registered backend whose
+    ``require()`` passes; unavailable ones land in
+    ``report.skipped_backends`` with the reason.  Each backend is
+    cross-checked against all of its declared differential references —
+    the C tier against both python and numpy.
+
     ``trace`` forces the :mod:`repro.obs` span tree on/off for the run
     (``None`` follows ``REPRO_TRACE``); while tracing, each case gets a
     ``fuzz.case`` span and per-combo wall time lands in
@@ -760,6 +787,22 @@ def fuzz(
     """
     rng = random.Random(seed)
     report = FuzzReport(seed=seed, cases_requested=cases)
+    # Availability gate: a backend whose require() fails (no cffi, no C
+    # toolchain) is dropped from the matrix with a recorded reason rather
+    # than failing the run — fuzzing degrades exactly like conversion.
+    if backends is None:
+        backends = backend_names()
+    available = []
+    for candidate in backends:
+        try:
+            get_backend(candidate).require()
+        except Exception as err:  # noqa: BLE001 - any require failure skips
+            report.skipped_backends.append(
+                {"backend": candidate, "reason": str(err)}
+            )
+            continue
+        available.append(candidate)
+    backends = tuple(available)
     fuzz_cases_metric = obs.METRICS.counter(
         "repro_fuzz_cases", "fuzzer cases by outcome"
     )

@@ -93,3 +93,54 @@ def test_numpy_outputs_are_plain_python():
     assert isinstance(csr.rowptr, list)
     assert all(isinstance(v, int) for v in csr.rowptr)
     assert all(isinstance(v, float) for v in csr.val)
+
+
+# ----------------------------------------------------------------------
+# Compiled tier
+# ----------------------------------------------------------------------
+def _c_available() -> bool:
+    from repro.backends import get_backend
+
+    try:
+        get_backend("c").require()
+    except ValueError:
+        return False
+    return True
+
+
+needs_c = pytest.mark.skipif(
+    not _c_available(), reason="C toolchain (cffi + compiler) unavailable"
+)
+
+#: A representative slice of the pair matrix for the per-test C gate —
+#: sort, histogram, binary-search, Morton, block and scalar-fallback
+#: shapes.  CI's native job runs the full matrix via
+#: ``backend_equivalence_test(backends=("numpy", "c"))``.
+C_SMOKE_PAIRS = [
+    ("COO", "CSR"),
+    ("CSR", "CSC"),
+    ("COO", "DIA"),
+    ("COO", "MCOO"),
+    ("SCOO", "BCSR"),
+    ("CSF", "MCOO3"),
+]
+
+
+@needs_c
+@pytest.mark.parametrize("src,dst", C_SMOKE_PAIRS,
+                         ids=[f"{s}-{d}" for s, d in C_SMOKE_PAIRS])
+def test_pair_equivalent_c(src, dst):
+    report = backend_equivalence_test(
+        trials=3, seed=11, pairs=[(src, dst)], backends=("numpy", "c")
+    )
+    assert report.ok, report.failures
+    assert report.conversions_checked > 0
+
+
+@needs_c
+def test_c_outputs_are_plain_python():
+    coo = COOMatrix(2, 2, [0, 1], [1, 0], [1.0, 2.0])
+    csr = convert(coo, "CSR", backend="c")
+    assert isinstance(csr.rowptr, list)
+    assert all(isinstance(v, int) for v in csr.rowptr)
+    assert all(isinstance(v, float) for v in csr.val)
