@@ -32,7 +32,12 @@ Commands:
   ``REPRO_CACHE_STATS_FILE`` dump,
 * ``cache stats|clear|warm`` — inspect, clear, or pre-populate the
   persistent inspector cache (``$REPRO_CACHE_DIR``, default
-  ``~/.cache/repro-spf``).
+  ``~/.cache/repro-spf``); ``clear`` touches only inspector partitions,
+  never the learned-cost store,
+* ``serve`` — run the conversion-as-a-service daemon: a JSON HTTP API
+  (TCP or ``--unix`` socket) with validation-gated admission, request
+  coalescing on synthesis fingerprints, a bounded worker pool, and a
+  live Prometheus ``/metrics`` endpoint.
 
 ``--profile`` (any command) prints a phase-attributed timing report to
 stderr on exit: synthesis time split across compose/solve/codegen, IR memo
@@ -481,6 +486,42 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ConversionServer
+
+    server = ConversionServer(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        workers=args.workers,
+        backlog=args.backlog,
+        backend=args.backend,
+        validate=args.validate,
+    )
+    # Background-start first so the *bound* address (port 0 = ephemeral)
+    # is printable, then park the main thread on the server thread.
+    server.start_in_background()
+    where = (
+        server.address
+        if isinstance(server.address, str)
+        else "http://{}:{}".format(*server.address)
+    )
+    print(
+        f"repro serve: listening on {where} "
+        f"({server.workers} workers, backend={args.backend}, "
+        f"validate={args.validate}); endpoints: POST /convert, "
+        f"GET /metrics /stats /healthz",
+        file=sys.stderr,
+    )
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+        server.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -665,6 +706,30 @@ def main(argv: list[str] | None = None) -> int:
     p_warm.add_argument("--jobs", type=int, default=1,
                         help="worker processes for parallel warming")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the conversion-as-a-service daemon (JSON HTTP API, "
+             "request coalescing, worker pool, live /metrics)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8757,
+                         help="TCP port (0 picks an ephemeral one)")
+    p_serve.add_argument("--unix", metavar="PATH",
+                         help="serve on a unix socket instead of TCP")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="conversion worker threads "
+                              "(default: min(8, cpu count))")
+    p_serve.add_argument("--backlog", type=int, default=64,
+                         help="queued requests beyond the workers before "
+                              "load-shedding with 503 (default 64)")
+    p_serve.add_argument("--backend", choices=BACKENDS, default="python",
+                         help="default lowering backend (per-request "
+                              "override via the request document)")
+    p_serve.add_argument("--validate", choices=["off", "inputs", "full"],
+                         default="inputs",
+                         help="default validation gate for requests "
+                              "that do not specify one")
+
     args = parser.parse_args(argv)
     handlers = {
         "formats": cmd_formats,
@@ -679,6 +744,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "stats": cmd_stats,
         "cache": cmd_cache,
+        "serve": cmd_serve,
     }
     status = handlers[args.command](args)
     if args.profile:

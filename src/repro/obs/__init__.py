@@ -47,6 +47,7 @@ from .export import (
     atomic_write_text,
     chrome_trace,
     jsonl_events,
+    PROMETHEUS_CONTENT_TYPE,
     parse_prometheus_text,
     prometheus_text,
     validate_chrome_trace,
@@ -72,6 +73,7 @@ __all__ = [
     "gauge",
     "histogram",
     "jsonl_events",
+    "PROMETHEUS_CONTENT_TYPE",
     "parse_prometheus_text",
     "prometheus_text",
     "reset_all",

@@ -143,6 +143,10 @@ def validate_chrome_trace(obj: dict) -> list[str]:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+#: The Content-Type a live scrape endpoint must declare for the text
+#: exposition format (`repro serve`'s GET /metrics serves this).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 

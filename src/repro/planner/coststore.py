@@ -30,6 +30,7 @@ learned (seconds) and predicted (unit) edge costs on one scale.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -38,6 +39,40 @@ import time
 from pathlib import Path
 
 from repro._prof import PROF
+
+try:  # POSIX only; the store degrades to best-effort merge without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def _file_lock(path: Path):
+    """Advisory inter-process lock around a read-merge-write of ``path``.
+
+    Uses ``flock`` on a ``.lock`` sidecar so two *processes* folding
+    measurements into one store file serialize their read-modify-write
+    cycles instead of silently overwriting each other.  Degrades to a
+    no-op where ``fcntl`` is unavailable (merge-before-flush still closes
+    most of the window).
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(lock_path, "a+")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
 
 #: Default bound on stored entries; evictions drop the oldest-updated.
 DEFAULT_MAX_ENTRIES = 4096
@@ -106,31 +141,54 @@ class CostStore:
         self._max = max_entries
         self._lock = threading.Lock()
         self._entries: dict[str, dict] | None = None
+        self._pinned_path: Path | None = None
 
     # -- file plumbing --------------------------------------------------
     @property
     def path(self) -> Path:
         if self._explicit_path is not None:
             return self._explicit_path
+        if self._pinned_path is not None:
+            # Pinned at first load: a later REPRO_COSTS_DIR change must
+            # not silently re-point flushes away from the entries we hold.
+            return self._pinned_path
         return costs_dir() / "costs.json"
 
     @property
     def limit(self) -> int:
         return self._max if self._max is not None else max_entries()
 
+    def _read_disk(self) -> dict[str, dict]:
+        try:
+            with open(self.path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if payload.get("schema") != _SCHEMA:
+            return {}
+        return dict(payload.get("entries", {}))
+
     def _load(self) -> dict[str, dict]:
         if self._entries is None:
-            entries: dict[str, dict] = {}
-            if self.enabled:
-                try:
-                    with open(self.path) as fh:
-                        payload = json.load(fh)
-                    if payload.get("schema") == _SCHEMA:
-                        entries = dict(payload.get("entries", {}))
-                except (OSError, ValueError):
-                    entries = {}
-            self._entries = entries
+            if self._explicit_path is None and self._pinned_path is None:
+                self._pinned_path = costs_dir() / "costs.json"
+            self._entries = self._read_disk() if self.enabled else {}
         return self._entries
+
+    def _merge_from_disk_locked(self, entries: dict[str, dict]) -> None:
+        """Adopt concurrent writers' entries before overwriting the file.
+
+        The flush below rewrites the whole JSON document, so anything
+        another process recorded since our load would be lost without
+        this re-merge.  Per key, the newest ``updated`` timestamp wins —
+        our just-recorded entry carries a fresh one.
+        """
+        for key, disk_entry in self._read_disk().items():
+            ours = entries.get(key)
+            if ours is None or disk_entry.get("updated", 0.0) > ours.get(
+                "updated", 0.0
+            ):
+                entries[key] = disk_entry
 
     def _flush(self) -> None:
         from repro.synthesis.cache import _atomic_write_json
@@ -190,8 +248,10 @@ class CostStore:
             entry["label"] = label
             entry["updated"] = time.time()
             entries[key] = entry
-            self._evict_locked(entries)
-            self._flush()
+            with _file_lock(self.path):
+                self._merge_from_disk_locked(entries)
+                self._evict_locked(entries)
+                self._flush()
         PROF.incr("costs.record")
 
     def _evict_locked(self, entries: dict[str, dict]) -> None:

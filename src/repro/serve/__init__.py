@@ -1,0 +1,38 @@
+"""repro.serve — the conversion-as-a-service daemon (``repro serve``).
+
+A resident process that accepts JSON conversion requests (HTTP over TCP
+or a unix socket), admits them through the validation gate, coalesces
+concurrent requests sharing a synthesis fingerprint so one synthesis
+amortizes across many waiting tensors, executes on a bounded worker
+pool with c -> numpy -> python degradation, and exposes the live
+Prometheus ``/metrics`` endpoint.
+
+>>> from repro.serve import ConversionServer, ServeClient
+>>> server = ConversionServer(port=0).start_in_background()
+>>> client = ServeClient(server.address)
+>>> client.health()["ok"]
+True
+>>> server.shutdown()
+"""
+
+from .client import ServeClient, ServeError, coo_payload
+from .protocol import (
+    SCHEMA,
+    ProtocolError,
+    parse_convert_request,
+    parse_matrix,
+    serialize_container,
+)
+from .server import ConversionServer
+
+__all__ = [
+    "SCHEMA",
+    "ConversionServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "coo_payload",
+    "parse_convert_request",
+    "parse_matrix",
+    "serialize_container",
+]

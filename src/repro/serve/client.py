@@ -1,0 +1,138 @@
+"""A small blocking client for the conversion service.
+
+Used by the tests, the CI serve-smoke job and the PR 8 benchmark; also a
+reference implementation of the ``repro-serve/1`` wire schema for
+clients in other languages.  Talks HTTP/1.1 over TCP or a unix socket
+with only the stdlib.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Mapping
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, body: Mapping[str, Any] | str):
+        self.status = status
+        self.body = body
+        detail = (
+            body.get("error", {}).get("message", "")
+            if isinstance(body, Mapping)
+            else str(body)[:200]
+        )
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket."""
+
+    def __init__(self, path: str, timeout: float | None = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+def coo_payload(matrix) -> dict:
+    """A COO container (or anything with row/col/val) as wire JSON."""
+    return {
+        "rows": matrix.nrows,
+        "cols": matrix.ncols,
+        "row": list(matrix.row),
+        "col": list(matrix.col),
+        "val": list(matrix.val),
+    }
+
+
+class ServeClient:
+    """One connection-per-request client (thread-safe by construction)."""
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str,
+        *,
+        timeout: float = 60.0,
+    ):
+        self.address = address
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if isinstance(self.address, str):
+            return _UnixHTTPConnection(self.address, timeout=self.timeout)
+        host, port = self.address
+        return http.client.HTTPConnection(host, port, timeout=self.timeout)
+
+    def _request(
+        self, method: str, path: str, body: Mapping | None = None
+    ) -> tuple[int, str, bytes]:
+        conn = self._connection()
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Connection": "close"}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                response.getheader("Content-Type", ""),
+                data,
+            )
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: Mapping | None = None):
+        status, _ctype, data = self._request(method, path, body)
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except ValueError:
+            doc = data.decode("utf-8", "replace")
+        if not (200 <= status < 300):
+            raise ServeError(status, doc)
+        return doc
+
+    # -- endpoints ------------------------------------------------------
+    def convert(self, matrix, dst: str, **options) -> dict:
+        """Convert a COO container (or a prebuilt payload dict).
+
+        Keyword options pass through to the request document: ``backend``,
+        ``validate``, ``optimize``, ``binary_search``, ``plan``,
+        ``assume_sorted``.
+        """
+        payload = (
+            matrix if isinstance(matrix, Mapping) else coo_payload(matrix)
+        )
+        return self._json(
+            "POST", "/convert", {"dst": dst, "matrix": payload, **options}
+        )
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        status, ctype, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, data.decode("utf-8", "replace"))
+        if not ctype.startswith("text/plain"):
+            raise ServeError(status, f"unexpected content type {ctype!r}")
+        return data.decode("utf-8")
+
+    def metrics(self) -> dict:
+        """The /metrics scrape parsed into ``{(name, labels): value}``."""
+        from repro.obs import parse_prometheus_text
+
+        return parse_prometheus_text(self.metrics_text())

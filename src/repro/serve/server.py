@@ -1,0 +1,432 @@
+"""The conversion-as-a-service daemon behind ``repro serve``.
+
+A long-lived asyncio process accepting JSON conversion requests over
+HTTP/1.1 on a TCP port or a unix socket.  The paper's inspector-executor
+split amortizes best when one synthesized conversion serves many
+tensors; a resident service is what makes that amortization real:
+
+* **admission** — every request passes the :mod:`repro.verify.gate`
+  validation level it asked for (default ``"inputs"``), so malformed
+  tensors are rejected with a structured 400, not converted into silently
+  corrupt results;
+* **coalescing** — concurrent requests sharing a (src, dst, backend,
+  pass-config) fingerprint serialize on the synthesis cache's per-key
+  in-flight lock (:mod:`repro.synthesis.cache`): exactly one synthesis
+  runs, every waiter is served its result (``cache.coalesced``);
+* **execution** — conversions run on a bounded thread pool across all
+  three backend tiers (the registry's c -> numpy -> python degradation
+  applies per request); beyond ``workers + backlog`` queued requests the
+  server sheds load with a 503 instead of queueing unboundedly;
+* **observability** — ``GET /metrics`` serves the live Prometheus
+  exposition of the unified snapshot (per-request latency histograms,
+  cache hit/coalescing counters, gate rejections) straight from
+  :mod:`repro.obs`.
+
+The HTTP surface is deliberately tiny (stdlib-only, no framework):
+
+====================  ==================================================
+``POST /convert``     convert a COO payload (``repro-serve/1`` schema)
+``GET /metrics``      Prometheus text exposition of the live registries
+``GET /stats``        the unified telemetry snapshot as JSON
+``GET /healthz``      liveness + config summary
+====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ValidationError
+
+from .protocol import (
+    SCHEMA,
+    ProtocolError,
+    error_body,
+    parse_convert_request,
+    serialize_container,
+)
+
+#: Default cap on queued-but-not-running requests before load shedding.
+DEFAULT_BACKLOG = 64
+
+#: Default request body limit (a COO payload of ~1M nnz fits well under).
+DEFAULT_MAX_BODY = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _default_workers() -> int:
+    return min(8, max(2, (os.cpu_count() or 2)))
+
+
+class ConversionServer:
+    """One resident conversion service (TCP or unix-socket)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: str | None = None,
+        workers: int | None = None,
+        backlog: int = DEFAULT_BACKLOG,
+        backend: str = "python",
+        validate: str = "inputs",
+        max_body: int = DEFAULT_MAX_BODY,
+    ):
+        from repro.verify.gate import normalize_level
+
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.workers = workers if workers else _default_workers()
+        self.backlog = backlog
+        self.default_backend = backend
+        self.default_validate = normalize_level(validate)
+        self.max_body = max_body
+        self.started_at: float | None = None
+        self.address: tuple[str, int] | str | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._pending = 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting requests."""
+        import repro.obs as obs
+
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        if self.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path
+            )
+            self.address = self.unix_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        self.started_at = time.time()
+        obs.METRICS.gauge(
+            "repro_serve_workers", "conversion worker threads"
+        ).set(self.workers)
+
+    async def serve_until_stopped(self) -> None:
+        assert self._server is not None and self._stop is not None
+        async with self._server:
+            await self._stop.wait()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        if self.unix_path:
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+
+    def run(self) -> None:
+        """Start and serve on this thread until interrupted (the CLI)."""
+
+        async def _main():
+            await self.start()
+            await self.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    def start_in_background(self, timeout: float = 10.0) -> "ConversionServer":
+        """Start on a daemon thread; returns once the socket is bound."""
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        async def _main():
+            try:
+                await self.start()
+            except BaseException as exc:  # surface bind errors to caller
+                failure.append(exc)
+                ready.set()
+                raise
+            ready.set()
+            await self.serve_until_stopped()
+
+        def _thread_main():
+            try:
+                asyncio.run(_main())
+            except BaseException:
+                pass
+
+        self._thread = threading.Thread(target=_thread_main, daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if failure:
+            raise failure[0]
+        return self
+
+    def shutdown(self) -> None:
+        """Stop a background server and join its thread."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, payload, content_type = await self._route(
+                    method, target, body
+                )
+                await self._write_response(
+                    writer, status, payload, content_type, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("latin1").split()
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > self.max_body:
+            # Drain nothing; the 413 response closes the connection.
+            return (method.upper(), target, {"connection": "close"}, b"!")
+        body = await reader.readexactly(length) if length else b""
+        return (method.upper(), target, headers, body)
+
+    async def _write_response(
+        self, writer, status, payload, content_type, keep_alive
+    ) -> None:
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else json.dumps(payload).encode()
+        )
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin1") + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+    async def _route(self, method, target, body):
+        import repro.obs as obs
+
+        path = target.split("?", 1)[0]
+        start = time.perf_counter()
+        status, payload, content_type = await self._dispatch(
+            method, path, body
+        )
+        elapsed = time.perf_counter() - start
+        obs.METRICS.counter(
+            "repro_serve_requests", "conversion-service requests"
+        ).inc(endpoint=path, status=str(status))
+        obs.METRICS.histogram(
+            "repro_serve_request_seconds",
+            "end-to-end request latency by endpoint",
+        ).observe(elapsed, endpoint=path)
+        return status, payload, content_type
+
+    async def _dispatch(self, method, path, body):
+        json_type = "application/json"
+        if path == "/healthz" and method == "GET":
+            return 200, self._health_body(), json_type
+        if path == "/metrics" and method == "GET":
+            import repro.obs as obs
+            from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+
+            text = obs.prometheus_text()
+            return 200, text.encode(), PROMETHEUS_CONTENT_TYPE
+        if path == "/stats" and method == "GET":
+            import repro.obs as obs
+
+            return 200, obs.unified_snapshot(), json_type
+        if path == "/convert":
+            if method != "POST":
+                return (
+                    405,
+                    {"ok": False, "error": {"type": "MethodNotAllowed",
+                                            "message": "POST required"}},
+                    json_type,
+                )
+            if len(body) > self.max_body or body == b"!":
+                return (
+                    413,
+                    {"ok": False, "error": {"type": "PayloadTooLarge",
+                                            "message": "body too large"}},
+                    json_type,
+                )
+            status, payload = await self._handle_convert(body)
+            return status, payload, json_type
+        return (
+            404,
+            {"ok": False,
+             "error": {"type": "NotFound", "message": f"no route {path}"}},
+            json_type,
+        )
+
+    def _health_body(self) -> dict:
+        return {
+            "ok": True,
+            "schema": SCHEMA,
+            "workers": self.workers,
+            "pending": self._pending,
+            "backend": self.default_backend,
+            "validate": self.default_validate,
+            "uptime_seconds": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    # -- the conversion endpoint ----------------------------------------
+    async def _handle_convert(self, body: bytes):
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return (400, error_body(ProtocolError(f"bad JSON: {exc}")))
+        try:
+            request = parse_convert_request(
+                {
+                    "backend": self.default_backend,
+                    "validate": self.default_validate,
+                    **doc,
+                }
+                if isinstance(doc, dict)
+                else doc
+            )
+        except ProtocolError as exc:
+            return (400, error_body(exc))
+        if self._pending >= self.workers + self.backlog:
+            import repro.obs as obs
+
+            obs.METRICS.counter(
+                "repro_serve_shed", "requests shed with 503"
+            ).inc()
+            return (503, error_body(
+                ProtocolError("server at capacity, retry later")
+            ))
+        loop = asyncio.get_running_loop()
+        self._pending += 1
+        try:
+            return await loop.run_in_executor(
+                self._pool, self._do_convert, request
+            )
+        finally:
+            self._pending -= 1
+
+    def _do_convert(self, request: dict):
+        """Worker-thread body: gate, synthesize (coalesced), execute."""
+        from repro import convert
+        from repro.backends import available_backend
+        from repro.planner import convert_via_plan
+        from repro.synthesis import SynthesisError
+
+        matrix = request["matrix"]
+        assume_sorted = request["assume_sorted"]
+        if assume_sorted is None:
+            assume_sorted = matrix.is_sorted_lexicographic()
+        start = time.perf_counter()
+        try:
+            backend = available_backend(request["backend"]).name
+            if request["plan"]:
+                result = convert_via_plan(
+                    matrix,
+                    request["dst"],
+                    backend=backend,
+                    assume_sorted=assume_sorted,
+                    validate=request["validate"],
+                )
+            else:
+                result = convert(
+                    matrix,
+                    request["dst"],
+                    optimize=request["optimize"],
+                    binary_search=request["binary_search"],
+                    backend=backend,
+                    assume_sorted=assume_sorted,
+                    validate=request["validate"],
+                )
+        except ValidationError as exc:
+            return (400, error_body(exc))
+        except SynthesisError as exc:
+            return (422, error_body(exc))
+        except (KeyError, ValueError) as exc:
+            return (400, error_body(exc))
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            return (500, error_body(exc))
+        elapsed = time.perf_counter() - start
+        return (
+            200,
+            {
+                "ok": True,
+                "schema": SCHEMA,
+                "format": request["dst"],
+                "result": serialize_container(result, request["dst"]),
+                "meta": {
+                    "backend": backend,
+                    "validate": request["validate"],
+                    "seconds": elapsed,
+                },
+            },
+        )

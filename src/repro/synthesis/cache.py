@@ -18,10 +18,21 @@ signature and metadata but not the in-memory SPF ``computation`` /
 ``symtab`` (those are synthesis intermediates; callers that need them —
 like tandem synthesis — use :func:`repro.synthesis.synthesize` directly).
 
+Disk entries are sharded into 256 two-hex-digit subdirectories per
+version partition (``<version>/<xx>/<entry>.json``) so a hot cache never
+concentrates thousands of files in one directory, and the store is
+optionally size-bounded: set a byte or entry budget and the least
+recently *used* entries (hits refresh an entry's mtime) are evicted
+after each write.
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro-spf``),
 * ``REPRO_CACHE_DISABLE=1`` — skip the disk layer entirely,
+* ``REPRO_CACHE_MAX_BYTES`` — LRU byte budget per version partition
+  (unset or empty = unbounded),
+* ``REPRO_CACHE_MAX_ENTRIES`` — LRU entry-count budget per version
+  partition (unset or empty = unbounded),
 * ``REPRO_CACHE_STATS_FILE=path`` — dump hit/miss counters as JSON at
   process exit (used by CI to assert cache effectiveness).
 """
@@ -32,7 +43,9 @@ import atexit
 import hashlib
 import json
 import os
+import re
 import tempfile
+import threading
 from pathlib import Path
 from typing import Sequence
 
@@ -62,12 +75,30 @@ _PAYLOAD_FIELDS = (
 #: Bumped to 2 when the cache key grew the pass-pipeline fingerprint.
 _PAYLOAD_VERSION = 2
 
-#: Descriptor fingerprints, keyed on object identity.  The descriptor is
-#: kept in the value so a recycled ``id`` can never alias a dead object.
-_FP_CACHE: dict[int, tuple[FormatDescriptor, str]] = {}
+#: Attribute the computed fingerprint is memoized under, directly on the
+#: descriptor object.  A module-level ``id()``-keyed table here used to
+#: pin a strong reference to every descriptor ever fingerprinted — an
+#: unbounded leak in long-lived processes handling parameterized
+#: ``BCSR{k}`` factories; the attribute dies with its descriptor.
+_FP_ATTR = "_repro_fingerprint"
 
 #: Process-wide memo of synthesis results (including failures).
 _MEMO: dict[tuple, SynthesizedConversion | SynthesisError] = {}
+
+#: Per-key in-flight synthesis locks: N threads missing on the same key
+#: serialize here, so exactly one runs synthesis and the rest are served
+#: its memoized result (``cache.coalesced``).  The daemon's request
+#: coalescing is this same primitive reached through ``convert()``.
+_INFLIGHT_GUARD = threading.Lock()
+_INFLIGHT: dict[tuple, threading.Lock] = {}
+
+
+def _inflight_lock(key: tuple) -> threading.Lock:
+    with _INFLIGHT_GUARD:
+        lock = _INFLIGHT.get(key)
+        if lock is None:
+            lock = _INFLIGHT[key] = threading.Lock()
+        return lock
 
 
 def format_fingerprint(fmt: FormatDescriptor) -> str:
@@ -75,16 +106,17 @@ def format_fingerprint(fmt: FormatDescriptor) -> str:
 
     Serializes the descriptor through the JSON schema (textual relation
     notation), so two descriptor objects with identical semantics share a
-    fingerprint even across processes.
+    fingerprint even across processes.  Memoized on the descriptor object
+    itself, so the cache's lifetime is exactly the descriptor's.
     """
-    cached = _FP_CACHE.get(id(fmt))
-    if cached is not None and cached[0] is fmt:
-        return cached[1]
+    cached = fmt.__dict__.get(_FP_ATTR)
+    if cached is not None:
+        return cached
     from repro.io.descriptor_json import descriptor_to_dict
 
     blob = json.dumps(descriptor_to_dict(fmt), sort_keys=True)
     fp = hashlib.sha256(blob.encode()).hexdigest()[:16]
-    _FP_CACHE[id(fmt)] = (fmt, fp)
+    setattr(fmt, _FP_ATTR, fp)
     return fp
 
 
@@ -98,9 +130,32 @@ def cache_root() -> Path:
     return Path.home() / ".cache" / "repro-spf"
 
 
+#: Version partitions are 16-hex-digit directories directly under the
+#: root; everything else under the root (``costs/``, future siblings) is
+#: NOT inspector-cache data and must survive ``clear_disk_cache``.
+_PARTITION_RE = re.compile(r"[0-9a-f]{16}")
+
+
 def cache_dir() -> Path:
     """Version-partitioned cache directory for the current source tree."""
     return cache_root() / code_version_hash()[:16]
+
+
+def version_partitions(root: Path | None = None) -> list[Path]:
+    """The inspector-entry version partitions under the cache root.
+
+    Only these hold cached inspectors; sibling directories (the learned
+    cost store under ``costs/``, the compiled-artifact cache) are other
+    subsystems' data.
+    """
+    root = cache_root() if root is None else root
+    if not root.is_dir():
+        return []
+    return sorted(
+        sub
+        for sub in root.iterdir()
+        if sub.is_dir() and _PARTITION_RE.fullmatch(sub.name)
+    )
 
 
 def disk_enabled() -> bool:
@@ -112,11 +167,38 @@ def disk_enabled() -> bool:
     )
 
 
+def _budget_env(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def cache_max_bytes() -> int | None:
+    """Byte budget per version partition (``REPRO_CACHE_MAX_BYTES``)."""
+    return _budget_env("REPRO_CACHE_MAX_BYTES")
+
+
+def cache_max_entries() -> int | None:
+    """Entry budget per version partition (``REPRO_CACHE_MAX_ENTRIES``)."""
+    return _budget_env("REPRO_CACHE_MAX_ENTRIES")
+
+
 def _entry_path(key: tuple) -> Path:
     src_fp, dst_fp, optimize, binary_search, pass_fp, backend, name = key
     flags = f"{int(optimize)}{int(binary_search)}"
     tail = hashlib.sha256(repr(key).encode()).hexdigest()[:12]
-    return cache_dir() / f"{src_fp}.{dst_fp}.{backend}.{flags}.{tail}.json"
+    # Two-hex-digit shard subdir: 256-way fan-out keeps any one directory
+    # small however many pairs x configs a long-lived service accumulates.
+    return (
+        cache_dir()
+        / tail[:2]
+        / f"{src_fp}.{dst_fp}.{backend}.{flags}.{tail}.json"
+    )
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
@@ -160,6 +242,57 @@ def _store_disk(
         PROF.incr("cache.disk.write")
     except OSError:
         PROF.incr("cache.disk.write_error")
+        return
+    enforce_budget()
+
+
+def _partition_entries(partition: Path) -> list[tuple[Path, float, int]]:
+    """(path, mtime, size) for every entry in one version partition."""
+    entries = []
+    for path in partition.rglob("*.json"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((path, stat.st_mtime, stat.st_size))
+    return entries
+
+
+def enforce_budget(partition: Path | None = None) -> int:
+    """Evict least-recently-used entries beyond the configured budget.
+
+    Applies ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` to
+    one version partition (the current one by default).  Recency is the
+    entry file's mtime — refreshed on every disk hit — so eviction is
+    LRU, not insertion-order.  Returns the number of files removed; a
+    no-op (and no directory scan) when neither budget is set.
+    """
+    max_bytes = cache_max_bytes()
+    max_count = cache_max_entries()
+    if max_bytes is None and max_count is None:
+        return 0
+    partition = cache_dir() if partition is None else partition
+    if not partition.is_dir():
+        return 0
+    entries = sorted(_partition_entries(partition), key=lambda e: e[1])
+    total = sum(size for _, _, size in entries)
+    count = len(entries)
+    removed = 0
+    for path, _, size in entries:
+        over_bytes = max_bytes is not None and total > max_bytes
+        over_count = max_count is not None and count > max_count
+        if not (over_bytes or over_count):
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        count -= 1
+        removed += 1
+    if removed:
+        PROF.incr("cache.disk.evict", removed)
+    return removed
 
 
 def _load_disk(
@@ -171,6 +304,11 @@ def _load_disk(
             payload = json.load(fh)
     except (OSError, ValueError):
         return None
+    try:
+        # LRU recency: a hit refreshes the mtime budget eviction sorts by.
+        os.utime(path)
+    except OSError:
+        pass
     if payload.get("version") != _PAYLOAD_VERSION:
         return None
     if payload.get("code_version") != code_version_hash():
@@ -255,41 +393,56 @@ def synthesize_cached(
                 raise cached
             return cached
 
-        if use_disk and disk_enabled():
-            with PROF.timer("cache.disk.load"):
-                loaded = _load_disk(key)
-            if loaded is not None:
-                PROF.incr("cache.disk.hit")
-                _MEMO[key] = loaded
-                if isinstance(loaded, SynthesisError):
-                    PROF.incr("cache.disk.negative_hit")
-                    span.set(outcome="disk_negative_hit")
-                    raise loaded
-                span.set(outcome="disk_hit")
-                return loaded
+        # Serialize misses per key: without this, N threads missing
+        # simultaneously all ran synthesis and raced the disk write.  The
+        # one lock holder synthesizes; everyone queued behind it lands on
+        # the re-check below and is served the same result (the request
+        # coalescing `repro serve` amortizes synthesis with).
+        with _inflight_lock(key):
+            cached = _MEMO.get(key)
+            if cached is not None:
+                PROF.incr("cache.memo.hit")
+                PROF.incr("cache.coalesced")
+                span.set(outcome="coalesced")
+                if isinstance(cached, SynthesisError):
+                    raise cached
+                return cached
 
-        PROF.incr("cache.miss")
-        span.set(outcome="miss")
-        try:
-            with PROF.timer("synthesis.total"):
-                conv = _raw_synthesize(
-                    src,
-                    dst,
-                    optimize=optimize,
-                    binary_search=binary_search,
-                    name=name,
-                    backend=backend_name,
-                    disabled_passes=tuple(disabled_passes),
-                )
-        except SynthesisError as err:
-            _MEMO[key] = err
             if use_disk and disk_enabled():
-                _store_disk(key, err)
-            raise
-        _MEMO[key] = conv
-        if use_disk and disk_enabled():
-            _store_disk(key, conv)
-        return conv
+                with PROF.timer("cache.disk.load"):
+                    loaded = _load_disk(key)
+                if loaded is not None:
+                    PROF.incr("cache.disk.hit")
+                    _MEMO[key] = loaded
+                    if isinstance(loaded, SynthesisError):
+                        PROF.incr("cache.disk.negative_hit")
+                        span.set(outcome="disk_negative_hit")
+                        raise loaded
+                    span.set(outcome="disk_hit")
+                    return loaded
+
+            PROF.incr("cache.miss")
+            span.set(outcome="miss")
+            try:
+                with PROF.timer("synthesis.total"):
+                    conv = _raw_synthesize(
+                        src,
+                        dst,
+                        optimize=optimize,
+                        binary_search=binary_search,
+                        name=name,
+                        backend=backend_name,
+                        disabled_passes=tuple(disabled_passes),
+                    )
+            except SynthesisError as err:
+                _MEMO[key] = err
+                if use_disk and disk_enabled():
+                    _store_disk(key, err)
+                raise
+            _MEMO[key] = conv
+            if use_disk and disk_enabled():
+                _store_disk(key, conv)
+            return conv
 
 
 def clear_memo() -> None:
@@ -298,13 +451,17 @@ def clear_memo() -> None:
 
 
 def clear_disk_cache(*, all_versions: bool = False) -> int:
-    """Delete cached entries; returns the number of files removed.
+    """Delete cached inspector entries; returns the number removed.
 
     By default only the current code version's partition is cleared;
     ``all_versions=True`` removes every version partition under the root.
+    Only inspector partitions (16-hex-digit directories) are touched:
+    sibling data under the cache root — notably the learned cost store in
+    ``costs/`` — is other subsystems' and survives a full clear.  (An
+    unscoped ``rglob`` here used to wipe the cost store's JSON too.)
     """
     removed = 0
-    roots = [cache_root()] if all_versions else [cache_dir()]
+    roots = version_partitions() if all_versions else [cache_dir()]
     for root in roots:
         if not root.is_dir():
             continue
@@ -325,21 +482,21 @@ def cache_stats() -> dict:
     }
     root = cache_root()
     current = cache_dir()
-    entries = (
-        sorted(p.name for p in current.glob("*.json"))
-        if current.is_dir()
-        else []
+    current_entries = (
+        _partition_entries(current) if current.is_dir() else []
     )
     stale = 0
-    if root.is_dir():
-        for sub in root.iterdir():
-            if sub.is_dir() and sub != current:
-                stale += sum(1 for _ in sub.glob("*.json"))
+    for sub in version_partitions(root):
+        if sub != current:
+            stale += sum(1 for _ in sub.rglob("*.json"))
     return {
         "root": str(root),
         "code_version": code_version_hash()[:16],
         "disk_enabled": disk_enabled(),
-        "entries": len(entries),
+        "entries": len(current_entries),
+        "bytes": sum(size for _, _, size in current_entries),
+        "max_bytes": cache_max_bytes(),
+        "max_entries": cache_max_entries(),
         "stale_entries": stale,
         "memo_entries": len(_MEMO),
         "counters": counters,

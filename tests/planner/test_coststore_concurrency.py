@@ -1,0 +1,93 @@
+"""Cross-process cost-store safety: no lost updates, no path drift."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.planner.coststore import CostStore
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.planner.coststore import CostStore
+
+store = CostStore({path!r})
+for j in range({keys}):
+    store.record(f"proc{ident}-key{{j}}", "bucket", 0.01 * ({ident} + 1))
+"""
+
+
+class TestMultiProcessWriters:
+    def test_concurrent_recorders_lose_nothing(self, tmp_path):
+        # Each process does load-modify-flush of the whole JSON file; the
+        # merge-from-disk under the file lock must preserve every other
+        # writer's keys, where last-writer-wins used to clobber them.
+        path = tmp_path / "costs.json"
+        procs, keys_per_proc, nprocs = [], 8, 4
+        for ident in range(nprocs):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-c",
+                        _WRITER.format(
+                            src=SRC,
+                            path=str(path),
+                            keys=keys_per_proc,
+                            ident=ident,
+                        ),
+                    ]
+                )
+            )
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+
+        merged = CostStore(path)
+        expected = {
+            f"proc{i}-key{j}|bucket"
+            for i in range(nprocs)
+            for j in range(keys_per_proc)
+        }
+        assert set(merged.entries()) == expected
+
+    def test_merge_adopts_only_newer_disk_entries(self, tmp_path):
+        path = tmp_path / "costs.json"
+        ours = CostStore(path)
+        ours.record("shared", "bucket", 1.0)
+        # Another writer lands an *older* shared entry plus a new key.
+        theirs = json.loads(path.read_text())
+        theirs["entries"]["shared|bucket"]["seconds"] = 99.0
+        theirs["entries"]["shared|bucket"]["updated"] = 1.0
+        theirs["entries"]["other|bucket"] = {
+            "seconds": 2.0,
+            "count": 1,
+            "predicted": None,
+            "label": "",
+            "updated": 2.0,
+        }
+        path.write_text(json.dumps(theirs))
+        ours.record("shared", "bucket", 1.0)
+        final = CostStore(path)
+        assert final.lookup("other", "bucket") is not None
+        assert final.lookup("shared", "bucket")["seconds"] != 99.0
+
+
+class TestPathPinning:
+    def test_path_pinned_at_first_load(self, tmp_path, monkeypatch):
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        monkeypatch.setenv("REPRO_COSTS_DIR", str(first))
+        store = CostStore()
+        store.record("conv", "bucket", 0.5)
+        assert str(store.path).startswith(str(first))
+        # Re-pointing the env after first load must not re-point flushes:
+        # the cached entries and the file they came from stay paired.
+        monkeypatch.setenv("REPRO_COSTS_DIR", str(second))
+        store.record("conv2", "bucket", 0.5)
+        assert str(store.path).startswith(str(first))
+        assert not second.exists()
+        fresh = CostStore()
+        assert str(fresh.path).startswith(str(second))
