@@ -1,0 +1,305 @@
+"""Benchmark request-scoped tracing and the flight recorder.
+
+Four experiments against in-process ``ConversionServer`` instances
+driven by real ``ServeClient`` HTTP round-trips:
+
+* ``overhead`` — the same warm mixed-pair sweep against a recorder-on
+  (default) and a recorder-off (``record=False``) server, runs
+  interleaved on-off-on-off to cancel drift, best-of-3 each.  The
+  always-on request tracing + recorder should cost <5% rps; recorded
+  as a pin, not a hard gate (wall-clock numbers swing 20-30% between
+  CI runs — see the README benchmarking notes — so only >=2x
+  structural margins gate the exit status).
+* ``completeness`` — 16 concurrent client threads of mixed-pair
+  traffic; every 2xx response must carry a trace id whose
+  ``/debug/trace/<id>`` tree is private (every span tagged with that
+  id) and complete (convert + cache.lookup + execute under
+  serve.request).  Structural gate.
+* ``tail_sampling`` — errored requests injected, then a flood of fast
+  successes far beyond the recent ring's capacity; the errored traces
+  must remain retrievable and the recorder's two stores must stay at
+  or under their configured bounds.  Structural gate.
+* ``exemplars`` — the ``/metrics`` exposition's latency-bucket
+  exemplars must carry trace ids that resolve through
+  ``/debug/trace/<id>``.  Structural gate.
+
+Emits ``BENCH_pr9.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr9_flightrec.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.datagen.matrices import random_uniform  # noqa: E402
+from repro.serve import ConversionServer, ServeClient, coo_payload  # noqa: E402
+from repro.synthesis import clear_memo  # noqa: E402
+
+PAIRS = ["CSR", "CSC", "DIA", "MCOO"]
+
+
+def _request_list(count: int = 4, n: int = 24, nnz: int = 96):
+    matrices = [random_uniform(n, n, nnz, seed=seed) for seed in range(count)]
+    return [(coo_payload(m), dst) for m in matrices for dst in PAIRS]
+
+
+def _sweep(client: ServeClient, requests) -> float:
+    start = time.perf_counter()
+    for payload, dst in requests:
+        resp = client.convert(payload, dst)
+        assert resp["ok"], resp
+    return time.perf_counter() - start
+
+
+def bench_overhead() -> dict:
+    requests = _request_list()
+    on = ConversionServer(port=0, workers=4).start_in_background()
+    off = ConversionServer(
+        port=0, workers=4, record=False
+    ).start_in_background()
+    try:
+        client_on = ServeClient(on.address)
+        client_off = ServeClient(off.address)
+        # Warm synthesis (shared process memo) outside the clock.
+        _sweep(client_on, requests)
+        _sweep(client_off, requests)
+        on_runs, off_runs = [], []
+        for _ in range(5):  # interleaved to cancel machine drift
+            on_runs.append(_sweep(client_on, requests))
+            off_runs.append(_sweep(client_off, requests))
+        n = len(requests)
+        rps_on = n / min(on_runs)
+        rps_off = n / min(off_runs)
+        return {
+            "requests_per_sweep": n,
+            "recorder_on_rps": rps_on,
+            "recorder_off_rps": rps_off,
+            "overhead_pct": (rps_off - rps_on) / rps_off * 100.0,
+        }
+    finally:
+        on.shutdown()
+        off.shutdown()
+
+
+def bench_completeness() -> dict:
+    server = ConversionServer(port=0, workers=4).start_in_background()
+    try:
+        client = ServeClient(server.address)
+        requests = _request_list()  # 16 requests, one per thread
+        results: list = [None] * len(requests)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(len(requests))
+
+        def worker(slot):
+            try:
+                barrier.wait()
+                payload, dst = requests[slot]
+                results[slot] = client.convert(payload, dst)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(len(requests))
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        if errors:
+            raise errors[0]
+
+        complete = private = 0
+        for resp in results:
+            trace_id = resp["trace_id"]
+            root = client.debug_trace(trace_id)["root"]
+            nodes = []
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                nodes.append(node)
+                stack.extend(node["children"])
+            names = {n["name"] for n in nodes}
+            if (root["name"] == "serve.request"
+                    and {"convert", "cache.lookup", "execute"} <= names):
+                complete += 1
+            if {n["trace_id"] for n in nodes} == {trace_id}:
+                private += 1
+        return {
+            "concurrent_threads": len(requests),
+            "responses": len(results),
+            "complete_trees": complete,
+            "private_trees": private,
+        }
+    finally:
+        server.shutdown()
+
+
+def bench_tail_sampling() -> dict:
+    capacity, retain = 32, 64
+    server = ConversionServer(
+        port=0, workers=4,
+        recorder_capacity=capacity, recorder_retain=retain,
+    ).start_in_background()
+    try:
+        client = ServeClient(server.address)
+        bad = {"rows": 2, "cols": 2, "row": [0, 0], "col": [0, 0],
+               "val": [1.0, 2.0]}  # duplicate coordinate -> 400
+        error_ids = []
+        for index in range(8):
+            try:
+                client.convert(bad, "CSR", trace_id=f"err-{index}")
+            except Exception:  # noqa: BLE001 - the 400 is the point
+                error_ids.append(f"err-{index}")
+        payload, dst = _request_list(count=1)[0]
+        flood = 4 * capacity
+        for _ in range(flood):
+            assert client.convert(payload, dst)["ok"]
+        survived = sum(
+            1 for trace_id in error_ids
+            if _trace_resolves(client, trace_id)
+        )
+        stats = client.debug_requests()["recorder"]
+        return {
+            "errors_injected": len(error_ids),
+            "fast_flood": flood,
+            "errors_survived": survived,
+            "recent_size": stats["recent"],
+            "recent_capacity": stats["capacity"],
+            "retained_size": stats["retained"],
+            "retain_budget": stats["retain"],
+        }
+    finally:
+        server.shutdown()
+
+
+def _trace_resolves(client: ServeClient, trace_id: str) -> bool:
+    try:
+        doc = client.debug_trace(trace_id)
+    except Exception:  # noqa: BLE001 - 404 means evicted
+        return False
+    return doc["trace_id"] == trace_id
+
+
+def bench_exemplars() -> dict:
+    # The metrics registry is process-global: drop the earlier
+    # experiments' series so every exemplar seen here belongs to this
+    # server's recorder (a real daemon is a fresh process).
+    from repro.obs import METRICS
+
+    METRICS.reset()
+    server = ConversionServer(port=0, workers=2).start_in_background()
+    try:
+        client = ServeClient(server.address)
+        for payload, dst in _request_list(count=2):
+            assert client.convert(payload, dst)["ok"]
+        exemplars = client.metrics_exemplars()
+        convert_ids = {
+            ex["labels"]["trace_id"]
+            for (name, labels), ex in exemplars.items()
+            if name == "repro_serve_request_seconds_bucket"
+            and ("endpoint", "/convert") in labels
+        }
+        resolved = sum(
+            1 for trace_id in convert_ids
+            if _trace_resolves(client, trace_id)
+        )
+        return {
+            "exemplar_trace_ids": len(convert_ids),
+            "resolved_via_debug_trace": resolved,
+        }
+    finally:
+        server.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(REPO / "BENCH_pr9.json"))
+    args = ap.parse_args(argv)
+
+    report: dict = {"bench": "pr9_flightrec", "pairs": PAIRS}
+    with tempfile.TemporaryDirectory() as tmp:
+        saved = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        clear_memo()
+        try:
+            report["overhead"] = bench_overhead()
+            report["completeness"] = bench_completeness()
+            report["tail_sampling"] = bench_tail_sampling()
+            report["exemplars"] = bench_exemplars()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved
+            clear_memo()
+
+    comp = report["completeness"]
+    tail = report["tail_sampling"]
+    ex = report["exemplars"]
+    gates = {
+        "every_response_has_a_complete_trace":
+            comp["complete_trees"] == comp["responses"],
+        "every_trace_is_private":
+            comp["private_trees"] == comp["responses"],
+        "tail_sampling_keeps_errors_over_fresh_fast":
+            tail["errors_survived"] == tail["errors_injected"],
+        "recorder_memory_bounded":
+            tail["recent_size"] <= tail["recent_capacity"]
+            and tail["retained_size"] <= tail["retain_budget"],
+        "exemplar_ids_resolve":
+            ex["exemplar_trace_ids"] > 0
+            and ex["resolved_via_debug_trace"] == ex["exemplar_trace_ids"],
+    }
+    report["gates"] = gates
+    # Reported pin, deliberately not in the exit-status gates: wall-clock
+    # rps swings 20-30% between runs, so a <5% margin would be noise-gated.
+    report["pins"] = {
+        "recorder_overhead_under_5pct":
+            report["overhead"]["overhead_pct"] < 5.0,
+    }
+
+    out = Path(args.out)
+    with out.open("w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+
+    ov = report["overhead"]
+    print(f"recorder on:  {ov['recorder_on_rps']:8.1f} req/s")
+    print(f"recorder off: {ov['recorder_off_rps']:8.1f} req/s "
+          f"(overhead {ov['overhead_pct']:+.1f}%)")
+    print(f"completeness: {comp['complete_trees']}/{comp['responses']} "
+          f"complete, {comp['private_trees']}/{comp['responses']} private "
+          f"({comp['concurrent_threads']} threads)")
+    print(f"tail sampling: {tail['errors_survived']}/"
+          f"{tail['errors_injected']} errors survived a "
+          f"{tail['fast_flood']}-request flood "
+          f"(recent {tail['recent_size']}/{tail['recent_capacity']}, "
+          f"retained {tail['retained_size']}/{tail['retain_budget']})")
+    print(f"exemplars: {ex['resolved_via_debug_trace']}/"
+          f"{ex['exemplar_trace_ids']} trace ids resolve")
+    print(f"wrote {out}")
+
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print("GATE FAILURES: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    print("all structural gates passed"
+          + ("" if report["pins"]["recorder_overhead_under_5pct"]
+             else " (overhead pin exceeded 5% — reported, not gated)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,18 +26,27 @@ Commands:
   (``--trace`` adds per-combo span attribution),
 * ``trace SRC DST`` — run one traced conversion on a random matrix and
   print its span tree (synthesis phases, per-statement runtime timing);
-  ``--out DIR`` writes Chrome-trace / JSONL / Prometheus artifacts,
+  ``--out DIR`` writes Chrome-trace / JSONL / Prometheus artifacts;
+  ``trace --id TRACE_ID --addr HOST:PORT`` instead fetches a recorded
+  request trace from a live daemon's flight recorder (``--format
+  tree|json|chrome``),
 * ``stats`` — print the unified telemetry snapshot (``--format
   json|prom|table``); the same numbers as ``cache stats`` and the
-  ``REPRO_CACHE_STATS_FILE`` dump,
+  ``REPRO_CACHE_STATS_FILE`` dump; ``--addr HOST:PORT`` / ``--unix
+  PATH`` scrapes a live daemon's ``/stats`` instead,
 * ``cache stats|clear|warm`` — inspect, clear, or pre-populate the
   persistent inspector cache (``$REPRO_CACHE_DIR``, default
   ``~/.cache/repro-spf``); ``clear`` touches only inspector partitions,
   never the learned-cost store,
 * ``serve`` — run the conversion-as-a-service daemon: a JSON HTTP API
   (TCP or ``--unix`` socket) with validation-gated admission, request
-  coalescing on synthesis fingerprints, a bounded worker pool, and a
-  live Prometheus ``/metrics`` endpoint.
+  coalescing on synthesis fingerprints, a bounded worker pool,
+  request-scoped tracing with a flight recorder (``/debug/requests``,
+  ``/debug/trace/<id>``, ``/debug/slowlog``), a live Prometheus
+  ``/metrics`` endpoint with trace exemplars, and ``--access-log PATH``
+  structured JSONL request logging,
+* ``tail ADDR`` — follow a live daemon's request log (trace id, pair,
+  backend, cache outcome, latency per request).
 
 ``--profile`` (any command) prints a phase-attributed timing report to
 stderr on exit: synthesis time split across compose/solve/codegen, IR memo
@@ -381,6 +390,70 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_client(args):
+    """A ServeClient for ``--addr``/``--unix`` flags, or None."""
+    from repro.serve import ServeClient, parse_address
+
+    if getattr(args, "unix", None):
+        return ServeClient(args.unix)
+    if getattr(args, "addr", None):
+        return ServeClient(parse_address(args.addr))
+    return None
+
+
+def _render_remote_tree(node: dict, indent: int = 0) -> str:
+    """Render a ``/debug/trace/<id>`` span-tree document like
+    :meth:`repro.obs.Span.render` (same alignment, remote data)."""
+    attrs = ", ".join(
+        f"{k}={v}" for k, v in sorted(node.get("attrs", {}).items())
+    )
+    thread = node.get("thread")
+    if thread:
+        attrs = f"thread={thread}" + (f", {attrs}" if attrs else "")
+    suffix = f"  [{attrs}]" if attrs else ""
+    lines = [
+        f"{'  ' * indent}{node['name']:<{max(1, 44 - 2 * indent)}s}"
+        f"{node.get('dur_us', 0.0) / 1e3:10.3f} ms{suffix}"
+    ]
+    for child in node.get("children", ()):
+        lines.append(_render_remote_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _cmd_trace_remote(args) -> int:
+    import json
+
+    from repro.serve import ServeError
+
+    client = _serve_client(args)
+    if client is None:
+        print("error: --id needs --addr HOST:PORT or --unix PATH",
+              file=sys.stderr)
+        return 2
+    try:
+        doc = client.debug_trace(
+            args.id, format="chrome" if args.format == "chrome" else None
+        )
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "chrome":
+        print(json.dumps(doc, indent=1))
+    elif args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        request = doc.get("request", {})
+        print(
+            f"# trace {doc.get('trace_id', args.id)}: "
+            f"{request.get('pair', '')} status {request.get('status')} "
+            f"{request.get('seconds', 0.0) * 1e3:.3f} ms "
+            f"cache={request.get('cache', '') or '-'}",
+            file=sys.stderr,
+        )
+        print(_render_remote_tree(doc["root"]))
+    return 0
+
+
 def cmd_trace(args) -> int:
     import os
 
@@ -390,6 +463,12 @@ def cmd_trace(args) -> int:
     from repro.planner import convert_via_plan
     from repro.synthesis import clear_memo
 
+    if args.id:
+        return _cmd_trace_remote(args)
+    if not args.src or not args.dst:
+        print("error: trace needs SRC DST (or --id TRACE_ID with "
+              "--addr/--unix)", file=sys.stderr)
+        return 2
     matrix = random_uniform(
         args.rows, args.cols, args.nnz, seed=args.seed
     )
@@ -429,7 +508,16 @@ def cmd_stats(args) -> int:
 
     import repro.obs as obs
 
-    if args.input:
+    client = _serve_client(args)
+    if client is not None:
+        from repro.serve import ServeError
+
+        try:
+            snapshot = client.stats()
+        except (ServeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif args.input:
         with open(args.input, encoding="utf-8") as fh:
             snapshot = json.load(fh)
     else:
@@ -486,6 +574,50 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_tail(args) -> int:
+    """Follow a live daemon's recent-request table (``repro tail``)."""
+    import datetime
+    import time as _time
+
+    from repro.serve import ServeClient, ServeError, parse_address
+
+    try:
+        client = ServeClient(parse_address(args.addr))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    last_ts = 0.0
+    while True:
+        try:
+            doc = client.debug_requests(limit=args.limit)
+        except (ServeError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        # /debug/requests is newest-first; print oldest-first, only rows
+        # we have not shown yet.
+        for row in reversed(doc.get("requests", [])):
+            if row["ts"] <= last_ts:
+                continue
+            last_ts = row["ts"]
+            stamp = datetime.datetime.fromtimestamp(
+                row["ts"]
+            ).strftime("%H:%M:%S")
+            flag = f"  [{row['reason']}]" if row.get("reason") else ""
+            what = row.get("pair") or row.get("endpoint", "")
+            print(
+                f"{stamp} {row['trace_id']:<16s} {row['status']} "
+                f"{what:<14s} {row.get('backend', ''):<7s} "
+                f"{row.get('cache', '') or '-':<10s} "
+                f"{row['seconds'] * 1e3:9.3f} ms{flag}"
+            )
+        if args.once:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve import ConversionServer
 
@@ -497,6 +629,9 @@ def cmd_serve(args) -> int:
         backlog=args.backlog,
         backend=args.backend,
         validate=args.validate,
+        record=not args.no_record,
+        slow_ms=args.slow_ms,
+        access_log=args.access_log,
     )
     # Background-start first so the *bound* address (port 0 = ephemeral)
     # is printable, then park the main thread on the server thread.
@@ -510,7 +645,9 @@ def cmd_serve(args) -> int:
         f"repro serve: listening on {where} "
         f"({server.workers} workers, backend={args.backend}, "
         f"validate={args.validate}); endpoints: POST /convert, "
-        f"GET /metrics /stats /healthz",
+        f"GET /metrics /stats /healthz"
+        + ("" if args.no_record
+           else " /debug/requests /debug/trace/<id> /debug/slowlog"),
         file=sys.stderr,
     )
     try:
@@ -642,10 +779,22 @@ def main(argv: list[str] | None = None) -> int:
     p_trace = sub.add_parser(
         "trace",
         help="run one traced conversion on a random matrix and print "
-             "its span tree (synthesis phases + per-statement runtime)",
+             "its span tree (synthesis phases + per-statement runtime); "
+             "--id TRACE_ID fetches a recorded trace from a live daemon",
     )
-    p_trace.add_argument("src", help="source format name")
-    p_trace.add_argument("dst", help="destination format name")
+    p_trace.add_argument("src", nargs="?", help="source format name")
+    p_trace.add_argument("dst", nargs="?", help="destination format name")
+    p_trace.add_argument("--id", metavar="TRACE_ID",
+                         help="fetch this trace from a live daemon's "
+                              "flight recorder (needs --addr or --unix)")
+    p_trace.add_argument("--addr", metavar="HOST:PORT",
+                         help="daemon TCP address for --id")
+    p_trace.add_argument("--unix", metavar="PATH",
+                         help="daemon unix-socket path for --id")
+    p_trace.add_argument("--format", choices=["tree", "json", "chrome"],
+                         default="tree",
+                         help="--id output: rendered tree (default), the "
+                              "span-tree JSON, or Chrome trace-event JSON")
     p_trace.add_argument("--backend", choices=BACKENDS,
                          default="python")
     p_trace.add_argument("--rows", type=int, default=64)
@@ -672,6 +821,12 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("--input", metavar="FILE",
                          help="render a previously dumped stats.json "
                               "instead of this process's registries")
+    p_stats.add_argument("--addr", metavar="HOST:PORT",
+                         help="scrape a live daemon's /stats over TCP "
+                              "instead of this process's registries")
+    p_stats.add_argument("--unix", metavar="PATH",
+                         help="scrape a live daemon's /stats over a "
+                              "unix socket")
 
     p_passes = sub.add_parser(
         "passes",
@@ -729,6 +884,29 @@ def main(argv: list[str] | None = None) -> int:
                          default="inputs",
                          help="default validation gate for requests "
                               "that do not specify one")
+    p_serve.add_argument("--access-log", metavar="PATH",
+                         help="append one JSON line per request (trace "
+                              "id, status, latency, pair, cache outcome)")
+    p_serve.add_argument("--slow-ms", type=float, default=250.0,
+                         help="latency above which the flight recorder "
+                              "retains a request's trace (default 250)")
+    p_serve.add_argument("--no-record", action="store_true",
+                         help="disable the in-memory flight recorder "
+                              "(and with it the /debug endpoints)")
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="follow a live daemon's request log (the flight recorder's "
+             "recent-request table)",
+    )
+    p_tail.add_argument("addr", metavar="ADDR",
+                        help="HOST:PORT or a unix-socket path")
+    p_tail.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval in seconds (default 2)")
+    p_tail.add_argument("--limit", type=int, default=50,
+                        help="rows fetched per poll (default 50)")
+    p_tail.add_argument("--once", action="store_true",
+                        help="print the current table once and exit")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -745,6 +923,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "cache": cmd_cache,
         "serve": cmd_serve,
+        "tail": cmd_tail,
     }
     status = handlers[args.command](args)
     if args.profile:

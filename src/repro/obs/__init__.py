@@ -30,10 +30,16 @@ from .core import (
     NOOP_SPAN,
     Span,
     TRACER,
+    TraceContext,
     add_span,
+    adopt,
+    capture,
+    new_trace_id,
     span,
     tracing,
+    valid_trace_id,
 )
+from .flight import FlightRecorder, RequestRecord
 from .metrics import (
     Counter,
     Gauge,
@@ -48,8 +54,10 @@ from .export import (
     chrome_trace,
     jsonl_events,
     PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_exemplars,
     parse_prometheus_text,
     prometheus_text,
+    span_tree,
     validate_chrome_trace,
     write_all,
     write_chrome_trace,
@@ -59,28 +67,37 @@ from .export import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "RequestRecord",
     "Span",
     "TRACER",
+    "TraceContext",
     "add_span",
+    "adopt",
     "atomic_write_text",
+    "capture",
     "chrome_trace",
     "counter",
     "gauge",
     "histogram",
     "jsonl_events",
+    "new_trace_id",
     "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus_exemplars",
     "parse_prometheus_text",
     "prometheus_text",
     "reset_all",
     "span",
+    "span_tree",
     "trace_dir",
     "tracing",
     "unified_snapshot",
+    "valid_trace_id",
     "validate_chrome_trace",
     "write_all",
     "write_chrome_trace",

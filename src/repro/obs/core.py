@@ -23,8 +23,10 @@ the executor — can use it without import cycles.
 from __future__ import annotations
 
 import os
+import re
 import threading
 import time
+import uuid
 from typing import Iterator, Optional
 
 #: perf_counter origin all span timestamps are relative to; exporters use
@@ -34,6 +36,21 @@ T0 = time.perf_counter()
 
 def _env_enabled() -> bool:
     return os.environ.get("REPRO_TRACE", "") not in ("", "0", "false", "off")
+
+
+#: Shape of an acceptable trace id — client-supplied ids outside this are
+#: rejected (serve) or ignored (headers) rather than echoed verbatim.
+TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id (random, process-independent)."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(value) -> bool:
+    """Is ``value`` an acceptable (client-supplied) trace id?"""
+    return isinstance(value, str) and bool(TRACE_ID_RE.match(value))
 
 
 class Span:
@@ -48,6 +65,7 @@ class Span:
         "children",
         "span_id",
         "tid",
+        "trace_id",
     )
 
     def __init__(self, name: str, category: str = "", attrs: dict | None = None):
@@ -59,6 +77,7 @@ class Span:
         self.end: float = 0.0
         self.span_id: int = 0
         self.tid: int = 0
+        self.trace_id: str = ""
 
     # -- attribute helpers -------------------------------------------------
     def set(self, **attrs) -> "Span":
@@ -128,6 +147,9 @@ class _NoopSpan:
     children: tuple = ()
     start = end = 0.0
     duration = 0.0
+    span_id = 0
+    tid = 0
+    trace_id = ""
 
     def set(self, **_attrs) -> "_NoopSpan":
         return self
@@ -150,6 +172,44 @@ class _NoopSpan:
 
 NOOP_SPAN = _NoopSpan()
 
+
+class TraceContext:
+    """A portable attachment point linking work on other threads into an
+    originating span tree.
+
+    Produced on the requesting side (:meth:`Tracer.capture`, or built
+    directly around a detached root span as the conversion daemon does)
+    and consumed on a worker thread with :meth:`Tracer.adopt`: while
+    adopted, spans opened on the worker attach as children of
+    ``parent`` instead of becoming orphan roots of the pool thread, and
+    tracing is thread-locally forced to ``active``.
+
+    ``detail`` gates the heavyweight per-statement executor
+    instrumentation: always-on service tracing keeps the span tree
+    (synthesis phases, cache outcome, execute) but skips the per-``stmt``
+    clock hooks unless explicitly requested.
+    """
+
+    __slots__ = ("trace_id", "parent", "active", "detail")
+
+    def __init__(
+        self,
+        trace_id: str = "",
+        parent: Optional[Span] = None,
+        active: bool = True,
+        detail: bool = True,
+    ):
+        self.trace_id = trace_id
+        self.parent = parent
+        self.active = active
+        self.detail = detail
+
+    def __repr__(self):
+        return (
+            f"TraceContext({self.trace_id!r}, parent="
+            f"{self.parent and self.parent.name!r}, active={self.active})"
+        )
+
 #: Keep at most this many finished root spans; beyond it the oldest are
 #: dropped (a traced long-running service must not grow without bound).
 MAX_ROOTS = 4096
@@ -164,6 +224,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._next_id = 1
+        self._thread_names: dict[int, str] = {}
 
     # -- enablement --------------------------------------------------------
     @property
@@ -205,6 +266,132 @@ class Tracer:
         ``planner.execute`` and the fuzzer maps to.
         """
         return Tracer._Forced(self, value)
+
+    def stmt_detail(self) -> bool:
+        """Should traced executions compile per-statement instrumentation?
+
+        ``True`` (the default) preserves the historical deep-trace
+        behavior of ``REPRO_TRACE=1`` / ``trace=True``; an adopted
+        :class:`TraceContext` with ``detail=False`` (the conversion
+        daemon's always-on mode) keeps the ``execute`` span but skips the
+        per-``stmt`` clock hooks.
+        """
+        return getattr(self._local, "stmt_detail", True)
+
+    # -- cross-thread context handoff --------------------------------------
+    def capture(self) -> TraceContext:
+        """The calling thread's current attachment point, made portable.
+
+        Hand the result to another thread and enter :meth:`adopt` there:
+        spans opened while adopted join this thread's tree instead of
+        rooting on the worker.
+        """
+        stack = getattr(self._local, "stack", None)
+        return TraceContext(
+            trace_id=stack[0].trace_id if stack else "",
+            parent=stack[-1] if stack else None,
+            active=self.active(),
+            detail=self.stmt_detail(),
+        )
+
+    class _Adopted:
+        __slots__ = ("_tracer", "_ctx", "_saved", "_saved_detail", "_pushed")
+
+        def __init__(self, tracer: "Tracer", ctx: Optional[TraceContext]):
+            self._tracer = tracer
+            self._ctx = ctx
+            self._pushed = False
+
+        def __enter__(self):
+            if self._ctx is None:
+                return self
+            local = self._tracer._local
+            self._saved = getattr(local, "override", None)
+            self._saved_detail = getattr(local, "stmt_detail", None)
+            local.override = self._ctx.active
+            local.stmt_detail = self._ctx.detail
+            if self._ctx.parent is not None:
+                self._tracer._stack().append(self._ctx.parent)
+                self._pushed = True
+            return self
+
+        def __exit__(self, *_exc):
+            if self._ctx is None:
+                return
+            if self._pushed:
+                stack = self._tracer._stack()
+                # Leaked child spans above the adopted parent (an
+                # exception mid-span) must not escape the adoption.
+                while stack and stack[-1] is not self._ctx.parent:
+                    stack.pop()
+                if stack:
+                    stack.pop()
+            local = self._tracer._local
+            local.override = self._saved
+            if self._saved_detail is None:
+                local.stmt_detail = True
+            else:
+                local.stmt_detail = self._saved_detail
+
+    def adopt(self, ctx: Optional[TraceContext]) -> "Tracer._Adopted":
+        """Attach this thread's spans under ``ctx``'s parent span.
+
+        ``None`` is a no-op context manager, so call sites can pass an
+        optional context through unconditionally.  While adopted, tracing
+        is forced to ``ctx.active`` for the thread and new spans nest
+        under ``ctx.parent`` — the cross-thread reparenting the
+        conversion daemon's worker pool uses to keep a served request's
+        synthesis/execute spans inside its ``serve.request`` tree.
+        """
+        return Tracer._Adopted(self, ctx)
+
+    # -- detached spans -----------------------------------------------------
+    def open_span(
+        self,
+        name: str,
+        category: str = "",
+        trace_id: str = "",
+        **attrs,
+    ) -> Span:
+        """Open a started span owned by the caller, on no thread's stack.
+
+        Built for event-loop code where ``with span(...)`` is wrong: many
+        requests interleave on one thread, so stack nesting would tangle
+        their trees.  The span gets an id, a trace id (fresh unless
+        given), and its start timestamp; close it with
+        :meth:`close_span`.  Children attach via :meth:`adopt` on worker
+        threads — never via this thread's stack.
+        """
+        span = Span(name, category, attrs)
+        span.trace_id = trace_id or new_trace_id()
+        span.start = time.perf_counter()
+        thread = threading.current_thread()
+        span.tid = thread.ident or 0
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            self._thread_names[span.tid] = thread.name
+        return span
+
+    def close_span(self, span: Span, *, register: bool = False) -> Span:
+        """Stamp a detached span's end; optionally record it as a root.
+
+        The conversion daemon leaves ``register=False`` and hands the
+        tree to its flight recorder instead, so a long-running service
+        does not flood the process root buffer.
+        """
+        span.end = time.perf_counter()
+        if register:
+            with self._lock:
+                self._roots.append(span)
+                if len(self._roots) > MAX_ROOTS:
+                    del self._roots[: len(self._roots) - MAX_ROOTS]
+        return span
+
+    def thread_names(self) -> dict[int, str]:
+        """A snapshot of thread ids seen by the tracer, to their names."""
+        with self._lock:
+            return dict(self._thread_names)
 
     # -- span construction -------------------------------------------------
     def span(self, name: str, category: str = "", **attrs):
@@ -249,11 +436,17 @@ class Tracer:
         return stack[-1] if stack else None
 
     def _push(self, span: Span) -> None:
-        span.tid = threading.get_ident()
+        thread = threading.current_thread()
+        span.tid = thread.ident or 0
         with self._lock:
             span.span_id = self._next_id
             self._next_id += 1
-        self._stack().append(span)
+            self._thread_names[span.tid] = thread.name
+        stack = self._stack()
+        if not span.trace_id:
+            # Roots start a new trace; children inherit the tree's id.
+            span.trace_id = stack[0].trace_id if stack else new_trace_id()
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
@@ -273,8 +466,12 @@ class Tracer:
                 self._next_id += 1
         parent = self.current()
         if parent is not None:
+            if not span.trace_id:
+                span.trace_id = parent.trace_id
             parent.children.append(span)
             return
+        if not span.trace_id:
+            span.trace_id = new_trace_id()
         with self._lock:
             self._roots.append(span)
             if len(self._roots) > MAX_ROOTS:
@@ -309,3 +506,5 @@ TRACER = Tracer()
 span = TRACER.span
 add_span = TRACER.add_span
 tracing = TRACER.active
+capture = TRACER.capture
+adopt = TRACER.adopt

@@ -73,12 +73,19 @@ def write_jsonl(path: str | Path, spans: Optional[Iterable[Span]] = None) -> Non
 # Chrome trace-event format (Perfetto / chrome://tracing)
 # ----------------------------------------------------------------------
 def chrome_trace(spans: Optional[Iterable[Span]] = None) -> dict:
-    """The trace as a Chrome trace-event JSON object (complete events)."""
+    """The trace as a Chrome trace-event JSON object.
+
+    Complete (``ph:"X"``) events for every span, preceded by
+    ``thread_name`` metadata (``ph:"M"``) events so Perfetto renders the
+    worker pool by name (``repro-serve-N``) instead of raw thread ids.
+    """
     pid = os.getpid()
     events = []
     roots = TRACER.finished_roots() if spans is None else list(spans)
+    tids: set[int] = set()
     for root in roots:
         for span in root.walk():
+            tids.add(span.tid)
             events.append(
                 {
                     "name": span.name,
@@ -91,8 +98,20 @@ def chrome_trace(spans: Optional[Iterable[Span]] = None) -> dict:
                     "args": span.attrs,
                 }
             )
+    names = TRACER.thread_names()
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": names[tid]},
+        }
+        for tid in sorted(tids)
+        if tid in names
+    ]
     return {
-        "traceEvents": events,
+        "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs"},
     }
@@ -104,13 +123,41 @@ def write_chrome_trace(
     atomic_write_text(path, json.dumps(chrome_trace(spans), indent=1))
 
 
+def span_tree(span: Span) -> dict:
+    """One span tree as a nested JSON-compatible document.
+
+    The shape behind ``GET /debug/trace/<id>``: name, category, ids,
+    thread attribution (id *and* name, so a remote reader needs no
+    access to this process), microsecond offsets, attrs, and recursively
+    the children.
+    """
+    names = TRACER.thread_names()
+
+    def node(s: Span) -> dict:
+        return {
+            "name": s.name,
+            "category": s.category,
+            "span_id": s.span_id,
+            "trace_id": s.trace_id,
+            "tid": s.tid,
+            "thread": names.get(s.tid, ""),
+            "start_us": round((s.start - T0) * 1e6, 3),
+            "dur_us": round(s.duration * 1e6, 3),
+            "attrs": s.attrs,
+            "children": [node(c) for c in s.children],
+        }
+
+    return node(span)
+
+
 def validate_chrome_trace(obj: dict) -> list[str]:
     """Schema-check a Chrome trace object; returns a list of problems.
 
-    Checks the subset of the trace-event format that Perfetto requires
-    for complete (``"ph": "X"``) events: the ``traceEvents`` array, and
-    per event the name/phase/timestamp/duration/pid/tid fields with
-    JSON-compatible types.
+    Checks the subset of the trace-event format that Perfetto requires:
+    the ``traceEvents`` array, complete (``"ph": "X"``) events with
+    name/timestamp/duration/pid/tid fields of JSON-compatible types, and
+    metadata (``"ph": "M"``) events — thread/process naming — with a
+    string ``args.name``.
     """
     problems: list[str] = []
     if not isinstance(obj, dict):
@@ -125,18 +172,27 @@ def validate_chrome_trace(obj: dict) -> list[str]:
             continue
         if not isinstance(event.get("name"), str) or not event.get("name"):
             problems.append(f"{where}: missing or empty name")
-        if event.get("ph") != "X":
-            problems.append(f"{where}: expected complete event ph='X'")
-        for field in ("ts", "dur"):
-            value = event.get(field)
-            if not isinstance(value, (int, float)) or value < 0:
-                problems.append(f"{where}: {field} must be a number >= 0")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(
+                f"{where}: expected complete (ph='X') or metadata "
+                f"(ph='M') event"
+            )
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {field} must be a number >= 0"
+                    )
         for field in ("pid", "tid"):
             if not isinstance(event.get(field), int):
                 problems.append(f"{where}: {field} must be an integer")
         args = event.get("args", {})
         if not isinstance(args, dict):
             problems.append(f"{where}: args must be an object")
+        if phase == "M" and not isinstance(args.get("name"), str):
+            problems.append(f"{where}: metadata args.name must be a string")
     return problems
 
 
@@ -184,6 +240,21 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _exemplar_suffix(exemplar: Optional[dict]) -> str:
+    """The OpenMetrics exemplar tail for one histogram bucket line.
+
+    ``# {trace_id="abc"} 0.0042 1700000000.0`` — linking the bucket to
+    the trace that last landed in it.  Empty when no exemplar was
+    recorded.
+    """
+    if not exemplar:
+        return ""
+    return (
+        f' # {{trace_id="{_escape_label_value(exemplar["trace_id"])}"}}'
+        f' {_fmt(float(exemplar["value"]))} {_fmt(float(exemplar["ts"]))}'
+    )
+
+
 def prometheus_text(snapshot: Optional[dict] = None) -> str:
     """The unified snapshot in Prometheus text exposition format.
 
@@ -229,16 +300,27 @@ def prometheus_text(snapshot: Optional[dict] = None) -> str:
             for sample in metric["samples"]:
                 labels = sample["labels"]
                 value = sample["value"]
-                for bound, count in zip(bounds, value["buckets"]):
+                exemplars = value.get("exemplars") or [None] * (
+                    len(bounds) + 1
+                )
+                for index, (bound, count) in enumerate(
+                    zip(bounds, value["buckets"])
+                ):
                     bucket_labels = dict(labels, le=repr(float(bound)))
                     lines.append(
                         f"{prom}_bucket{_prom_labels(bucket_labels)} "
                         f"{count}"
+                        + _exemplar_suffix(exemplars[index])
                     )
                 inf_labels = dict(labels, le="+Inf")
                 lines.append(
                     f"{prom}_bucket{_prom_labels(inf_labels)} "
                     f"{value['count']}"
+                    + _exemplar_suffix(
+                        exemplars[len(bounds)]
+                        if len(exemplars) > len(bounds)
+                        else None
+                    )
                 )
                 lines.append(
                     f"{prom}_sum{_prom_labels(labels)} {_fmt(value['sum'])}"
@@ -278,23 +360,21 @@ def write_prometheus(
     atomic_write_text(path, prometheus_text(snapshot))
 
 
+_NUMBER = r"[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|Inf|NaN)"
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|Inf|NaN))\s*$"
+    rf"\s+(?P<value>{_NUMBER})"
+    r"(?:\s+#\s+\{(?P<exlabels>[^}]*)\}"
+    rf"\s+(?P<exvalue>{_NUMBER})(?:\s+(?P<exts>{_NUMBER}))?)?"
+    r"\s*$"
 )
 _LABEL_RE = re.compile(
     r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
 )
 
 
-def parse_prometheus_text(text: str) -> dict:
-    """Parse text exposition into ``{(name, labels...): value}``.
-
-    A strict-enough validator for tests and CI: every non-comment line
-    must match the sample grammar or a ``ValueError`` is raised.
-    """
-    samples: dict = {}
+def _parse_samples(text: str):
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip() or line.startswith("#"):
             continue
@@ -303,11 +383,48 @@ def parse_prometheus_text(text: str) -> dict:
             raise ValueError(
                 f"line {lineno} is not a valid Prometheus sample: {line!r}"
             )
+        yield match
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse text exposition into ``{(name, labels...): value}``.
+
+    A strict-enough validator for tests and CI: every non-comment line
+    must match the sample grammar or a ``ValueError`` is raised.
+    OpenMetrics exemplar suffixes (``# {trace_id="..."} v ts``) are
+    accepted and ignored here; :func:`parse_prometheus_exemplars`
+    extracts them.
+    """
+    samples: dict = {}
+    for match in _parse_samples(text):
         labels = tuple(
             sorted(_LABEL_RE.findall(match.group("labels") or ""))
         )
         samples[(match.group("name"), labels)] = float(match.group("value"))
     return samples
+
+
+def parse_prometheus_exemplars(text: str) -> dict:
+    """The exemplars of an exposition: ``{(name, labels...): exemplar}``.
+
+    Each exemplar is ``{"labels": {...}, "value": float, "ts": float |
+    None}`` — for the serve histograms the exemplar labels carry the
+    ``trace_id`` a ``/debug/trace/<id>`` lookup takes.
+    """
+    exemplars: dict = {}
+    for match in _parse_samples(text):
+        if match.group("exlabels") is None:
+            continue
+        labels = tuple(
+            sorted(_LABEL_RE.findall(match.group("labels") or ""))
+        )
+        ts = match.group("exts")
+        exemplars[(match.group("name"), labels)] = {
+            "labels": dict(_LABEL_RE.findall(match.group("exlabels"))),
+            "value": float(match.group("exvalue")),
+            "ts": float(ts) if ts is not None else None,
+        }
+    return exemplars
 
 
 # ----------------------------------------------------------------------

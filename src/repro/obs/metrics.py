@@ -20,6 +20,7 @@ the numbers were recorded.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Mapping, Optional, Sequence
 
 #: Default histogram bucket upper bounds, in seconds (latency-shaped).
@@ -96,7 +97,15 @@ class Gauge(Metric):
 
 
 class Histogram(Metric):
-    """Cumulative-bucket histogram (Prometheus semantics) plus min/max."""
+    """Cumulative-bucket histogram (Prometheus semantics) plus min/max.
+
+    ``observe(..., exemplar=trace_id)`` attaches an OpenMetrics-style
+    exemplar to the smallest bucket containing the observation (and the
+    implicit ``+Inf`` bucket when it overflows every bound): the last
+    trace id seen per bucket, with its value and unix timestamp.  The
+    Prometheus exposition renders these as ``# {trace_id="..."} v ts``
+    suffixes, linking latency buckets back to ``/debug/trace/<id>``.
+    """
 
     kind = "histogram"
 
@@ -109,7 +118,7 @@ class Histogram(Metric):
         super().__init__(name, help)
         self.buckets = tuple(sorted(buckets))
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: str | None = None, **labels) -> None:
         key = _label_key(labels)
         with self._lock:
             series = self._series.get(key)
@@ -120,19 +129,36 @@ class Histogram(Metric):
                     "min": value,
                     "max": value,
                     "buckets": [0] * len(self.buckets),
+                    # One slot per bucket plus the implicit +Inf bucket.
+                    "exemplars": [None] * (len(self.buckets) + 1),
                 }
             series["count"] += 1
             series["sum"] += value
             series["min"] = min(series["min"], value)
             series["max"] = max(series["max"], value)
+            slot = len(self.buckets)
             for index, bound in enumerate(self.buckets):
                 if value <= bound:
                     series["buckets"][index] += 1
+                    slot = min(slot, index)
+            if exemplar:
+                series["exemplars"][slot] = {
+                    "trace_id": str(exemplar),
+                    "value": value,
+                    "ts": time.time(),
+                }
 
     def _samples(self) -> list[dict]:
         with self._lock:
             items = [
-                (key, dict(value, buckets=list(value["buckets"])))
+                (
+                    key,
+                    dict(
+                        value,
+                        buckets=list(value["buckets"]),
+                        exemplars=list(value.get("exemplars") or ()),
+                    ),
+                )
                 for key, value in self._series.items()
             ]
         return [

@@ -15,7 +15,7 @@ True
 >>> server.shutdown()
 """
 
-from .client import ServeClient, ServeError, coo_payload
+from .client import ServeClient, ServeError, coo_payload, parse_address
 from .protocol import (
     SCHEMA,
     ProtocolError,
@@ -32,6 +32,7 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "coo_payload",
+    "parse_address",
     "parse_convert_request",
     "parse_matrix",
     "serialize_container",

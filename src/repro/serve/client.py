@@ -43,6 +43,29 @@ class _UnixHTTPConnection(http.client.HTTPConnection):
         self.sock = sock
 
 
+def parse_address(text: str) -> tuple[str, int] | str:
+    """``HOST:PORT`` or a unix-socket path, as a ServeClient address.
+
+    Anything containing a ``/`` (or starting with ``@`` for the abstract
+    namespace) is a unix path; otherwise ``HOST:PORT`` with a required
+    numeric port.  The shared parser behind ``repro tail ADDR``,
+    ``repro stats --addr`` and ``repro trace --addr``.
+    """
+    if "/" in text or text.startswith("@"):
+        return text
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {text!r} is neither HOST:PORT nor a unix-socket path"
+        )
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise ValueError(
+            f"address {text!r} has a non-numeric port {port!r}"
+        ) from None
+
+
 def coo_payload(matrix) -> dict:
     """A COO container (or anything with row/col/val) as wire JSON."""
     return {
@@ -136,3 +159,26 @@ class ServeClient:
         from repro.obs import parse_prometheus_text
 
         return parse_prometheus_text(self.metrics_text())
+
+    def metrics_exemplars(self) -> dict:
+        """The /metrics scrape's exemplars: ``{(name, labels): exemplar}``."""
+        from repro.obs import parse_prometheus_exemplars
+
+        return parse_prometheus_exemplars(self.metrics_text())
+
+    # -- debug endpoints ------------------------------------------------
+    def debug_requests(self, limit: int | None = None) -> dict:
+        """The flight recorder's recent-request table."""
+        query = f"?limit={limit}" if limit else ""
+        return self._json("GET", f"/debug/requests{query}")
+
+    def slowlog(self, limit: int | None = None) -> dict:
+        """Retained slow/errored/shed requests, newest first."""
+        query = f"?limit={limit}" if limit else ""
+        return self._json("GET", f"/debug/slowlog{query}")
+
+    def debug_trace(self, trace_id: str, format: str | None = None) -> dict:
+        """One recorded request's span tree (``format="chrome"`` for
+        Perfetto-loadable trace-event JSON)."""
+        query = f"?format={format}" if format else ""
+        return self._json("GET", f"/debug/trace/{trace_id}{query}")

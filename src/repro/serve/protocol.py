@@ -16,17 +16,23 @@ A convert request::
      "optimize": true,
      "binary_search": false,
      "plan": false,             # route through the multi-step planner
-     "assume_sorted": null}     # null = detect from the data
+     "assume_sorted": null,     # null = detect from the data
+     "trace_id": "abc123"}      # optional client-supplied correlation id
 
 A successful response::
 
     {"ok": true, "schema": "repro-serve/1", "format": "CSR",
      "result": {"arrays": {...}, "shape": {...}},
-     "meta": {"backend": "...", "seconds": ..., "coalesced": ...}}
+     "trace_id": "abc123",
+     "meta": {"backend": "...", "seconds": ..., "trace_id": "abc123"}}
 
 Failures carry ``{"ok": false, "error": {"type": ..., "message": ...}}``
 with the :class:`~repro.errors.ValidationError` subclass name in
-``type`` for gate rejections.
+``type`` for gate rejections.  Every ``/convert`` response — success or
+failure — echoes its trace id both in the body and in the
+``X-Repro-Trace-Id`` header; a client-supplied ``trace_id`` (the JSON
+field, or the same header) is adopted so distributed callers can
+correlate daemon traces with their own.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ CONVERT_FIELDS = frozenset(
         "binary_search",
         "plan",
         "assume_sorted",
+        "trace_id",
     }
 )
 
@@ -140,6 +147,14 @@ def parse_convert_request(doc: Mapping[str, Any]) -> dict:
     assume_sorted = doc.get("assume_sorted")
     if assume_sorted is not None and not isinstance(assume_sorted, bool):
         raise ProtocolError("assume_sorted must be a boolean or null")
+    trace_id = doc.get("trace_id")
+    if trace_id is not None:
+        from repro.obs import valid_trace_id
+
+        if not valid_trace_id(trace_id):
+            raise ProtocolError(
+                "trace_id must be 1-64 characters of [A-Za-z0-9_.-]"
+            )
     return {
         "dst": dst.upper(),
         "matrix": parse_matrix(doc["matrix"]),
@@ -149,12 +164,16 @@ def parse_convert_request(doc: Mapping[str, Any]) -> dict:
         "binary_search": bool(doc.get("binary_search", False)),
         "plan": bool(doc.get("plan", False)),
         "assume_sorted": assume_sorted,
+        "trace_id": trace_id,
     }
 
 
-def error_body(exc: BaseException) -> dict:
-    return {
+def error_body(exc: BaseException, *, trace_id: str | None = None) -> dict:
+    body = {
         "ok": False,
         "schema": SCHEMA,
         "error": {"type": type(exc).__name__, "message": str(exc)},
     }
+    if trace_id:
+        body["trace_id"] = trace_id
+    return body

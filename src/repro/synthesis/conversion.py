@@ -179,7 +179,14 @@ class SynthesizedConversion:
             conversion=self.name,
             backend=self.backend,
         ) as span:
-            fn = self._instrumented_fn() or self.compile()
+            # Per-statement hooks are deep-trace only: always-on service
+            # tracing (an adopted context with detail=False) keeps the
+            # execute span but runs the uninstrumented inspector.
+            fn = (
+                self._instrumented_fn()
+                if obs.TRACER.stmt_detail()
+                else None
+            ) or self.compile()
             result = fn(*ordered)
         attrs = {}
         if nnz is not None:

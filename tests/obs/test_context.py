@@ -1,0 +1,145 @@
+"""Cross-thread trace contexts: capture, adopt, detached spans, trace ids."""
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import TRACER, TraceContext
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    obs.reset_all()
+    TRACER.disable()
+    yield
+    obs.reset_all()
+    TRACER.disable()
+
+
+class TestTraceIds:
+    def test_new_trace_ids_are_valid_and_unique(self):
+        ids = {obs.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(obs.valid_trace_id(t) for t in ids)
+
+    def test_valid_trace_id_rejects_junk(self):
+        assert obs.valid_trace_id("abc-DEF_1.2")
+        assert not obs.valid_trace_id("")
+        assert not obs.valid_trace_id("has space")
+        assert not obs.valid_trace_id("x" * 65)
+        assert not obs.valid_trace_id(123)
+        assert not obs.valid_trace_id("a\nb")
+
+    def test_root_spans_start_a_trace_children_inherit(self):
+        TRACER.enable()
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                pass
+        assert root.trace_id
+        assert child.trace_id == root.trace_id
+
+
+class TestDetachedSpans:
+    def test_open_span_is_started_and_off_the_stack(self):
+        root = TRACER.open_span("serve.request", category="serve")
+        assert root.trace_id and root.span_id > 0
+        assert root.start > 0 and root.tid != 0
+        assert TRACER.current() is None
+
+    def test_close_span_is_not_registered_by_default(self):
+        root = TRACER.open_span("serve.request")
+        TRACER.close_span(root)
+        assert root.end >= root.start
+        assert TRACER.finished_roots() == []
+
+    def test_register_true_records_the_root(self):
+        root = TRACER.open_span("serve.request")
+        TRACER.close_span(root, register=True)
+        assert TRACER.finished_roots() == [root]
+
+    def test_open_span_honors_supplied_trace_id(self):
+        root = TRACER.open_span("serve.request", trace_id="given-id")
+        assert root.trace_id == "given-id"
+
+    def test_open_span_registers_its_thread_name(self):
+        root = TRACER.open_span("serve.request")
+        assert TRACER.thread_names()[root.tid] == (
+            threading.current_thread().name
+        )
+
+
+class TestAdopt:
+    def test_worker_spans_join_the_tree_and_leave_no_orphan_roots(self):
+        root = TRACER.open_span("serve.request", trace_id="t1")
+        ctx = TraceContext(trace_id="t1", parent=root, active=True)
+
+        def worker():
+            with TRACER.adopt(ctx):
+                with obs.span("convert"):
+                    with obs.span("execute"):
+                        pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        TRACER.close_span(root)
+        assert [c.name for c in root.children] == ["convert"]
+        assert root.children[0].trace_id == "t1"
+        assert root.children[0].children[0].trace_id == "t1"
+        # The conversion's spans must not root on the worker thread.
+        assert TRACER.finished_roots() == []
+
+    def test_adopt_none_is_a_noop(self):
+        with TRACER.adopt(None):
+            assert not TRACER.active()
+            assert TRACER.current() is None
+
+    def test_adopt_forces_and_restores_override_and_detail(self):
+        ctx = TraceContext(trace_id="t", active=True, detail=False)
+        assert not TRACER.active() and TRACER.stmt_detail()
+        with TRACER.adopt(ctx):
+            assert TRACER.active()
+            assert not TRACER.stmt_detail()
+        assert not TRACER.active()
+        assert TRACER.stmt_detail()
+
+    def test_adopt_pops_spans_leaked_by_a_mid_span_crash(self):
+        root = TRACER.open_span("serve.request")
+        ctx = TraceContext(trace_id=root.trace_id, parent=root, active=True)
+        with pytest.raises(RuntimeError):
+            with TRACER.adopt(ctx):
+                obs.span("will-leak").__enter__()  # never exited
+                raise RuntimeError("boom")
+        assert TRACER.current() is None
+
+    def test_capture_round_trip(self):
+        TRACER.enable()
+        with obs.span("outer") as outer:
+            ctx = TRACER.capture()
+            assert ctx.parent is outer
+            assert ctx.trace_id == outer.trace_id
+            assert ctx.active and ctx.detail
+        assert TRACER.capture().parent is None
+
+    def test_adopted_execution_skips_stmt_detail_but_keeps_execute(self):
+        # What the daemon relies on: detail=False still produces the
+        # execute span, without compiling per-statement instrumentation.
+        from repro import get_format
+        from repro.datagen import random_uniform
+        from repro.synthesis import synthesize
+
+        conv = synthesize(get_format("SCOO"), get_format("CSR"))
+        matrix = random_uniform(8, 8, 12, seed=3)
+        root = TRACER.open_span("serve.request")
+        ctx = TraceContext(
+            trace_id=root.trace_id, parent=root, active=True, detail=False
+        )
+        with TRACER.adopt(ctx):
+            from repro.formats import container_to_env
+
+            conv.run_native(**container_to_env(matrix))
+        TRACER.close_span(root)
+        names = [s.name for s in root.walk()]
+        assert "execute" in names
+        assert not any(s.category == "execute.stmt" for s in root.walk())

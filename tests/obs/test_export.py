@@ -47,15 +47,29 @@ class TestChromeTrace:
         _record_tree()
         trace = chrome_trace()
         assert validate_chrome_trace(trace) == []
-        assert len(trace["traceEvents"]) == 4
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 4
 
     def test_events_are_complete_events_with_relative_timestamps(self):
         _record_tree()
         for event in chrome_trace()["traceEvents"]:
+            if event["ph"] == "M":
+                continue
             assert event["ph"] == "X"
             assert event["ts"] >= 0
             assert event["dur"] >= 0
             assert isinstance(event["args"], dict)
+
+    def test_thread_name_metadata_precedes_span_events(self):
+        _record_tree()
+        events = chrome_trace()["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert metadata, "expected thread_name metadata events"
+        assert all(e["name"] == "thread_name" for e in metadata)
+        assert all(isinstance(e["args"]["name"], str) for e in metadata)
+        # All metadata events come before the first complete event.
+        first_span = next(i for i, e in enumerate(events) if e["ph"] == "X")
+        assert all(e["ph"] == "M" for e in events[:first_span])
 
     def test_round_trips_through_json(self):
         _record_tree()
@@ -133,6 +147,28 @@ class TestPrometheus:
     def test_parser_rejects_garbage(self):
         with pytest.raises(ValueError, match="line 1"):
             parse_prometheus_text("this is not prometheus\n")
+
+    def test_exemplars_round_trip(self):
+        from repro.obs import parse_prometheus_exemplars
+
+        hist = METRICS.histogram(
+            "repro_exemplar_probe_seconds", "latency", buckets=(0.01, 1.0)
+        )
+        hist.observe(0.005, exemplar="aaaa1111", endpoint="/convert")
+        hist.observe(5.0, exemplar="bbbb2222", endpoint="/convert")
+        text = prometheus_text()
+        # The strict parser still accepts the exemplar-suffixed lines.
+        parse_prometheus_text(text)
+        exemplars = parse_prometheus_exemplars(text)
+        by_le = {
+            dict(labels)["le"]: ex
+            for (name, labels), ex in exemplars.items()
+            if name == "repro_exemplar_probe_seconds_bucket"
+        }
+        assert by_le["0.01"]["labels"]["trace_id"] == "aaaa1111"
+        assert by_le["0.01"]["value"] == 0.005
+        assert by_le["+Inf"]["labels"]["trace_id"] == "bbbb2222"
+        assert by_le["+Inf"]["ts"] is not None
 
 
 class TestWriteAll:

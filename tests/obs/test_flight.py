@@ -1,0 +1,96 @@
+"""The flight recorder: tail sampling, bounded eviction, lookup."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import FlightRecorder, RequestRecord
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.reset_all()
+    yield
+    obs.reset_all()
+
+
+def _rec(trace_id, status=200, seconds=0.001):
+    return RequestRecord(
+        trace_id, status=status, seconds=seconds, src="COO", dst="CSR"
+    )
+
+
+class TestClassification:
+    def test_shed_error_slow_and_fast(self):
+        recorder = FlightRecorder(slow_seconds=0.5)
+        assert recorder.classify(_rec("a", status=503)) == "shed"
+        assert recorder.classify(_rec("b", status=400)) == "error"
+        assert recorder.classify(_rec("c", seconds=0.75)) == "slow"
+        assert recorder.classify(_rec("d")) == ""
+
+
+class TestTailSampling:
+    def test_fresh_fast_traffic_cannot_evict_slow_or_errored(self):
+        recorder = FlightRecorder(capacity=4, retain=16, slow_seconds=0.5)
+        slow = recorder.record(_rec("slow-1", seconds=0.9))
+        errored = recorder.record(_rec("err-1", status=500))
+        shed = recorder.record(_rec("shed-1", status=503))
+        for index in range(32):
+            recorder.record(_rec(f"fast-{index}"))
+        # The recent ring has long cycled past the interesting three...
+        recent_ids = {r.trace_id for r in recorder.recent()}
+        assert recent_ids.isdisjoint({"slow-1", "err-1", "shed-1"})
+        # ...yet they are still retrievable, with their classification.
+        assert recorder.get("slow-1") is slow
+        assert recorder.get("slow-1").reason == "slow"
+        assert recorder.get("err-1") is errored
+        assert recorder.get("shed-1") is shed
+        # Fast requests live only as long as the ring does.
+        assert recorder.get("fast-0") is None
+        assert recorder.get("fast-31") is not None
+
+    def test_retention_is_bounded_oldest_first(self):
+        recorder = FlightRecorder(capacity=2, retain=4)
+        for index in range(10):
+            recorder.record(_rec(f"err-{index}", status=500))
+        assert recorder.get("err-0") is None
+        assert recorder.get("err-9") is not None
+        assert recorder.stats()["retained"] == 4
+
+    def test_recent_and_slowlog_are_newest_first_with_limit(self):
+        recorder = FlightRecorder(capacity=8, retain=8, slow_seconds=0.5)
+        for index in range(5):
+            recorder.record(_rec(f"r-{index}", seconds=0.9))
+        assert [r.trace_id for r in recorder.recent(2)] == ["r-4", "r-3"]
+        assert [r.trace_id for r in recorder.slowlog(2)] == ["r-4", "r-3"]
+
+    def test_admissions_are_counted_by_reason(self):
+        recorder = FlightRecorder(slow_seconds=0.5)
+        recorder.record(_rec("ok-1"))
+        recorder.record(_rec("bad-1", status=500))
+        counter = obs.METRICS.counter("repro_flight_records")
+        assert counter.value(reason="ok") == 1
+        assert counter.value(reason="error") == 1
+
+    def test_clear_empties_both_stores(self):
+        recorder = FlightRecorder()
+        recorder.record(_rec("x", status=500))
+        recorder.clear()
+        assert recorder.get("x") is None
+        stats = recorder.stats()
+        assert stats["recent"] == 0 and stats["retained"] == 0
+
+
+class TestRecordSummary:
+    def test_summary_row_shape(self):
+        record = _rec("abc", status=200, seconds=0.002)
+        record.backend = "numpy"
+        record.cache_outcome = "hit"
+        FlightRecorder().record(record)
+        row = record.summary()
+        assert row["trace_id"] == "abc"
+        assert row["pair"] == "COO->CSR"
+        assert row["backend"] == "numpy"
+        assert row["cache"] == "hit"
+        assert row["seconds"] == 0.002
+        assert row["traced"] is False
+        assert row["reason"] == ""

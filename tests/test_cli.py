@@ -178,3 +178,89 @@ class TestTraceSpans:
         assert "synthesis.optimize" in out
         for name in ("pass.dedup", "pass.dce", "pass.fusion"):
             assert name in out
+
+    def test_trace_without_src_dst_or_id_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "SRC DST" in capsys.readouterr().err
+
+    def test_id_without_address_is_an_error(self, capsys):
+        assert main(["trace", "--id", "abc123"]) == 2
+        assert "--addr" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="class")
+def live_server():
+    from repro.serve import ConversionServer
+
+    server = ConversionServer(port=0, workers=2).start_in_background()
+    yield server
+    server.shutdown()
+
+
+class TestLiveDaemonCommands:
+    """`repro tail / trace --id / stats --addr` against a live daemon."""
+
+    def _addr(self, server):
+        return "{}:{}".format(*server.address)
+
+    def _convert_one(self, server, trace_id=None):
+        from repro.serve import ServeClient
+
+        matrix = COOMatrix.from_dense(DENSE)
+        options = {"trace_id": trace_id} if trace_id else {}
+        return ServeClient(server.address).convert(matrix, "CSR", **options)
+
+    def test_tail_once_prints_request_rows(self, live_server, capsys):
+        resp = self._convert_one(live_server, trace_id="tail-probe-1")
+        assert resp["ok"]
+        assert main(["tail", self._addr(live_server), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "tail-probe-1" in out
+        assert "200" in out
+
+    def test_trace_id_renders_the_remote_tree(self, live_server, capsys):
+        trace_id = self._convert_one(live_server)["trace_id"]
+        assert main(
+            ["trace", "--id", trace_id, "--addr", self._addr(live_server)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "execute" in out
+
+    def test_trace_id_chrome_output_validates(self, live_server, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_id = self._convert_one(live_server)["trace_id"]
+        assert main(
+            ["trace", "--id", trace_id, "--addr", self._addr(live_server),
+             "--format", "chrome"]
+        ) == 0
+        assert validate_chrome_trace(
+            json.loads(capsys.readouterr().out)
+        ) == []
+
+    def test_trace_unknown_id_fails_politely(self, live_server, capsys):
+        assert main(
+            ["trace", "--id", "never-recorded",
+             "--addr", self._addr(live_server)]
+        ) == 1
+        assert "404" in capsys.readouterr().err
+
+    def test_stats_scrapes_a_live_daemon(self, live_server, capsys):
+        import json
+
+        self._convert_one(live_server)
+        assert main(
+            ["stats", "--addr", self._addr(live_server),
+             "--format", "json"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "prof" in snapshot and "metrics" in snapshot
+
+    def test_stats_unreachable_daemon_is_an_error(self, capsys):
+        assert main(
+            ["stats", "--addr", "127.0.0.1:1", "--format", "json"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
