@@ -1,0 +1,194 @@
+"""Benchmark the level-composition DSL against the hand-written descriptors.
+
+Three experiments:
+
+* ``random_sweep`` — the ``repro fuzz --random-formats`` sweep (60
+  seeded compositions, both pure-Python backends, optimize on and
+  off): synthesis success rate and conversion correctness over every
+  generated pair.  Both must be 1.0 — structural gates.
+* ``library_coverage`` — every registered library format must carry a
+  level composition (``fmt.levels``) that rebuilds to a structurally
+  identical descriptor.  Structural gate.
+* ``cold_synthesis`` — cold (memo-cleared) synthesis wall time for a
+  mixed pair set, run once with the level-composed descriptors and
+  once with the legacy hand-written builders (kept as test oracles in
+  ``tests/formats/test_level_parity.py``), interleaved
+  composed-hand-composed-hand to cancel drift, best-of-3.  The
+  descriptors are byte-identical so the ratio should be ~1.0; recorded
+  as a pin, not a gate (wall-clock numbers swing 20-30% between CI
+  runs — see the README benchmarking notes — so only >=2x structural
+  margins gate the exit status).
+
+Emits ``BENCH_pr10.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr10_levels.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.formats import all_formats, get_format  # noqa: E402
+from repro.synthesis import clear_memo, synthesize  # noqa: E402
+from repro.verify import fuzz_random_formats  # noqa: E402
+
+SWEEP_CASES = 60
+SWEEP_SEED = 0
+SWEEP_BACKENDS = ("python", "numpy")
+
+# (src, dst) pairs for the cold-synthesis timing: one per synthesis
+# case family (dense dest, compressed dest, offset dest, blocked dest).
+TIMING_PAIRS = [
+    ("SCOO", "CSR"),
+    ("COO", "CSC"),
+    ("SCOO", "DIA"),
+    ("SCOO", "BCSR"),
+    ("CSR", "MCOO"),
+]
+
+
+def _load_hand_builders():
+    """The legacy hand-written descriptor builders live in the parity
+    test module as the oracle; load it by path so the benchmark and
+    the tests can never drift apart."""
+    path = REPO / "tests" / "formats" / "test_level_parity.py"
+    spec = importlib.util.spec_from_file_location("level_parity", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return dict(module.HAND_BUILDERS)
+
+
+def bench_random_sweep() -> dict:
+    start = time.perf_counter()
+    report = fuzz_random_formats(
+        count=SWEEP_CASES, seed=SWEEP_SEED, backends=SWEEP_BACKENDS
+    )
+    elapsed = time.perf_counter() - start
+    failures = [f.to_dict() for f in report.failures]
+    synth_failures = sum(
+        1 for f in report.failures if f.stage in ("build", "synthesize")
+    )
+    return {
+        "cases": report.cases_run,
+        "seed": report.seed,
+        "backends": list(SWEEP_BACKENDS),
+        "conversions_checked": report.conversions_checked,
+        "failures": len(failures),
+        "failure_stages": failures[:10],
+        "synthesis_success_rate": (
+            1.0 if synth_failures == 0 else
+            1.0 - synth_failures / max(report.conversions_checked, 1)
+        ),
+        "conversion_correctness": (
+            1.0 if not failures else
+            1.0 - len(failures) / max(report.conversions_checked, 1)
+        ),
+        "sweep_seconds": elapsed,
+    }
+
+
+def bench_library_coverage() -> dict:
+    from repro.formats.levels import Composition
+
+    composed, parity = [], []
+    for fmt in all_formats():
+        if fmt.levels is None:
+            continue
+        composed.append(fmt.name)
+        rebuilt = Composition.from_dict(fmt.levels.to_dict()).build()
+        same = all(
+            getattr(rebuilt, field) == getattr(fmt, field)
+            for field in (
+                "name", "sparse_to_dense", "data_access", "uf_domains",
+                "uf_ranges", "monotonic", "ordering", "coord_ufs",
+                "shape_syms", "position_var",
+            )
+        )
+        parity.append(same)
+    return {
+        "library_formats": len(all_formats()),
+        "level_composed": len(composed),
+        "rebuild_parity": sum(parity),
+        "composed_names": composed,
+    }
+
+
+def _cold_sweep(formats_by_name) -> float:
+    start = time.perf_counter()
+    for src, dst in TIMING_PAIRS:
+        clear_memo()
+        synthesize(formats_by_name[src], formats_by_name[dst])
+    return time.perf_counter() - start
+
+
+def bench_cold_synthesis() -> dict:
+    hand = _load_hand_builders()
+    names = {n for pair in TIMING_PAIRS for n in pair}
+    composed = {name: get_format(name) for name in names}
+    handwritten = {name: hand[name]() for name in names}
+    # Warm imports / bytecode outside the clock.
+    _cold_sweep(composed)
+    _cold_sweep(handwritten)
+    composed_runs, hand_runs = [], []
+    for _ in range(3):  # interleaved to cancel machine drift
+        composed_runs.append(_cold_sweep(composed))
+        hand_runs.append(_cold_sweep(handwritten))
+    best_composed, best_hand = min(composed_runs), min(hand_runs)
+    return {
+        "pairs": ["->".join(p) for p in TIMING_PAIRS],
+        "composed_seconds": best_composed,
+        "handwritten_seconds": best_hand,
+        "composed_over_handwritten": best_composed / best_hand,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO / "BENCH_pr10.json"))
+    args = parser.parse_args(argv)
+
+    sweep = bench_random_sweep()
+    coverage = bench_library_coverage()
+    timing = bench_cold_synthesis()
+
+    gates = {
+        "synthesis_success_rate_is_1": sweep["synthesis_success_rate"] == 1.0,
+        "conversion_correctness_is_1": sweep["conversion_correctness"] == 1.0,
+        "sweep_covers_at_least_50_compositions": sweep["cases"] >= 50,
+        "every_library_format_is_level_composed": (
+            coverage["level_composed"] == coverage["library_formats"]
+        ),
+        "every_composition_rebuilds_identically": (
+            coverage["rebuild_parity"] == coverage["level_composed"]
+        ),
+    }
+    pins = {
+        # Wall-clock: descriptors are structurally identical, so any
+        # gap is pure noise.  Reported, never gated.
+        "cold_synthesis_composed_within_2x": (
+            timing["composed_over_handwritten"] < 2.0
+        ),
+    }
+    payload = {
+        "bench": "pr10_levels",
+        "random_sweep": sweep,
+        "library_coverage": coverage,
+        "cold_synthesis": timing,
+        "gates": gates,
+        "pins": pins,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1) + "\n")
+    print(json.dumps(payload, indent=1))
+    return 0 if all(gates.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

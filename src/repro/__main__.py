@@ -64,9 +64,43 @@ from repro import get_format, all_formats
 from repro.synthesis import synthesize
 
 
-def cmd_formats(_args) -> int:
+def cmd_formats(args) -> int:
+    if getattr(args, "formats_command", None) == "compose":
+        return _cmd_formats_compose(args)
+    show_levels = bool(getattr(args, "levels", False))
     for fmt in all_formats():
-        print(f"{fmt.name:8s} rank {fmt.rank}  {fmt.description}")
+        if show_levels:
+            spec = fmt.levels.spec() if fmt.levels is not None else "-"
+            print(f"{fmt.name:8s} rank {fmt.rank}  [{spec}]  "
+                  f"{fmt.description}")
+        else:
+            print(f"{fmt.name:8s} rank {fmt.rank}  {fmt.description}")
+    return 0
+
+
+def _cmd_formats_compose(args) -> int:
+    from repro.formats import parse_spec
+    from repro.formats.levels import LevelError
+
+    try:
+        comp = parse_spec(args.spec, name=args.name)
+        fmt = comp.build()
+    except LevelError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.save:
+        from repro.io import save_descriptor
+
+        save_descriptor(fmt, args.save)
+        print(f"wrote {args.save}", file=sys.stderr)
+    if args.json:
+        import json
+
+        from repro.io import descriptor_to_dict
+
+        print(json.dumps(descriptor_to_dict(fmt), indent=2))
+    else:
+        print(fmt.display())
     return 0
 
 
@@ -359,27 +393,49 @@ def cmd_selftest(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from repro.verify import fuzz
+    from repro.verify import fuzz, fuzz_random_formats
 
     from repro.backends import backend_names
 
-    backends = (
-        tuple(backend_names()) if args.backend == "both" else (args.backend,)
-    )
+    if args.backend == "both":
+        backends = tuple(backend_names())
+    else:
+        backends = tuple(
+            b.strip() for b in args.backend.split(",") if b.strip()
+        )
+        unknown = sorted(set(backends) - set(backend_names()))
+        if unknown:
+            print(
+                f"error: unknown backend(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(backend_names())}",
+                file=sys.stderr,
+            )
+            return 2
     optimize_levels = {
         "both": (True, False), "on": (True,), "off": (False,)
     }[args.optimize]
     ranks = {"both": (2, 3), "2": (2,), "3": (3,)}[args.rank]
-    report = fuzz(
-        cases=args.cases,
-        seed=args.seed,
-        backends=backends,
-        optimize_levels=optimize_levels,
-        ranks=ranks,
-        shrink=not args.no_shrink,
-        max_failures=args.max_failures,
-        trace=True if args.trace else None,
-    )
+    if args.random_formats:
+        # --cases counts random compositions here, each fuzzed in every
+        # synthesizable direction on every backend and optimize level.
+        report = fuzz_random_formats(
+            count=args.cases,
+            seed=args.seed,
+            backends=backends,
+            optimize_levels=optimize_levels,
+            max_failures=args.max_failures,
+        )
+    else:
+        report = fuzz(
+            cases=args.cases,
+            seed=args.seed,
+            backends=backends,
+            optimize_levels=optimize_levels,
+            ranks=ranks,
+            shrink=not args.no_shrink,
+            max_failures=args.max_failures,
+            trace=True if args.trace else None,
+        )
     print(report.summary())
     if args.report:
         import json
@@ -676,7 +732,30 @@ def main(argv: list[str] | None = None) -> int:
 
     BACKENDS = list(backend_names())
 
-    sub.add_parser("formats", help="list the format library")
+    p_formats = sub.add_parser("formats", help="list the format library")
+    fmt_sub = p_formats.add_subparsers(dest="formats_command")
+    p_fmt_list = fmt_sub.add_parser(
+        "list", help="list formats (same as bare `repro formats`)"
+    )
+    p_fmt_list.add_argument(
+        "--levels", action="store_true",
+        help="show each format's level-composition spec",
+    )
+    p_fmt_compose = fmt_sub.add_parser(
+        "compose",
+        help="build a descriptor from a level-composition spec, e.g. "
+             '"dense(i), compressed(j)" or '
+             '"singleton(i), singleton(j) @ morton"',
+    )
+    p_fmt_compose.add_argument(
+        "spec", help="comma-separated level terms, optional `@ ordering`"
+    )
+    p_fmt_compose.add_argument("--name", default="COMPOSED",
+                               help="format name (default COMPOSED)")
+    p_fmt_compose.add_argument("--json", action="store_true",
+                               help="dump the descriptor as JSON")
+    p_fmt_compose.add_argument("--save", metavar="PATH",
+                               help="write the descriptor JSON to PATH")
 
     p_show = sub.add_parser("show", help="print one descriptor")
     p_show.add_argument("format",
@@ -760,12 +839,19 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--cases", type=int, default=200,
                         help="conversion-case budget (default 200)")
     p_fuzz.add_argument("--seed", type=int, default=0)
-    p_fuzz.add_argument("--backend", choices=BACKENDS + ["both"],
-                        default="both")
+    p_fuzz.add_argument("--backend", default="both", metavar="NAME[,NAME]",
+                        help="backend to fuzz: a registered name, a "
+                             "comma-separated list (cross-checked against "
+                             "each other), or 'both' for all registered "
+                             "(default)")
     p_fuzz.add_argument("--optimize", choices=["on", "off", "both"],
                         default="both",
                         help="which optimize flags to fuzz (default both)")
     p_fuzz.add_argument("--rank", choices=["2", "3", "both"], default="both")
+    p_fuzz.add_argument("--random-formats", action="store_true",
+                        help="fuzz randomly generated level compositions "
+                             "instead of the library pairs (--cases counts "
+                             "compositions)")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
     p_fuzz.add_argument("--max-failures", type=int, default=25,

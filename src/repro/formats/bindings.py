@@ -4,19 +4,29 @@ A descriptor talks about uninterpreted functions (``rowptr``, ``col2``...);
 a container holds concrete arrays.  Bindings translate both ways so the
 high-level :func:`repro.convert` API can run synthesized inspectors on
 containers directly.
+
+Binding is registry-driven and *level-driven*: each container class
+registers which attribute fills which level of its format's composition
+(:func:`register_container`), and the UF/symbol names are derived from
+the level structure via
+:meth:`repro.formats.levels.Composition.env_from_arrays`.  Formats whose
+descriptor carries no composition fall back to the legacy name-based
+environment tables kept at the bottom of this module.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, NamedTuple
 
 from repro.runtime import (
+    BCSCMatrix,
     BCSRMatrix,
     CSFTensor,
     COOMatrix,
     COOTensor3D,
     CSCMatrix,
     CSRMatrix,
+    DCSRMatrix,
     DIAMatrix,
     ELLMatrix,
     MortonCOOMatrix,
@@ -24,9 +34,51 @@ from repro.runtime import (
 )
 
 
-
 class BindingError(ValueError):
     """Raised when a container cannot be bound to a format descriptor."""
+
+
+class ContainerBinding(NamedTuple):
+    """How one container class binds to its format's level composition."""
+
+    #: ``container -> descriptor name`` (may inspect the data, e.g. the
+    #: COO sortedness check; receives ``assume_sorted`` as keyword).
+    format_name: Callable
+    #: ``container -> (shape, data, level_arrays, extras)`` where
+    #: ``level_arrays`` aligns with the composition's levels (see
+    #: :meth:`Composition.env_from_arrays`).
+    level_arrays: Callable
+
+
+#: Registered bindings in resolution order (subclasses must precede
+#: their bases, like MortonCOOMatrix before COOMatrix).
+_CONTAINERS: list[tuple[type, ContainerBinding]] = []
+
+
+def register_container(
+    container_cls: type,
+    format_name: Callable,
+    level_arrays: Callable,
+) -> None:
+    """Register a container class's level binding.
+
+    Resolution walks registrations in order with ``isinstance``, so
+    register subclasses before their base classes.  Re-registering a
+    class replaces its binding in place.
+    """
+    binding = ContainerBinding(format_name, level_arrays)
+    for pos, (cls, _) in enumerate(_CONTAINERS):
+        if cls is container_cls:
+            _CONTAINERS[pos] = (container_cls, binding)
+            return
+    _CONTAINERS.append((container_cls, binding))
+
+
+def _binding_of(container) -> ContainerBinding | None:
+    for cls, binding in _CONTAINERS:
+        if isinstance(container, cls):
+            return binding
+    return None
 
 
 def container_format(container, *, assume_sorted: bool = True) -> str:
@@ -35,42 +87,189 @@ def container_format(container, *, assume_sorted: bool = True) -> str:
     For plain COO containers, ``assume_sorted`` selects SCOO when the data
     is lexicographically sorted (the paper's Figure 2 assumption).
     """
-    if isinstance(container, MortonCOOMatrix):
-        return "MCOO"
-    if isinstance(container, COOMatrix):
-        if assume_sorted and container.is_sorted_lexicographic():
-            return "SCOO"
-        return "COO"
-    if isinstance(container, CSRMatrix):
-        return "CSR"
-    if isinstance(container, CSCMatrix):
-        return "CSC"
-    if isinstance(container, DIAMatrix):
-        return "DIA"
-    if isinstance(container, BCSRMatrix):
-        # Non-default block sizes bind to their parameterized descriptor;
-        # mapping every BCSRMatrix to the block-2 "BCSR" would hand a
-        # bsize-4 container to an inspector reading 2x2 blocks.
-        return "BCSR" if container.bsize == 2 else f"BCSR{container.bsize}"
-    if isinstance(container, ELLMatrix):
-        return "ELL"
-    if isinstance(container, CSFTensor):
-        return "CSF"
-    if isinstance(container, MortonCOOTensor3D):
-        return "MCOO3"
-    if isinstance(container, COOTensor3D):
-        srt = container.sorted_lexicographic()
-        same = (
-            srt.row == container.row
-            and srt.col == container.col
-            and srt.z == container.z
-        )
-        return "SCOO3D" if (assume_sorted and same) else "COO3D"
-    raise BindingError(f"no format descriptor for container {container!r}")
+    binding = _binding_of(container)
+    if binding is None:
+        raise BindingError(f"no format descriptor for container {container!r}")
+    return binding.format_name(container, assume_sorted=assume_sorted)
 
 
 def container_to_env(container) -> dict:
-    """Bind a container's arrays to its descriptor's UF / symbol names."""
+    """Bind a container's arrays to its descriptor's UF / symbol names.
+
+    The environment is derived from the format's level composition when
+    it has one; hand-written descriptors use the legacy name-based
+    tables in :func:`_legacy_container_to_env`.
+    """
+    binding = _binding_of(container)
+    if binding is None:
+        raise BindingError(
+            f"no environment binding for container {container!r}"
+        )
+    from .library import get_format
+
+    name = binding.format_name(container, assume_sorted=True)
+    composition = get_format(name).levels
+    if composition is None:
+        return _legacy_container_to_env(container)
+    shape, data, level_arrays, extras = binding.level_arrays(container)
+    return composition.env_from_arrays(
+        shape, data, level_arrays, extras=extras
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-class bindings: which attribute fills which level.
+
+
+def _coo_name(c, *, assume_sorted):
+    if assume_sorted and c.is_sorted_lexicographic():
+        return "SCOO"
+    return "COO"
+
+
+def _coo3d_name(c, *, assume_sorted):
+    srt = c.sorted_lexicographic()
+    same = srt.row == c.row and srt.col == c.col and srt.z == c.z
+    return "SCOO3D" if (assume_sorted and same) else "COO3D"
+
+
+def _bcsr_name(c, *, assume_sorted):
+    # Non-default block sizes bind to their parameterized descriptor;
+    # mapping every BCSRMatrix to the block-2 "BCSR" would hand a
+    # bsize-4 container to an inspector reading 2x2 blocks.
+    return "BCSR" if c.bsize == 2 else f"BCSR{c.bsize}"
+
+
+def _bcsc_name(c, *, assume_sorted):
+    return "BCSC" if c.bsize == 2 else f"BCSC{c.bsize}"
+
+
+register_container(
+    MortonCOOMatrix,
+    lambda c, *, assume_sorted: "MCOO",
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [{"coord": c.row}, {"coord": c.col}],
+        None,
+    ),
+)
+register_container(
+    COOMatrix,
+    _coo_name,
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [{"coord": c.row}, {"coord": c.col}],
+        None,
+    ),
+)
+register_container(
+    CSRMatrix,
+    lambda c, *, assume_sorted: "CSR",
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [None, {"ptr": c.rowptr, "idx": c.col}],
+        None,
+    ),
+)
+register_container(
+    CSCMatrix,
+    lambda c, *, assume_sorted: "CSC",
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [None, {"ptr": c.colptr, "idx": c.row}],
+        None,
+    ),
+)
+register_container(
+    DIAMatrix,
+    lambda c, *, assume_sorted: "DIA",
+    lambda c: ((c.nrows, c.ncols), c.data, [None, {"idx": c.off}], None),
+)
+register_container(
+    BCSRMatrix,
+    _bcsr_name,
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.data,
+        [None, {"ptr": c.browptr, "idx": c.bcol}],
+        {"NBR": c.nblockrows, "NBC": -(-c.ncols // c.bsize)},
+    ),
+)
+register_container(
+    BCSCMatrix,
+    _bcsc_name,
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.data,
+        [None, {"ptr": c.bcolptr, "idx": c.brow}],
+        {"NBR": -(-c.nrows // c.bsize), "NBC": c.nblockcols},
+    ),
+)
+register_container(
+    ELLMatrix,
+    lambda c, *, assume_sorted: "ELL",
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [None, {"idx": c.col, "width": c.width}],
+        None,
+    ),
+)
+register_container(
+    DCSRMatrix,
+    lambda c, *, assume_sorted: "DCSR",
+    lambda c: (
+        (c.nrows, c.ncols),
+        c.val,
+        [{"idx": c.rowidx}, {"ptr": c.dptr, "idx": c.dcol}],
+        None,
+    ),
+)
+register_container(
+    CSFTensor,
+    lambda c, *, assume_sorted: "CSF",
+    lambda c: (
+        c.dims,
+        c.val,
+        [
+            {"idx": c.rootidx},
+            {"ptr": c.fptr, "idx": c.fibidx},
+            {"ptr": c.kptr, "idx": c.kidx},
+        ],
+        None,
+    ),
+)
+register_container(
+    MortonCOOTensor3D,
+    lambda c, *, assume_sorted: "MCOO3",
+    lambda c: (
+        c.dims,
+        c.val,
+        [{"coord": c.row}, {"coord": c.col}, {"coord": c.z}],
+        None,
+    ),
+)
+register_container(
+    COOTensor3D,
+    _coo3d_name,
+    lambda c: (
+        c.dims,
+        c.val,
+        [{"coord": c.row}, {"coord": c.col}, {"coord": c.z}],
+        None,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Legacy name-based environments (formats without a composition).
+
+
+def _legacy_container_to_env(container) -> dict:
     if isinstance(container, MortonCOOMatrix):
         return {
             "row_m": container.row,
@@ -174,6 +373,59 @@ def container_to_env(container) -> dict:
     raise BindingError(f"no environment binding for container {container!r}")
 
 
+# ----------------------------------------------------------------------
+# Destination direction: inspector outputs -> container.
+
+
+def _block_size(name: str, family: str) -> int:
+    suffix = name[len(family):]
+    return int(suffix) if suffix else 2
+
+
+#: Destination builders by format family (trailing block digits
+#: stripped).  Each receives ``(get, data, src_env, name)``.
+_DEST_BUILDERS: dict[str, Callable] = {
+    "COO": lambda get, data, env, name: COOMatrix(
+        env.get("NR"), env.get("NC"), get("row1"), get("col1"), data
+    ),
+    "MCOO": lambda get, data, env, name: MortonCOOMatrix(
+        env.get("NR"), env.get("NC"), get("row_m"), get("col_m"), data
+    ),
+    "CSR": lambda get, data, env, name: CSRMatrix(
+        env.get("NR"), env.get("NC"), get("rowptr"), get("col2"), data
+    ),
+    "CSC": lambda get, data, env, name: CSCMatrix(
+        env.get("NR"), env.get("NC"), get("colptr"), get("row2"), data
+    ),
+    "DIA": lambda get, data, env, name: DIAMatrix(
+        env.get("NR"), env.get("NC"), list(get("off")), data
+    ),
+    "COO3D": lambda get, data, env, name: COOTensor3D(
+        (env.get("NR"), env.get("NC"), env.get("NZ")),
+        get("row1"), get("col1"), get("z1"), data,
+    ),
+    "MCOO3": lambda get, data, env, name: MortonCOOTensor3D(
+        (env.get("NR"), env.get("NC"), env.get("NZ")),
+        get("row_m"), get("col_m"), get("z_m"), data,
+    ),
+    "BCSR": lambda get, data, env, name: BCSRMatrix(
+        env.get("NR"), env.get("NC"), _block_size(name, "BCSR"),
+        get("browptr"), get("bcol"), data,
+    ),
+    "BCSC": lambda get, data, env, name: BCSCMatrix(
+        env.get("NR"), env.get("NC"), _block_size(name, "BCSC"),
+        get("bcolptr"), get("brow"), data,
+    ),
+}
+_DEST_BUILDERS["SCOO"] = _DEST_BUILDERS["COO"]
+_DEST_BUILDERS["SCOO3D"] = _DEST_BUILDERS["COO3D"]
+
+
+def register_destination(family: str, builder: Callable) -> None:
+    """Register a destination container builder for a format family."""
+    _DEST_BUILDERS[family.upper()] = builder
+
+
 def outputs_to_container(
     dst_name: str,
     outputs: Mapping[str, object],
@@ -191,31 +443,12 @@ def outputs_to_container(
         return outputs[uf_output_map.get(canonical, canonical)]
 
     data = outputs["Adst"]
-    nr = src_env.get("NR")
-    nc = src_env.get("NC")
     name = dst_name.upper()
-    if name in ("COO", "SCOO"):
-        return COOMatrix(nr, nc, get("row1"), get("col1"), data)
-    if name == "MCOO":
-        return MortonCOOMatrix(nr, nc, get("row_m"), get("col_m"), data)
-    if name == "CSR":
-        return CSRMatrix(nr, nc, get("rowptr"), get("col2"), data)
-    if name == "CSC":
-        return CSCMatrix(nr, nc, get("colptr"), get("row2"), data)
-    if name == "DIA":
-        off = get("off")
-        return DIAMatrix(nr, nc, list(off), data)
-    if name in ("COO3D", "SCOO3D"):
-        dims = (nr, nc, src_env.get("NZ"))
-        return COOTensor3D(dims, get("row1"), get("col1"), get("z1"), data)
-    if name == "MCOO3":
-        dims = (nr, nc, src_env.get("NZ"))
-        return MortonCOOTensor3D(
-            dims, get("row_m"), get("col_m"), get("z_m"), data
+    builder = _DEST_BUILDERS.get(name) or _DEST_BUILDERS.get(
+        name.rstrip("0123456789")
+    )
+    if builder is None:
+        raise BindingError(
+            f"no container for destination format {dst_name!r}"
         )
-    if name.startswith("BCSR"):
-        bsize = int(name[4:]) if name[4:] else 2
-        return BCSRMatrix(
-            nr, nc, bsize, get("browptr"), get("bcol"), data
-        )
-    raise BindingError(f"no container for destination format {dst_name!r}")
+    return builder(get, data, src_env, name)

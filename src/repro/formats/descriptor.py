@@ -35,6 +35,12 @@ class FormatError(ValueError):
 class FormatDescriptor:
     """A complete description of one sparse tensor format."""
 
+    #: The :class:`repro.formats.levels.Composition` this descriptor was
+    #: derived from, or None for hand-written descriptors.  Renamed
+    #: copies (:meth:`rename_disjoint`) deliberately drop it: their UF
+    #: names no longer match the composition's.
+    levels = None
+
     def __init__(
         self,
         name: str,

@@ -6,44 +6,38 @@ SCOO3D, MCOO3 (Morton-ordered 3-D COO), CSR, CSC, DIA.  Expressiveness
 extensions usable as conversion *sources* (their size symbols are
 distinct-value or maximum counts the constraint cases cannot derive, so
 they cannot be destinations): BCSR (Figure 1's blocked format), CSF
-(compressed sparse fiber), and ELL (padded ELLPACK).
+(compressed sparse fiber), ELL (padded ELLPACK), and DCSR (doubly
+compressed sparse row).  BCSC is BCSR's column-major mirror and, like
+BCSR, works in both directions.
 
-Data access relations use fresh output tuple variables (``nd``, ``kd``)
-equated to the position variable, since relations keep the two tuples
-disjoint.
+Every descriptor is *derived* from a level composition
+(:mod:`repro.formats.levels`): a format here is one line naming its
+per-dimension level types, and the relations, UF domains/ranges and
+quantifiers fall out of the composition emitters.  The historical
+hand-written forms survive as test oracles
+(``tests/formats/test_level_parity.py``) pinning the derived descriptors
+structurally equal to them.
+
+The library is registry-driven: :func:`register_format` adds new named
+compositions at runtime and :func:`register_parameterized` adds families
+resolvable with a trailing block size (``"BCSR4"``, ``"BCSC3"``), so
+level-composed and parameterized formats register uniformly.
 """
 
 from __future__ import annotations
 
-from repro.ir import (
-    MonotonicQuantifier,
-    lexicographic,
-    morton,
-)
+from typing import Callable
+
 from .descriptor import FormatDescriptor
+from .levels import Compressed, Dense, Offset, Padded, Singleton, compose
 
 
 def coo(*, sorted_lex: bool = False, name: str | None = None) -> FormatDescriptor:
     """2-D coordinate format; ``sorted_lex=True`` gives SCOO."""
-    return FormatDescriptor(
-        name=name or ("SCOO" if sorted_lex else "COO"),
-        sparse_to_dense=(
-            "{[n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i"
-            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
-        ),
-        data_access="{[n, ii, jj] -> [nd] : nd = n}",
-        uf_domains={
-            "row1": "{[x] : 0 <= x < NNZ}",
-            "col1": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "row1": "{[i] : 0 <= i < NR}",
-            "col1": "{[i] : 0 <= i < NC}",
-        },
-        ordering=lexicographic(["i", "j"]) if sorted_lex else None,
-        coord_ufs={"i": "row1", "j": "col1"},
-        shape_syms=["NR", "NC"],
-        position_var="n",
+    return compose(
+        name or ("SCOO" if sorted_lex else "COO"),
+        [Singleton("i"), Singleton("j")],
+        ordering="lex" if sorted_lex else "none",
         description=(
             "Coordinate format"
             + (", sorted lexicographically row-first" if sorted_lex else "")
@@ -58,25 +52,10 @@ def scoo() -> FormatDescriptor:
 
 def mcoo() -> FormatDescriptor:
     """Morton-ordered COO (the paper's running example destination)."""
-    return FormatDescriptor(
-        name="MCOO",
-        sparse_to_dense=(
-            "{[n, ii, jj] -> [i, j] : row_m(n) = i && col_m(n) = j && ii = i"
-            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
-        ),
-        data_access="{[n, ii, jj] -> [nd] : nd = n}",
-        uf_domains={
-            "row_m": "{[x] : 0 <= x < NNZ}",
-            "col_m": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "row_m": "{[i] : 0 <= i < NR}",
-            "col_m": "{[i] : 0 <= i < NC}",
-        },
-        ordering=morton(["i", "j"]),
-        coord_ufs={"i": "row_m", "j": "col_m"},
-        shape_syms=["NR", "NC"],
-        position_var="n",
+    return compose(
+        "MCOO",
+        [Singleton("i"), Singleton("j")],
+        ordering="morton",
         description="COO sorted by the Morton (Z-order) curve",
     )
 
@@ -85,133 +64,47 @@ def coo3d(
     *, sorted_lex: bool = False, name: str | None = None
 ) -> FormatDescriptor:
     """3-D coordinate format (COO3D / SCOO3D)."""
-    return FormatDescriptor(
-        name=name or ("SCOO3D" if sorted_lex else "COO3D"),
-        sparse_to_dense=(
-            "{[n, ii, jj, kk] -> [i, j, k] : row1(n) = i && col1(n) = j"
-            " && z1(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
-            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
-        ),
-        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
-        uf_domains={
-            "row1": "{[x] : 0 <= x < NNZ}",
-            "col1": "{[x] : 0 <= x < NNZ}",
-            "z1": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "row1": "{[i] : 0 <= i < NR}",
-            "col1": "{[i] : 0 <= i < NC}",
-            "z1": "{[i] : 0 <= i < NZ}",
-        },
-        ordering=lexicographic(["i", "j", "k"]) if sorted_lex else None,
-        coord_ufs={"i": "row1", "j": "col1", "k": "z1"},
-        shape_syms=["NR", "NC", "NZ"],
-        position_var="n",
+    return compose(
+        name or ("SCOO3D" if sorted_lex else "COO3D"),
+        [Singleton("i"), Singleton("j"), Singleton("k")],
+        ordering="lex" if sorted_lex else "none",
         description="3-D coordinate format",
     )
 
 
 def mcoo3() -> FormatDescriptor:
     """Morton-ordered 3-D COO (the Table 4 destination)."""
-    return FormatDescriptor(
-        name="MCOO3",
-        sparse_to_dense=(
-            "{[n, ii, jj, kk] -> [i, j, k] : row_m(n) = i && col_m(n) = j"
-            " && z_m(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
-            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
-        ),
-        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
-        uf_domains={
-            "row_m": "{[x] : 0 <= x < NNZ}",
-            "col_m": "{[x] : 0 <= x < NNZ}",
-            "z_m": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "row_m": "{[i] : 0 <= i < NR}",
-            "col_m": "{[i] : 0 <= i < NC}",
-            "z_m": "{[i] : 0 <= i < NZ}",
-        },
-        ordering=morton(["i", "j", "k"]),
-        coord_ufs={"i": "row_m", "j": "col_m", "k": "z_m"},
-        shape_syms=["NR", "NC", "NZ"],
-        position_var="n",
+    return compose(
+        "MCOO3",
+        [Singleton("i"), Singleton("j"), Singleton("k")],
+        ordering="morton",
         description="3-D COO sorted by the Morton (Z-order) curve",
     )
 
 
 def csr() -> FormatDescriptor:
     """Compressed sparse row."""
-    return FormatDescriptor(
-        name="CSR",
-        sparse_to_dense=(
-            "{[ii, k, jj] -> [i, j] : ii = i && jj = j && col2(k) = j"
-            " && 0 <= ii < NR && rowptr(ii) <= k < rowptr(ii + 1)"
-            " && 0 <= j < NC}"
-        ),
-        data_access="{[ii, k, jj] -> [kd] : kd = k}",
-        uf_domains={
-            "rowptr": "{[x] : 0 <= x <= NR}",
-            "col2": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "rowptr": "{[n] : 0 <= n <= NNZ}",
-            "col2": "{[i] : 0 <= i < NC}",
-        },
-        monotonic=[MonotonicQuantifier("rowptr")],
-        # CSR positions run row-major with strictly increasing columns in a
-        # row: globally the lexicographic (i, j) order (Table 1's
-        # ``ii * NR + col2(k)`` quantifier).
-        ordering=lexicographic(["i", "j"]),
-        coord_ufs={"i": "row_of", "j": "col2"},
-        shape_syms=["NR", "NC"],
-        position_var="k",
+    return compose(
+        "CSR",
+        [Dense("i"), Compressed("j")],
         description="Compressed sparse row",
     )
 
 
 def csc() -> FormatDescriptor:
     """Compressed sparse column."""
-    return FormatDescriptor(
-        name="CSC",
-        sparse_to_dense=(
-            "{[jj, k, ii] -> [i, j] : ii = i && jj = j && row2(k) = i"
-            " && 0 <= jj < NC && colptr(jj) <= k < colptr(jj + 1)"
-            " && 0 <= i < NR}"
-        ),
-        data_access="{[jj, k, ii] -> [kd] : kd = k}",
-        uf_domains={
-            "colptr": "{[x] : 0 <= x <= NC}",
-            "row2": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "colptr": "{[n] : 0 <= n <= NNZ}",
-            "row2": "{[i] : 0 <= i < NR}",
-        },
-        monotonic=[MonotonicQuantifier("colptr")],
-        # Column-major lexicographic order: sort key (j, i).
-        ordering=lexicographic(["j", "i"]),
-        coord_ufs={"i": "row2", "j": "col_of"},
-        shape_syms=["NR", "NC"],
-        position_var="k",
+    return compose(
+        "CSC",
+        [Dense("j"), Compressed("i")],
         description="Compressed sparse column",
     )
 
 
 def dia() -> FormatDescriptor:
     """Diagonal format with the paper's ``kd = ND * ii + d`` data layout."""
-    return FormatDescriptor(
-        name="DIA",
-        sparse_to_dense=(
-            "{[ii, d, jj] -> [i, j] : i = ii && 0 <= i < NR && 0 <= d < ND"
-            " && j = i + off(d) && 0 <= j < NC && jj = j}"
-        ),
-        data_access="{[ii, d, jj] -> [kd] : kd = ND * ii + d}",
-        uf_domains={"off": "{[x] : 0 <= x < ND}"},
-        uf_ranges={"off": "{[o] : 0 - NR < o < NC}"},
-        monotonic=[MonotonicQuantifier("off", strict=True)],
-        coord_ufs={"i": "row_of", "j": "col_of"},
-        shape_syms=["NR", "NC"],
-        position_var="d",
+    return compose(
+        "DIA",
+        [Dense("i"), Offset("j")],
         description="Diagonal storage, strictly increasing offsets",
     )
 
@@ -230,42 +123,28 @@ def bcsr(block: int = 2) -> FormatDescriptor:
     """
     if block < 1:
         raise ValueError("block size must be positive")
-    b = block
-    from repro.ir import FloorDiv, OrderingQuantifier, Var
+    return compose(
+        f"BCSR{block}",
+        [Dense("i", block=block), Compressed("j", block=block)],
+        description=f"Blocked CSR, {block}x{block} dense blocks",
+    )
 
-    return FormatDescriptor(
-        name=f"BCSR{b}",
-        sparse_to_dense=(
-            f"{{[bi, bk, ri, ci] -> [i, j] : i = {b} * bi + ri"
-            f" && j = {b} * bcol(bk) + ci && 0 <= ri < {b} && 0 <= ci < {b}"
-            " && browptr(bi) <= bk < browptr(bi + 1)"
-            f" && 0 <= bi <= (NR - 1) // {b}"
-            " && 0 <= i < NR && 0 <= j < NC}"
-        ),
-        data_access=(
-            f"{{[bi, bk, ri, ci] -> [kd] : kd = {b * b} * bk + {b} * ri + ci}}"
-        ),
-        uf_domains={
-            "browptr": f"{{[x] : 0 <= x <= (NR - 1) // {b} + 1}}",
-            "bcol": "{[x] : 0 <= x < NB}",
-        },
-        uf_ranges={
-            "browptr": "{[n] : 0 <= n <= NB}",
-            "bcol": f"{{[c] : 0 <= c <= (NC - 1) // {b}}}",
-        },
-        monotonic=[MonotonicQuantifier("browptr")],
-        # Blocks ordered row-major by block coordinates; every nonzero of a
-        # block shares its block\'s position.
-        ordering=OrderingQuantifier(
-            ["i", "j"],
-            [FloorDiv(Var("i"), b).as_expr(),
-             FloorDiv(Var("j"), b).as_expr()],
-            collapse_ties=True,
-        ),
-        coord_ufs={"i": "brow_of", "j": "bcol_of"},
-        shape_syms=["NR", "NC"],
-        position_var="bk",
-        description=f"Blocked CSR, {b}x{b} dense blocks",
+
+def bcsc(block: int = 2) -> FormatDescriptor:
+    """Blocked CSC: BCSR's column-major mirror.
+
+    Block columns are dense, populated blocks within a block column are
+    compressed (``bcolptr`` / ``brow``); the within-block data layout
+    stays canonical row-major so ``kd = B*B*bk + B*ri + ci`` as in BCSR.
+    Works in both conversion directions via the same Case 6 affine block
+    decomposition.
+    """
+    if block < 1:
+        raise ValueError("block size must be positive")
+    return compose(
+        f"BCSC{block}",
+        [Dense("j", block=block), Compressed("i", block=block)],
+        description=f"Blocked CSC, {block}x{block} dense blocks",
     )
 
 
@@ -278,40 +157,33 @@ def csf() -> FormatDescriptor:
     deriving the distinct-value counts ``NROOT`` / ``NFIB``, which the
     paper's constraint cases cannot express.
     """
-    return FormatDescriptor(
-        name="CSF",
-        sparse_to_dense=(
-            "{[ip, jp, kp] -> [i, j, k] : i = rootidx(ip) && j = fibidx(jp)"
-            " && k = kidx(kp) && 0 <= ip < NROOT"
-            " && fptr(ip) <= jp < fptr(ip + 1)"
-            " && kptr(jp) <= kp < kptr(jp + 1)"
-            " && 0 <= i < NR && 0 <= j < NC && 0 <= k < NZ}"
-        ),
-        data_access="{[ip, jp, kp] -> [kd] : kd = kp}",
-        uf_domains={
-            "rootidx": "{[x] : 0 <= x < NROOT}",
-            "fptr": "{[x] : 0 <= x <= NROOT}",
-            "fibidx": "{[x] : 0 <= x < NFIB}",
-            "kptr": "{[x] : 0 <= x <= NFIB}",
-            "kidx": "{[x] : 0 <= x < NNZ}",
-        },
-        uf_ranges={
-            "rootidx": "{[i] : 0 <= i < NR}",
-            "fptr": "{[f] : 0 <= f <= NFIB}",
-            "fibidx": "{[j] : 0 <= j < NC}",
-            "kptr": "{[n] : 0 <= n <= NNZ}",
-            "kidx": "{[k] : 0 <= k < NZ}",
-        },
-        monotonic=[
-            MonotonicQuantifier("rootidx", strict=True),
-            MonotonicQuantifier("fptr"),
-            MonotonicQuantifier("kptr"),
+    return compose(
+        "CSF",
+        [
+            Compressed("i", idx="rootidx", count="NROOT", strict=True),
+            Compressed("j", ptr="fptr", idx="fibidx", count="NFIB"),
+            Compressed("k", ptr="kptr", idx="kidx"),
         ],
-        ordering=lexicographic(["i", "j", "k"]),
-        coord_ufs={"i": "rootidx", "j": "fibidx", "k": "kidx"},
-        shape_syms=["NR", "NC", "NZ"],
-        position_var="kp",
         description="Compressed sparse fiber, three-level compression",
+    )
+
+
+def dcsr() -> FormatDescriptor:
+    """Doubly compressed sparse row (source-capable extension).
+
+    CSR with the row dimension compressed as well: only rows holding a
+    nonzero appear, as a strictly increasing ``rowidx`` array of length
+    ``NDR``.  Destination synthesis would need ``NDR`` — the distinct
+    row count — which the constraint cases cannot derive, so DCSR is
+    source-only, like CSF (its 2-D analogue).
+    """
+    return compose(
+        "DCSR",
+        [
+            Compressed("i", idx="rowidx", count="NDR", strict=True),
+            Compressed("j", ptr="dptr", idx="dcol"),
+        ],
+        description="Doubly compressed sparse row, empty rows elided",
     )
 
 
@@ -325,45 +197,58 @@ def ell() -> FormatDescriptor:
     Destination synthesis would need ``W`` = the maximum row length, a
     count the constraint cases cannot derive, so ELL is source-only.
     """
-    return FormatDescriptor(
-        name="ELL",
-        sparse_to_dense=(
-            "{[ii, w, jj] -> [i, j] : i = ii && j = ellcol(W * ii + w)"
-            " && jj = j && 0 <= ii < NR && 0 <= w < W"
-            " && 0 <= j < NC}"
-        ),
-        data_access="{[ii, w, jj] -> [kd] : kd = W * ii + w}",
-        uf_domains={"ellcol": "{[x] : 0 <= x < NR * W}"},
-        uf_ranges={"ellcol": "{[j] : 0 - 1 <= j < NC}"},
-        ordering=lexicographic(["i", "j"]),
-        coord_ufs={"i": "row_of", "j": "ellcol"},
-        shape_syms=["NR", "NC"],
-        position_var="w",
+    return compose(
+        "ELL",
+        [Dense("i"), Padded("j")],
         description="ELLPACK, fixed width with -1 column padding",
     )
 
 
-_FACTORIES = {
-    "COO": coo,
-    "SCOO": scoo,
-    "MCOO": mcoo,
-    "COO3D": coo3d,
-    "SCOO3D": lambda: coo3d(sorted_lex=True),
-    "MCOO3": mcoo3,
-    "CSR": csr,
-    "CSC": csc,
-    "DIA": dia,
-    "BCSR": bcsr,
-    "CSF": csf,
-    "ELL": ell,
-}
+#: Registered factories by canonical name, in presentation order
+#: (:func:`all_formats` and the unknown-format error message follow it).
+_FACTORIES: dict[str, Callable[[], FormatDescriptor]] = {}
 
+#: Parameterized families: ``{"BCSR": bcsr}`` makes ``"BCSR4"`` resolve
+#: to ``bcsr(block=4)``.  ``"<FAMILY>2"`` aliases the family's canonical
+#: entry so block-2 descriptors stay the shared default instances.
+_PARAMETERIZED: dict[str, Callable[[int], FormatDescriptor]] = {}
 
 #: Built descriptors by name.  Descriptors are immutable in practice and
 #: building one re-parses every relation in its definition, so the library
 #: hands out one shared instance per name — which also lets identity-keyed
 #: caches downstream (format fingerprints, the synthesis memo) hit.
 _BUILT: dict[str, FormatDescriptor] = {}
+
+
+def register_format(
+    name: str, factory: Callable[[], FormatDescriptor]
+) -> None:
+    """Register a named format factory (idempotent for the same factory).
+
+    ``factory`` is called lazily on first :func:`get_format` lookup and
+    its result memoized; re-registering an existing name replaces the
+    factory and drops the memoized instance.
+    """
+    key = name.upper()
+    _FACTORIES[key] = factory
+    _BUILT.pop(key, None)
+
+
+def register_parameterized(
+    family: str, factory: Callable[[int], FormatDescriptor]
+) -> None:
+    """Register a blocked family resolvable as ``f"{family}{block}"``."""
+    _PARAMETERIZED[family.upper()] = factory
+
+
+def parameterized_families() -> tuple[str, ...]:
+    """The registered blocked families (``"BCSR"``, ``"BCSC"``, ...).
+
+    The auto-tuner enumerates block-size candidates for every family
+    listed here, so registering a parameterized composed family makes it
+    tunable with no tuner changes.
+    """
+    return tuple(_PARAMETERIZED)
 
 
 def get_format(name: str) -> FormatDescriptor:
@@ -374,15 +259,20 @@ def get_format(name: str) -> FormatDescriptor:
     to tuned parameterizations by plain string.
     """
     key = name.upper()
-    if key == "BCSR2":
-        key = "BCSR"  # the library's default blocked descriptor
+    for family in _PARAMETERIZED:
+        if key == f"{family}2":
+            key = family  # the library's default blocked descriptor
+            break
     fmt = _BUILT.get(key)
     if fmt is None:
         factory = _FACTORIES.get(key)
-        if factory is None and key.startswith("BCSR") and key[4:].isdigit():
-            block = int(key[4:])
-            def factory(block=block):
-                return bcsr(block=block)
+        if factory is None:
+            for family, param_factory in _PARAMETERIZED.items():
+                if key.startswith(family) and key[len(family):].isdigit():
+                    block = int(key[len(family):])
+                    def factory(block=block, make=param_factory):
+                        return make(block)
+                    break
         if factory is None:
             raise KeyError(
                 f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
@@ -397,3 +287,25 @@ def get_format(name: str) -> FormatDescriptor:
 def all_formats() -> list[FormatDescriptor]:
     """Every descriptor in the library (used by the Table 1 regeneration)."""
     return [get_format(name) for name in _FACTORIES]
+
+
+for _name, _factory in (
+    ("COO", coo),
+    ("SCOO", scoo),
+    ("MCOO", mcoo),
+    ("COO3D", coo3d),
+    ("SCOO3D", lambda: coo3d(sorted_lex=True)),
+    ("MCOO3", mcoo3),
+    ("CSR", csr),
+    ("CSC", csc),
+    ("DIA", dia),
+    ("BCSR", bcsr),
+    ("CSF", csf),
+    ("ELL", ell),
+    ("DCSR", dcsr),
+    ("BCSC", bcsc),
+):
+    register_format(_name, _factory)
+register_parameterized("BCSR", bcsr)
+register_parameterized("BCSC", bcsc)
+del _name, _factory

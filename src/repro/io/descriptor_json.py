@@ -21,6 +21,18 @@ Schema (all relation/set fields use the library's textual notation)::
       "shape_syms": ["NR", "NC"],
       "position_var": "n"
     }
+
+Descriptors derived from a level composition
+(:mod:`repro.formats.levels`) additionally carry a ``"levels"`` object::
+
+    "levels": {"name": "CSR",
+               "levels": [{"kind": "dense", "dim": "i"},
+                          {"kind": "compressed", "dim": "j"}]}
+
+and on load such descriptors are *rebuilt from the composition*, so a
+composed format round-trips as a composition, not a frozen relation
+snapshot.  Explicit relation fields present alongside ``"levels"`` are
+cross-checked against the rebuilt descriptor and must agree.
 """
 
 from __future__ import annotations
@@ -60,11 +72,34 @@ def descriptor_to_dict(fmt: FormatDescriptor) -> dict:
             "strict": fmt.ordering.strict,
             "collapse_ties": fmt.ordering.collapse_ties,
         }
+    if fmt.levels is not None:
+        out["levels"] = fmt.levels.to_dict()
     return out
 
 
 def descriptor_from_dict(data: dict) -> FormatDescriptor:
     """Deserialize a descriptor; raises :class:`DescriptorJSONError`."""
+    if "levels" in data:
+        from repro.formats.levels import Composition, LevelError
+
+        try:
+            composition = Composition.from_dict(data["levels"])
+            fmt = composition.build()
+        except LevelError as err:
+            raise DescriptorJSONError(
+                f"invalid level composition: {err}"
+            ) from err
+        # The composition is authoritative, but a file that *also* spells
+        # out relation fields must agree with it — a hand-edited relation
+        # silently overridden by the composition would be a trap.
+        expected = descriptor_to_dict(fmt)
+        for key, value in data.items():
+            if key != "levels" and expected.get(key) != value:
+                raise DescriptorJSONError(
+                    f"explicit field {key!r} does not match the "
+                    f"composition-derived descriptor for {fmt.name!r}"
+                )
+        return fmt
     for required in ("name", "sparse_to_dense", "data_access"):
         if required not in data:
             raise DescriptorJSONError(f"missing required field {required!r}")

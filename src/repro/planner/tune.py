@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.formats import container_format, container_to_env, get_format
+from repro.formats.library import parameterized_families
 from repro.synthesis import SynthesisError, synthesize_cached
 
 from .coststore import CostStore, conversion_cost_key, default_cost_store
@@ -36,8 +37,9 @@ from .stats import BLOCK_CANDIDATES, MatrixStats, matrix_stats
 #: slots per nonzero is rejected before synthesis (``REPRO_DIA_BUDGET``).
 DEFAULT_PADDING_BUDGET = 64.0
 
-#: Families with tunable parameterizations.
-TUNABLE = ("BCSR", "DIA", "ELL")
+#: Families with tunable parameterizations: every registered blocked
+#: family (block-size search) plus DIA (search strategy) and ELL (width).
+TUNABLE = parameterized_families() + ("DIA", "ELL")
 
 
 class TuneError(SynthesisError):
@@ -148,9 +150,12 @@ def candidates_for(
     limit = budget if budget is not None else padding_budget()
     viable: list[Candidate] = []
     rejected: dict[str, str] = {}
-    if family == "BCSR":
+    if family in parameterized_families():
+        # Any registered blocked family (BCSR, BCSC, composed ones):
+        # block-size viability depends only on the block fill, which is
+        # orientation-independent.
         for b in blocks:
-            label = f"BCSR block={b}"
+            label = f"{family} block={b}"
             if b > max(min(stats.nrows, stats.ncols), 1):
                 rejected[label] = "block exceeds matrix dimensions"
                 continue
@@ -162,8 +167,8 @@ def candidates_for(
                 continue
             viable.append(
                 Candidate(
-                    family="BCSR",
-                    dst="BCSR" if b == 2 else f"BCSR{b}",
+                    family=family,
+                    dst=family if b == 2 else f"{family}{b}",
                     label=label,
                     block=b,
                 )

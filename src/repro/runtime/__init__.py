@@ -3,10 +3,12 @@
 from .morton import demorton2, demorton3, morton, morton2, morton3, morton_nd
 from .ordered_list import LexBucketPermutation, OrderedList, OrderedSet
 from .matrices import (
+    BCSCMatrix,
     BCSRMatrix,
     COOMatrix,
     CSCMatrix,
     CSRMatrix,
+    DCSRMatrix,
     DIAMatrix,
     ELLMatrix,
     MortonCOOMatrix,
@@ -18,6 +20,7 @@ from .csf import CSFTensor
 from .executor import CompiledInspector, base_namespace, compile_inspector
 
 __all__ = [
+    "BCSCMatrix",
     "BCSRMatrix",
     "COOMatrix",
     "COOTensor3D",
@@ -25,6 +28,7 @@ __all__ = [
     "CSCMatrix",
     "CSRMatrix",
     "CompiledInspector",
+    "DCSRMatrix",
     "DIAMatrix",
     "ELLMatrix",
     "HiCOOTensor",

@@ -717,6 +717,284 @@ class ELLMatrix(_ValidatedMatrix):
         return f"ELLMatrix({self.nrows}x{self.ncols}, width={self.width})"
 
 
+class DCSRMatrix(_ValidatedMatrix):
+    """Doubly compressed sparse row: empty rows elided (extension format).
+
+    ``rowidx`` lists the populated rows strictly increasing; ``dptr``
+    (len ``len(rowidx) + 1``) delimits each populated row's strictly
+    increasing ``dcol`` segment.
+    """
+
+    format_name = "DCSR"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rowidx: Sequence[int],
+        dptr: Sequence[int],
+        dcol: Sequence[int],
+        val: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rowidx = list(rowidx)
+        self.dptr = list(dptr)
+        self.dcol = list(dcol)
+        self.val = list(val)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.val)
+
+    @property
+    def ndrows(self) -> int:
+        """Number of populated rows."""
+        return len(self.rowidx)
+
+    def check(self) -> None:
+        if len(self.dptr) != self.ndrows + 1:
+            raise ShapeError(
+                f"dptr must have ndrows + 1 = {self.ndrows + 1} entries, "
+                f"got {len(self.dptr)}",
+                container=repr(self),
+            )
+        if self.dptr and (self.dptr[0] != 0 or self.dptr[-1] != self.nnz):
+            raise StructureError(
+                f"dptr must start at 0 and end at nnz={self.nnz}, got "
+                f"[{self.dptr[0]}, ..., {self.dptr[-1]}]",
+                container=repr(self),
+            )
+        if any(a > b for a, b in zip(self.dptr, self.dptr[1:])):
+            raise StructureError(
+                "dptr must be non-decreasing", container=repr(self)
+            )
+        if len(self.dcol) != len(self.val):
+            raise ShapeError(
+                f"dcol/val lengths differ ({len(self.dcol)}/{len(self.val)})",
+                container=repr(self),
+            )
+        for i in self.rowidx:
+            if not (0 <= i < self.nrows):
+                raise BoundsError(
+                    f"row index {i} out of bounds",
+                    coordinate=(i, 0),
+                    container=repr(self),
+                )
+        for a, b in zip(self.rowidx, self.rowidx[1:]):
+            if a == b:
+                raise DuplicateCoordinateError(
+                    f"duplicate row index {a}",
+                    coordinate=(a, 0),
+                    container=repr(self),
+                )
+            if a > b:
+                raise UnsortedInputError(
+                    f"row indices not strictly increasing: {a} before {b}",
+                    container=repr(self),
+                )
+        for p, i in enumerate(self.rowidx):
+            cols = self.dcol[self.dptr[p] : self.dptr[p + 1]]
+            if not cols:
+                raise StructureError(
+                    f"populated row {i} stores no entries",
+                    container=repr(self),
+                )
+            for j in cols:
+                if not (0 <= j < self.ncols):
+                    raise BoundsError(
+                        f"column {j} out of bounds in row {i}",
+                        coordinate=(i, j),
+                        container=repr(self),
+                    )
+            for a, b in zip(cols, cols[1:]):
+                if a == b:
+                    raise DuplicateCoordinateError(
+                        f"duplicate column index {a} in row {i}",
+                        coordinate=(i, a),
+                        container=repr(self),
+                    )
+                if a > b:
+                    raise UnsortedInputError(
+                        f"columns not strictly increasing in row {i}: "
+                        f"{a} before {b}",
+                        container=repr(self),
+                    )
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        for p, i in enumerate(self.rowidx):
+            for k in range(self.dptr[p], self.dptr[p + 1]):
+                dense[i][self.dcol[k]] = self.val[k]
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense) -> "DCSRMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        rowidx, dptr, dcol, val = [], [0], [], []
+        for i in range(nrows):
+            entries = [
+                (j, dense[i][j]) for j in range(ncols) if dense[i][j] != 0.0
+            ]
+            if not entries:
+                continue
+            rowidx.append(i)
+            for j, v in entries:
+                dcol.append(j)
+                val.append(v)
+            dptr.append(len(val))
+        return cls(nrows, ncols, rowidx, dptr, dcol, val)
+
+    def nonzeros(self) -> Iterator[tuple[int, int, float]]:
+        for p, i in enumerate(self.rowidx):
+            for k in range(self.dptr[p], self.dptr[p + 1]):
+                yield i, self.dcol[k], self.val[k]
+
+    def __repr__(self):
+        return (
+            f"DCSRMatrix({self.nrows}x{self.ncols}, "
+            f"ndrows={self.ndrows}, nnz={self.nnz})"
+        )
+
+
+class BCSCMatrix(_ValidatedMatrix):
+    """Blocked CSC: BCSR's column-major mirror (extension format).
+
+    ``bcolptr``/``brow`` compress the block columns; each block stores
+    its ``bsize * bsize`` entries row-major in ``data`` (the same
+    within-block layout as BCSR, whatever the block traversal order).
+    """
+
+    format_name = "BCSC"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        bsize: int,
+        bcolptr: Sequence[int],
+        brow: Sequence[int],
+        data: Sequence[float],
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.bsize = int(bsize)
+        self.bcolptr = list(bcolptr)
+        self.brow = list(brow)
+        self.data = list(data)
+
+    @property
+    def nblockcols(self) -> int:
+        return -(-self.ncols // self.bsize)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.brow)
+
+    def check(self) -> None:
+        if self.bsize < 1:
+            raise ShapeError(
+                "block size must be positive", container=repr(self)
+            )
+        if len(self.bcolptr) != self.nblockcols + 1:
+            raise ShapeError(
+                f"bcolptr must have nblockcols + 1 = {self.nblockcols + 1} "
+                f"entries, got {len(self.bcolptr)}",
+                container=repr(self),
+            )
+        if self.bcolptr[0] != 0 or self.bcolptr[-1] != self.nblocks:
+            raise StructureError(
+                f"bcolptr must start at 0 and end at nblocks="
+                f"{self.nblocks}",
+                container=repr(self),
+            )
+        if any(a > b for a, b in zip(self.bcolptr, self.bcolptr[1:])):
+            raise StructureError(
+                "bcolptr must be non-decreasing", container=repr(self)
+            )
+        if len(self.data) != self.nblocks * self.bsize * self.bsize:
+            raise ShapeError(
+                "data must hold bsize*bsize entries per block",
+                container=repr(self),
+            )
+        nbr = -(-self.nrows // self.bsize)
+        for bj in range(self.nblockcols):
+            brows = self.brow[self.bcolptr[bj] : self.bcolptr[bj + 1]]
+            for bi in brows:
+                if not (0 <= bi < nbr):
+                    raise BoundsError(
+                        f"block row {bi} out of bounds in block column {bj}",
+                        coordinate=(bi, bj),
+                        container=repr(self),
+                    )
+            for a, b in zip(brows, brows[1:]):
+                if a == b:
+                    raise DuplicateCoordinateError(
+                        f"duplicate block row {a} in block column {bj}",
+                        coordinate=(a, bj),
+                        container=repr(self),
+                    )
+                if a > b:
+                    raise UnsortedInputError(
+                        f"block rows not strictly increasing in block "
+                        f"column {bj}: {a} before {b}",
+                        container=repr(self),
+                    )
+
+    def to_dense(self) -> Dense:
+        dense = _dense_zeros(self.nrows, self.ncols)
+        bs = self.bsize
+        for bj in range(self.nblockcols):
+            for bk in range(self.bcolptr[bj], self.bcolptr[bj + 1]):
+                bi = self.brow[bk]
+                base = bk * bs * bs
+                for r in range(bs):
+                    for c in range(bs):
+                        i = bi * bs + r
+                        j = bj * bs + c
+                        if i < self.nrows and j < self.ncols:
+                            value = self.data[base + r * bs + c]
+                            if value != 0.0:
+                                dense[i][j] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: Dense, bsize: int) -> "BCSCMatrix":
+        nrows = len(dense)
+        ncols = len(dense[0]) if nrows else 0
+        nbr = -(-nrows // bsize)
+        nbc = -(-ncols // bsize)
+        bcolptr = [0]
+        brow: list[int] = []
+        data: list[float] = []
+        for bj in range(nbc):
+            for bi in range(nbr):
+                block = []
+                nonzero = False
+                for r in range(bsize):
+                    for c in range(bsize):
+                        i, j = bi * bsize + r, bj * bsize + c
+                        v = (
+                            dense[i][j]
+                            if i < nrows and j < ncols
+                            else 0.0
+                        )
+                        nonzero = nonzero or v != 0.0
+                        block.append(v)
+                if nonzero:
+                    brow.append(bi)
+                    data.extend(block)
+            bcolptr.append(len(brow))
+        return cls(nrows, ncols, bsize, bcolptr, brow, data)
+
+    def __repr__(self):
+        return (
+            f"BCSCMatrix({self.nrows}x{self.ncols}, bsize={self.bsize}, "
+            f"nblocks={self.nblocks})"
+        )
+
+
 def dense_equal(a: Dense, b: Dense, tol: float = 0.0) -> bool:
     """Elementwise dense comparison used throughout the tests."""
     if len(a) != len(b):

@@ -22,7 +22,7 @@ from .gate import (
     check_output,
     normalize_level,
 )
-from .fuzz import FuzzFailure, FuzzReport, fuzz
+from .fuzz import FuzzFailure, FuzzReport, fuzz, fuzz_random_formats
 
 __all__ = [
     "FuzzFailure",
@@ -31,5 +31,6 @@ __all__ = [
     "check_input",
     "check_output",
     "fuzz",
+    "fuzz_random_formats",
     "normalize_level",
 ]

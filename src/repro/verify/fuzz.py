@@ -724,6 +724,212 @@ def _run_gate_probe(label, container, kwargs, backend) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# Random level-composition fuzzing
+
+#: Pivot formats random compositions are fuzzed against, by rank: every
+#: composition converts *to* the pivot, and dest-capable ones also
+#: convert *from* it.
+RANDOM_FORMAT_PIVOTS = {2: "SCOO", 3: "SCOO3D"}
+
+
+def _random_dense_3d(rng) -> list:
+    """A random 3-D dense tensor (degenerate shapes included)."""
+    dims = tuple(rng.randint(1, 5) for _ in range(3))
+    dense = [
+        [[0.0] * dims[2] for _ in range(dims[1])] for _ in range(dims[0])
+    ]
+    for _ in range(rng.randint(0, 14)):
+        i, j, k = (rng.randrange(d) for d in dims)
+        dense[i][j][k] = _rand_val(rng)
+    return dense
+
+
+def _dense_nd_equal(a, b, tol: float = 1e-9) -> bool:
+    """:func:`dense_equal` for any rank (nested-list dense images)."""
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            _dense_nd_equal(x, y, tol) for x, y in zip(a, b)
+        )
+    return not isinstance(a, list) and not isinstance(b, list) \
+        and abs(a - b) <= tol
+
+
+def _env_from_outputs(conversion, outputs: dict, src_env: dict) -> dict:
+    """Map inspector outputs back into a composition's environment.
+
+    The destination composition's :meth:`interpret` wants arrays under
+    the descriptor's *canonical* UF names; ``uf_output_map`` translates
+    those to the inspector's (possibly suffixed) output names.  Outputs
+    that are neither mapped UFs nor ``Adst`` are derived size symbols
+    (``NNZ``, ``NB``, ``ND``...) and pass through under their own names;
+    shape symbols come from the source environment.
+    """
+    mapped = set(conversion.uf_output_map.values())
+    env = {
+        canonical: outputs[output]
+        for canonical, output in conversion.uf_output_map.items()
+        if output in outputs
+    }
+    for name, value in outputs.items():
+        if name == "Adst":
+            env["Asrc"] = value
+        elif name not in mapped:
+            env[name] = value
+    for sym, value in src_env.items():
+        if isinstance(value, int) and sym not in env:
+            env[sym] = value
+    return env
+
+
+def fuzz_random_formats(
+    count: int = 50,
+    *,
+    seed: int = 0,
+    backends: Sequence[str] | None = None,
+    optimize_levels: Sequence[bool] = (True, False),
+    max_failures: int = 25,
+) -> FuzzReport:
+    """Differentially fuzz randomly generated level compositions.
+
+    Each case draws a random valid composition from
+    :func:`repro.formats.levels.random_composition` and an adversarial
+    dense input, then checks — on every available backend and optimize
+    level — that
+
+    * the composed descriptor *synthesizes* (a crash is a finding),
+    * converting the composition's arrays to the rank's pivot format
+      (:data:`RANDOM_FORMAT_PIVOTS`) reproduces the dense image, with
+      the composition's own :meth:`~repro.formats.levels.Composition.
+      assemble` as the independent oracle,
+    * dest-capable compositions also convert *from* the pivot, checked
+      through :meth:`~repro.formats.levels.Composition.interpret`,
+    * all backends produce identical output arrays.
+
+    Runs are deterministic per ``seed``.  Failures are not shrunk (each
+    case is already a single composition + small dense input); the
+    report reuses :class:`FuzzReport` with one conversion checked per
+    (direction, backend, optimize) combination.
+    """
+    from repro.formats.levels import LevelError, random_composition
+
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed, cases_requested=count)
+    if backends is None:
+        backends = backend_names()
+    available = []
+    for candidate in backends:
+        try:
+            get_backend(candidate).require()
+        except Exception as err:  # noqa: BLE001 - any require failure skips
+            report.skipped_backends.append(
+                {"backend": candidate, "reason": str(err)}
+            )
+            continue
+        available.append(candidate)
+    backends = tuple(available)
+    if not backends:
+        return report
+
+    def fail(case, comp, dense, direction, backend, optimize, stage,
+             message):
+        report.failures.append(
+            FuzzFailure(
+                case=case, kind=comp.family, src=direction[0],
+                dst=direction[1], backend=backend, optimize=optimize,
+                stage=stage, message=message,
+                input_repr={"spec": comp.spec(), "dense": dense},
+            )
+        )
+
+    for case in range(count):
+        if len(report.failures) >= max_failures:
+            break
+        case_rng = random.Random(rng.randrange(1 << 30))
+        comp = random_composition(case_rng, name=f"RF{case}")
+        if comp.rank == 3:
+            dense = _random_dense_3d(case_rng)
+        else:
+            _, gen = CASE_KINDS_2D[case_rng.randrange(len(CASE_KINDS_2D))]
+            dense = gen(case_rng)
+        report.cases_run += 1
+        pivot_name = RANDOM_FORMAT_PIVOTS[comp.rank]
+        pivot_fmt = get_format(pivot_name)
+        pivot_comp = pivot_fmt.levels
+        try:
+            fmt = comp.build()
+            env = comp.assemble(dense)
+        except (LevelError, ValueError) as err:
+            fail(case, comp, dense, (comp.name, pivot_name), "-", True,
+                 "build", f"{type(err).__name__}: {err}")
+            continue
+        directions = [(fmt, pivot_fmt, comp, pivot_comp, env)]
+        if comp.dest_capable:
+            directions.append(
+                (pivot_fmt, fmt, pivot_comp, comp,
+                 pivot_comp.assemble(dense))
+            )
+        for src_fmt, dst_fmt, _, dst_comp, src_env in directions:
+            direction = (src_fmt.name, dst_fmt.name)
+            for optimize in optimize_levels:
+                reference_outputs = None
+                for backend in backends:
+                    report.conversions_checked += 1
+                    try:
+                        conversion = synthesize_cached(
+                            src_fmt, dst_fmt,
+                            backend=backend, optimize=optimize,
+                        )
+                    except SynthesisError as err:
+                        fail(case, comp, dense, direction, backend,
+                             optimize, "synthesize", str(err))
+                        continue
+                    try:
+                        outputs = conversion(
+                            **{p: src_env[p] for p in conversion.params}
+                        )
+                    except Exception as err:  # noqa: BLE001 - a finding
+                        fail(case, comp, dense, direction, backend,
+                             optimize, "run",
+                             f"{type(err).__name__}: {err}")
+                        continue
+                    got = dst_comp.interpret(
+                        _env_from_outputs(conversion, outputs, src_env)
+                    )
+                    if not _dense_nd_equal(got, dense):
+                        fail(case, comp, dense, direction, backend,
+                             optimize, "dense",
+                             "dense image differs from the assemble/"
+                             "interpret oracle")
+                        continue
+                    if reference_outputs is None:
+                        reference_outputs = (backend, outputs)
+                        continue
+                    ref_backend, ref = reference_outputs
+
+                    def _plain(value):
+                        # Outputs mix arrays and scalar size symbols.
+                        return (
+                            value if isinstance(value, (int, float))
+                            else list(value)
+                        )
+
+                    differing = [
+                        name for name in sorted(set(ref) | set(outputs))
+                        if _plain(ref.get(name, ())) !=
+                        _plain(outputs.get(name, ()))
+                    ]
+                    if differing:
+                        fail(case, comp, dense, direction, backend,
+                             optimize, "backend",
+                             f"{backend} lowering's "
+                             f"{', '.join(differing)} differ from the "
+                             f"{ref_backend} lowering")
+    report.combos_total = report.conversions_checked
+    report.combos_covered = report.conversions_checked
+    return report
+
+
+# ----------------------------------------------------------------------
 # The driver
 
 
@@ -944,7 +1150,9 @@ __all__ = [
     "DESTS_3D",
     "FuzzFailure",
     "FuzzReport",
+    "RANDOM_FORMAT_PIVOTS",
     "SOURCES_2D",
     "SOURCES_3D",
     "fuzz",
+    "fuzz_random_formats",
 ]

@@ -108,3 +108,108 @@ class TestOutputsToContainer:
     def test_unknown_format(self):
         with pytest.raises(BindingError):
             outputs_to_container("ESB", {"Adst": []}, {}, {})
+
+class TestLevelDrivenBindings:
+    """Bindings resolved from level structure, not hand-written tables."""
+
+    def test_env_matches_legacy_path(self):
+        from repro.formats.bindings import _legacy_container_to_env
+        from repro.runtime import ELLMatrix
+
+        dense = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 5.0, 6.0]]
+        containers = [
+            COOMatrix.from_dense(dense),
+            CSRMatrix.from_dense(dense),
+            CSCMatrix.from_dense(dense),
+            DIAMatrix.from_dense(dense),
+            BCSRMatrix.from_dense(dense, 2),
+            ELLMatrix.from_dense(dense),
+        ]
+        for container in containers:
+            assert container_to_env(container) == \
+                _legacy_container_to_env(container)
+
+    def test_parameterized_block_sizes_bind(self):
+        """Regression: BCSR{k}/BCSC{k} names must bind the right arrays."""
+        from repro.runtime import BCSCMatrix
+
+        dense = [[float(i * 5 + j + 1) if (i + j) % 3 else 0.0
+                  for j in range(5)] for i in range(5)]
+        for bsize in (2, 3, 4):
+            bcsr = BCSRMatrix.from_dense(dense, bsize)
+            env = container_to_env(bcsr)
+            assert env["browptr"] == bcsr.browptr
+            assert env["bcol"] == bcsr.bcol
+            assert env["NB"] == bcsr.nblocks
+            bcsc = BCSCMatrix.from_dense(dense, bsize)
+            env = container_to_env(bcsc)
+            assert env["bcolptr"] == bcsc.bcolptr
+            assert env["brow"] == bcsc.brow
+            assert env["NB"] == bcsc.nblocks
+
+    def test_padded_ell_binds_width_and_sentinel(self):
+        from repro.runtime import ELLMatrix
+
+        dense = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]]
+        # Over-allocated width: the padded level must bind W from the
+        # container, not recompute the max row length.
+        ell = ELLMatrix.from_dense(dense, width=4)
+        env = container_to_env(ell)
+        assert env["W"] == 4
+        assert env["ellcol"] == ell.col
+
+    def test_dcsr_env(self):
+        from repro.runtime import DCSRMatrix
+
+        dense = [[0.0, 1.0], [0.0, 0.0], [2.0, 3.0]]
+        dcsr = DCSRMatrix.from_dense(dense)
+        env = container_to_env(dcsr)
+        assert env["rowidx"] == [0, 2]
+        assert env["dptr"] == dcsr.dptr
+        assert env["dcol"] == dcsr.dcol
+        assert env["NDR"] == 2
+        assert container_format(dcsr) == "DCSR"
+
+    def test_bcsc_env(self):
+        from repro.runtime import BCSCMatrix
+
+        dense = [[1.0, 0.0], [0.0, 2.0]]
+        bcsc = BCSCMatrix.from_dense(dense, 2)
+        env = container_to_env(bcsc)
+        assert env["NBC"] == 1 and env["NBR"] == 1
+        assert container_format(bcsc) == "BCSC"
+
+    def test_register_container_round_trip(self):
+        from repro.formats.bindings import register_container
+
+        class FakeCSR(CSRMatrix):
+            pass
+
+        register_container(
+            FakeCSR, "CSR",
+            lambda c: [None, {"ptr": c.rowptr, "idx": c.col}],
+        )
+        try:
+            fake = FakeCSR.from_dense(DENSE)
+            assert container_format(fake) == "CSR"
+            assert container_to_env(fake)["rowptr"] == fake.rowptr
+        finally:
+            from repro.formats.bindings import _CONTAINERS
+
+            _CONTAINERS[:] = [(cls, b) for cls, b in _CONTAINERS
+                              if cls is not FakeCSR]
+
+    def test_blocked_destination_builders(self):
+        from repro.runtime import BCSCMatrix
+
+        outputs = {"bcolptr": [0, 1], "brow": [0],
+                   "Adst": [1.0, 0.0, 0.0, 2.0]}
+        m = outputs_to_container("BCSC", outputs, {}, {"NR": 2, "NC": 2})
+        assert isinstance(m, BCSCMatrix)
+        m.check()
+        # Parameterized names materialize the suffix block size.
+        outputs3 = {"bcolptr": [0, 1], "brow": [0],
+                    "Adst": [1.0] + [0.0] * 8}
+        m3 = outputs_to_container("BCSC3", outputs3, {},
+                                  {"NR": 3, "NC": 3})
+        assert m3.bsize == 3

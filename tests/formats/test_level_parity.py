@@ -1,0 +1,444 @@
+"""Hand-written descriptor oracles pinning the level-composed library.
+
+Every library format used to be spelled out as explicit SPF relations;
+the level-composition DSL (:mod:`repro.formats.levels`) replaced those
+definitions with one-line compositions.  The hand-written forms survive
+here as oracles: each one must stay *structurally equal* — relation
+strings, UF domains/ranges, quantifiers, coordinate UFs, shape symbols
+and position variable — to its composed replacement, so any drift in the
+composition emitters is caught against the original ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formats import get_format
+from repro.formats.descriptor import FormatDescriptor
+from repro.ir import (
+    FloorDiv,
+    MonotonicQuantifier,
+    OrderingQuantifier,
+    Var,
+    lexicographic,
+    morton,
+)
+
+
+# ----------------------------------------------------------------------
+# The original hand-written library, verbatim.
+
+
+def hand_coo(*, sorted_lex=False, name=None):
+    return FormatDescriptor(
+        name=name or ("SCOO" if sorted_lex else "COO"),
+        sparse_to_dense=(
+            "{[n, ii, jj] -> [i, j] : row1(n) = i && col1(n) = j && ii = i"
+            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj] -> [nd] : nd = n}",
+        uf_domains={
+            "row1": "{[x] : 0 <= x < NNZ}",
+            "col1": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row1": "{[i] : 0 <= i < NR}",
+            "col1": "{[i] : 0 <= i < NC}",
+        },
+        ordering=lexicographic(["i", "j"]) if sorted_lex else None,
+        coord_ufs={"i": "row1", "j": "col1"},
+        shape_syms=["NR", "NC"],
+        position_var="n",
+        description=(
+            "Coordinate format"
+            + (", sorted lexicographically row-first" if sorted_lex else "")
+        ),
+    )
+
+
+def hand_mcoo():
+    return FormatDescriptor(
+        name="MCOO",
+        sparse_to_dense=(
+            "{[n, ii, jj] -> [i, j] : row_m(n) = i && col_m(n) = j && ii = i"
+            " && jj = j && 0 <= i < NR && 0 <= j < NC && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj] -> [nd] : nd = n}",
+        uf_domains={
+            "row_m": "{[x] : 0 <= x < NNZ}",
+            "col_m": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row_m": "{[i] : 0 <= i < NR}",
+            "col_m": "{[i] : 0 <= i < NC}",
+        },
+        ordering=morton(["i", "j"]),
+        coord_ufs={"i": "row_m", "j": "col_m"},
+        shape_syms=["NR", "NC"],
+        position_var="n",
+        description="COO sorted by the Morton (Z-order) curve",
+    )
+
+
+def hand_coo3d(*, sorted_lex=False):
+    return FormatDescriptor(
+        name="SCOO3D" if sorted_lex else "COO3D",
+        sparse_to_dense=(
+            "{[n, ii, jj, kk] -> [i, j, k] : row1(n) = i && col1(n) = j"
+            " && z1(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
+            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
+        uf_domains={
+            "row1": "{[x] : 0 <= x < NNZ}",
+            "col1": "{[x] : 0 <= x < NNZ}",
+            "z1": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row1": "{[i] : 0 <= i < NR}",
+            "col1": "{[i] : 0 <= i < NC}",
+            "z1": "{[i] : 0 <= i < NZ}",
+        },
+        ordering=lexicographic(["i", "j", "k"]) if sorted_lex else None,
+        coord_ufs={"i": "row1", "j": "col1", "k": "z1"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="n",
+        description="3-D coordinate format",
+    )
+
+
+def hand_mcoo3():
+    return FormatDescriptor(
+        name="MCOO3",
+        sparse_to_dense=(
+            "{[n, ii, jj, kk] -> [i, j, k] : row_m(n) = i && col_m(n) = j"
+            " && z_m(n) = k && ii = i && jj = j && kk = k && 0 <= i < NR"
+            " && 0 <= j < NC && 0 <= k < NZ && 0 <= n < NNZ}"
+        ),
+        data_access="{[n, ii, jj, kk] -> [nd] : nd = n}",
+        uf_domains={
+            "row_m": "{[x] : 0 <= x < NNZ}",
+            "col_m": "{[x] : 0 <= x < NNZ}",
+            "z_m": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "row_m": "{[i] : 0 <= i < NR}",
+            "col_m": "{[i] : 0 <= i < NC}",
+            "z_m": "{[i] : 0 <= i < NZ}",
+        },
+        ordering=morton(["i", "j", "k"]),
+        coord_ufs={"i": "row_m", "j": "col_m", "k": "z_m"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="n",
+        description="3-D COO sorted by the Morton (Z-order) curve",
+    )
+
+
+def hand_csr():
+    return FormatDescriptor(
+        name="CSR",
+        sparse_to_dense=(
+            "{[ii, k, jj] -> [i, j] : ii = i && jj = j && col2(k) = j"
+            " && 0 <= ii < NR && rowptr(ii) <= k < rowptr(ii + 1)"
+            " && 0 <= j < NC}"
+        ),
+        data_access="{[ii, k, jj] -> [kd] : kd = k}",
+        uf_domains={
+            "rowptr": "{[x] : 0 <= x <= NR}",
+            "col2": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "rowptr": "{[n] : 0 <= n <= NNZ}",
+            "col2": "{[i] : 0 <= i < NC}",
+        },
+        monotonic=[MonotonicQuantifier("rowptr")],
+        ordering=lexicographic(["i", "j"]),
+        coord_ufs={"i": "row_of", "j": "col2"},
+        shape_syms=["NR", "NC"],
+        position_var="k",
+        description="Compressed sparse row",
+    )
+
+
+def hand_csc():
+    return FormatDescriptor(
+        name="CSC",
+        sparse_to_dense=(
+            "{[jj, k, ii] -> [i, j] : ii = i && jj = j && row2(k) = i"
+            " && 0 <= jj < NC && colptr(jj) <= k < colptr(jj + 1)"
+            " && 0 <= i < NR}"
+        ),
+        data_access="{[jj, k, ii] -> [kd] : kd = k}",
+        uf_domains={
+            "colptr": "{[x] : 0 <= x <= NC}",
+            "row2": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "colptr": "{[n] : 0 <= n <= NNZ}",
+            "row2": "{[i] : 0 <= i < NR}",
+        },
+        monotonic=[MonotonicQuantifier("colptr")],
+        ordering=lexicographic(["j", "i"]),
+        coord_ufs={"i": "row2", "j": "col_of"},
+        shape_syms=["NR", "NC"],
+        position_var="k",
+        description="Compressed sparse column",
+    )
+
+
+def hand_dia():
+    return FormatDescriptor(
+        name="DIA",
+        sparse_to_dense=(
+            "{[ii, d, jj] -> [i, j] : i = ii && 0 <= i < NR && 0 <= d < ND"
+            " && j = i + off(d) && 0 <= j < NC && jj = j}"
+        ),
+        data_access="{[ii, d, jj] -> [kd] : kd = ND * ii + d}",
+        uf_domains={"off": "{[x] : 0 <= x < ND}"},
+        uf_ranges={"off": "{[o] : 0 - NR < o < NC}"},
+        monotonic=[MonotonicQuantifier("off", strict=True)],
+        coord_ufs={"i": "row_of", "j": "col_of"},
+        shape_syms=["NR", "NC"],
+        position_var="d",
+        description="Diagonal storage, strictly increasing offsets",
+    )
+
+
+def hand_bcsr(block=2):
+    b = block
+    return FormatDescriptor(
+        name=f"BCSR{b}",
+        sparse_to_dense=(
+            f"{{[bi, bk, ri, ci] -> [i, j] : i = {b} * bi + ri"
+            f" && j = {b} * bcol(bk) + ci && 0 <= ri < {b} && 0 <= ci < {b}"
+            " && browptr(bi) <= bk < browptr(bi + 1)"
+            f" && 0 <= bi <= (NR - 1) // {b}"
+            " && 0 <= i < NR && 0 <= j < NC}"
+        ),
+        data_access=(
+            f"{{[bi, bk, ri, ci] -> [kd] : kd = {b * b} * bk + {b} * ri"
+            " + ci}"
+        ),
+        uf_domains={
+            "browptr": f"{{[x] : 0 <= x <= (NR - 1) // {b} + 1}}",
+            "bcol": "{[x] : 0 <= x < NB}",
+        },
+        uf_ranges={
+            "browptr": "{[n] : 0 <= n <= NB}",
+            "bcol": f"{{[c] : 0 <= c <= (NC - 1) // {b}}}",
+        },
+        monotonic=[MonotonicQuantifier("browptr")],
+        ordering=OrderingQuantifier(
+            ["i", "j"],
+            [FloorDiv(Var("i"), b).as_expr(),
+             FloorDiv(Var("j"), b).as_expr()],
+            collapse_ties=True,
+        ),
+        coord_ufs={"i": "brow_of", "j": "bcol_of"},
+        shape_syms=["NR", "NC"],
+        position_var="bk",
+        description=f"Blocked CSR, {b}x{b} dense blocks",
+    )
+
+
+def hand_csf():
+    return FormatDescriptor(
+        name="CSF",
+        sparse_to_dense=(
+            "{[ip, jp, kp] -> [i, j, k] : i = rootidx(ip) && j = fibidx(jp)"
+            " && k = kidx(kp) && 0 <= ip < NROOT"
+            " && fptr(ip) <= jp < fptr(ip + 1)"
+            " && kptr(jp) <= kp < kptr(jp + 1)"
+            " && 0 <= i < NR && 0 <= j < NC && 0 <= k < NZ}"
+        ),
+        data_access="{[ip, jp, kp] -> [kd] : kd = kp}",
+        uf_domains={
+            "rootidx": "{[x] : 0 <= x < NROOT}",
+            "fptr": "{[x] : 0 <= x <= NROOT}",
+            "fibidx": "{[x] : 0 <= x < NFIB}",
+            "kptr": "{[x] : 0 <= x <= NFIB}",
+            "kidx": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "rootidx": "{[i] : 0 <= i < NR}",
+            "fptr": "{[f] : 0 <= f <= NFIB}",
+            "fibidx": "{[j] : 0 <= j < NC}",
+            "kptr": "{[n] : 0 <= n <= NNZ}",
+            "kidx": "{[k] : 0 <= k < NZ}",
+        },
+        monotonic=[
+            MonotonicQuantifier("rootidx", strict=True),
+            MonotonicQuantifier("fptr"),
+            MonotonicQuantifier("kptr"),
+        ],
+        ordering=lexicographic(["i", "j", "k"]),
+        coord_ufs={"i": "rootidx", "j": "fibidx", "k": "kidx"},
+        shape_syms=["NR", "NC", "NZ"],
+        position_var="kp",
+        description="Compressed sparse fiber, three-level compression",
+    )
+
+
+def hand_ell():
+    return FormatDescriptor(
+        name="ELL",
+        sparse_to_dense=(
+            "{[ii, w, jj] -> [i, j] : i = ii && j = ellcol(W * ii + w)"
+            " && jj = j && 0 <= ii < NR && 0 <= w < W"
+            " && 0 <= j < NC}"
+        ),
+        data_access="{[ii, w, jj] -> [kd] : kd = W * ii + w}",
+        uf_domains={"ellcol": "{[x] : 0 <= x < NR * W}"},
+        uf_ranges={"ellcol": "{[j] : 0 - 1 <= j < NC}"},
+        ordering=lexicographic(["i", "j"]),
+        coord_ufs={"i": "row_of", "j": "ellcol"},
+        shape_syms=["NR", "NC"],
+        position_var="w",
+        description="ELLPACK, fixed width with -1 column padding",
+    )
+
+
+def hand_dcsr():
+    return FormatDescriptor(
+        name="DCSR",
+        sparse_to_dense=(
+            "{[ip, jp] -> [i, j] : i = rowidx(ip) && j = dcol(jp)"
+            " && 0 <= ip < NDR && dptr(ip) <= jp < dptr(ip + 1)"
+            " && 0 <= i < NR && 0 <= j < NC}"
+        ),
+        data_access="{[ip, jp] -> [kd] : kd = jp}",
+        uf_domains={
+            "rowidx": "{[x] : 0 <= x < NDR}",
+            "dptr": "{[x] : 0 <= x <= NDR}",
+            "dcol": "{[x] : 0 <= x < NNZ}",
+        },
+        uf_ranges={
+            "rowidx": "{[i] : 0 <= i < NR}",
+            "dptr": "{[n] : 0 <= n <= NNZ}",
+            "dcol": "{[j] : 0 <= j < NC}",
+        },
+        monotonic=[
+            MonotonicQuantifier("rowidx", strict=True),
+            MonotonicQuantifier("dptr"),
+        ],
+        ordering=lexicographic(["i", "j"]),
+        coord_ufs={"i": "rowidx", "j": "dcol"},
+        shape_syms=["NR", "NC"],
+        position_var="jp",
+        description="Doubly compressed sparse row, empty rows elided",
+    )
+
+
+def hand_bcsc(block=2):
+    b = block
+    return FormatDescriptor(
+        name=f"BCSC{b}",
+        sparse_to_dense=(
+            f"{{[bj, bk, ri, ci] -> [i, j] : i = {b} * brow(bk) + ri"
+            f" && j = {b} * bj + ci && 0 <= ri < {b} && 0 <= ci < {b}"
+            " && bcolptr(bj) <= bk < bcolptr(bj + 1)"
+            f" && 0 <= bj <= (NC - 1) // {b}"
+            " && 0 <= i < NR && 0 <= j < NC}"
+        ),
+        data_access=(
+            f"{{[bj, bk, ri, ci] -> [kd] : kd = {b * b} * bk + {b} * ri"
+            " + ci}"
+        ),
+        uf_domains={
+            "bcolptr": f"{{[x] : 0 <= x <= (NC - 1) // {b} + 1}}",
+            "brow": "{[x] : 0 <= x < NB}",
+        },
+        uf_ranges={
+            "bcolptr": "{[n] : 0 <= n <= NB}",
+            "brow": f"{{[c] : 0 <= c <= (NR - 1) // {b}}}",
+        },
+        monotonic=[MonotonicQuantifier("bcolptr")],
+        ordering=OrderingQuantifier(
+            ["i", "j"],
+            [FloorDiv(Var("j"), b).as_expr(),
+             FloorDiv(Var("i"), b).as_expr()],
+            collapse_ties=True,
+        ),
+        coord_ufs={"i": "brow_of", "j": "bcol_of"},
+        shape_syms=["NR", "NC"],
+        position_var="bk",
+        description=f"Blocked CSC, {b}x{b} dense blocks",
+    )
+
+
+HAND_BUILDERS = {
+    "COO": hand_coo,
+    "SCOO": lambda: hand_coo(sorted_lex=True),
+    "MCOO": hand_mcoo,
+    "COO3D": hand_coo3d,
+    "SCOO3D": lambda: hand_coo3d(sorted_lex=True),
+    "MCOO3": hand_mcoo3,
+    "CSR": hand_csr,
+    "CSC": hand_csc,
+    "DIA": hand_dia,
+    "BCSR": hand_bcsr,
+    "CSF": hand_csf,
+    "ELL": hand_ell,
+    "DCSR": hand_dcsr,
+    "BCSC": hand_bcsc,
+}
+
+
+# ----------------------------------------------------------------------
+
+
+def assert_structurally_equal(hand: FormatDescriptor,
+                              composed: FormatDescriptor) -> None:
+    assert composed.name == hand.name
+    assert composed.description == hand.description
+    assert str(composed.sparse_to_dense) == str(hand.sparse_to_dense)
+    assert str(composed.data_access) == str(hand.data_access)
+    assert {u: str(s) for u, s in composed.uf_domains.items()} == \
+        {u: str(s) for u, s in hand.uf_domains.items()}
+    assert {u: str(s) for u, s in composed.uf_ranges.items()} == \
+        {u: str(s) for u, s in hand.uf_ranges.items()}
+    assert {u: q.strict for u, q in composed.monotonic.items()} == \
+        {u: q.strict for u, q in hand.monotonic.items()}
+    if hand.ordering is None:
+        assert composed.ordering is None
+    else:
+        assert composed.ordering is not None
+        assert tuple(composed.ordering.dense_vars) == \
+            tuple(hand.ordering.dense_vars)
+        assert [str(k) for k in composed.ordering.key_exprs] == \
+            [str(k) for k in hand.ordering.key_exprs]
+        assert composed.ordering.strict == hand.ordering.strict
+        assert composed.ordering.collapse_ties == \
+            hand.ordering.collapse_ties
+    assert dict(composed.coord_ufs) == dict(hand.coord_ufs)
+    assert tuple(composed.shape_syms) == tuple(hand.shape_syms)
+    assert composed.position_var == hand.position_var
+
+
+@pytest.mark.parametrize("name", sorted(HAND_BUILDERS))
+def test_composed_library_matches_hand_written(name):
+    assert_structurally_equal(HAND_BUILDERS[name](), get_format(name))
+
+
+@pytest.mark.parametrize("block", [3, 4, 5])
+@pytest.mark.parametrize("family,builder", [("BCSR", hand_bcsr),
+                                            ("BCSC", hand_bcsc)])
+def test_parameterized_blocks_match_hand_written(family, builder, block):
+    assert_structurally_equal(
+        builder(block), get_format(f"{family}{block}")
+    )
+
+
+def test_every_library_format_carries_its_composition():
+    from repro.formats import all_formats
+
+    for fmt in all_formats():
+        assert fmt.levels is not None, fmt.name
+        assert fmt.levels.name == fmt.name
+        # Rebuilding from the carried composition reproduces the
+        # descriptor exactly.
+        assert_structurally_equal(fmt, fmt.levels.build())
+
+
+def test_hand_written_descriptors_carry_no_composition():
+    assert hand_csr().levels is None

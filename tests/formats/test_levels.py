@@ -1,0 +1,220 @@
+"""Unit tests for the level-format composition DSL."""
+
+import random
+
+import pytest
+
+from repro.formats import (
+    Composition,
+    Compressed,
+    Dense,
+    LevelError,
+    Offset,
+    Padded,
+    Singleton,
+    compose,
+    get_format,
+    parse_spec,
+    random_composition,
+)
+from repro.formats.levels import PAD
+
+
+DENSE = [
+    [1.0, 0.0, 2.0, 0.0],
+    [0.0, 0.0, 0.0, 0.0],
+    [3.0, 4.0, 0.0, 5.0],
+    [0.0, 6.0, 0.0, 7.0],
+]
+
+
+class TestClassification:
+    def test_families(self):
+        cases = [
+            ([Singleton("i"), Singleton("j")], "coord"),
+            ([Dense("i"), Compressed("j")], "compressed"),
+            ([Compressed("i"), Compressed("j")], "compressed"),
+            ([Dense("i"), Offset("j")], "offset"),
+            ([Dense("i"), Padded("j")], "padded"),
+            ([Dense("i", block=2), Compressed("j", block=2)], "blocked"),
+        ]
+        for levels, family in cases:
+            assert Composition("F", tuple(levels)).family == family
+
+    def test_mixed_singleton_rejected(self):
+        with pytest.raises(LevelError):
+            compose("BAD", [Dense("i"), Singleton("j")])
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(LevelError):
+            compose("BAD", [Singleton("i"), Singleton("i")])
+
+    def test_unknown_dim_rejected(self):
+        with pytest.raises(LevelError):
+            compose("BAD", [Singleton("i"), Singleton("q")])
+
+    def test_dest_capability(self):
+        assert compose("A", [Singleton("i"), Singleton("j")],
+                       ordering="lex").levels.dest_capable
+        assert not compose("B", [Singleton("i"), Singleton("j")],
+                           ordering="none").levels.dest_capable
+        assert compose("C", [Dense("i"), Compressed("j")]).levels \
+            .dest_capable
+        assert not compose(
+            "D",
+            [Compressed("i", idx="ri", count="NDR", strict=True),
+             Compressed("j", ptr="dp", idx="dc")],
+        ).levels.dest_capable
+        assert not compose("E", [Dense("i"), Padded("j")]).levels \
+            .dest_capable
+        assert compose("F", [Dense("i"), Offset("j")]).levels.dest_capable
+        assert compose(
+            "G", [Dense("i", block=2), Compressed("j", block=2)]
+        ).levels.dest_capable
+
+
+class TestSpecParsing:
+    def test_parse_basic(self):
+        comp = parse_spec("dense(i), compressed(j)", name="X")
+        assert comp.family == "compressed"
+        assert comp.levels == (Dense("i"), Compressed("j"))
+
+    def test_parse_options_and_ordering(self):
+        comp = parse_spec(
+            "singleton(i), singleton(j) @ morton", name="X"
+        )
+        assert comp.ordering == "morton"
+        comp = parse_spec(
+            "compressed(i, idx=rowidx, count=NDR, strict), "
+            "compressed(j, ptr=dptr, idx=dcol)",
+            name="X",
+        )
+        assert comp.levels[0].strict is True
+        assert comp.levels[0].count == "NDR"
+
+    def test_spec_round_trips(self):
+        for name in ("COO", "MCOO", "CSR", "DIA", "ELL", "BCSR3", "CSF",
+                     "DCSR", "BCSC"):
+            comp = get_format(name).levels
+            assert parse_spec(
+                comp.spec(), name=comp.name,
+                description=comp.description,
+            ) == comp
+
+    def test_bad_specs_rejected(self):
+        for text in ("", "nonsense(i)", "dense(i) compressed(j)",
+                     "dense(i), compressed(j) @ sideways",
+                     "dense(i, block=x), compressed(j)"):
+            with pytest.raises(LevelError):
+                parse_spec(text)
+
+
+class TestDictRoundTrip:
+    def test_all_library_formats(self):
+        from repro.formats import all_formats
+
+        for fmt in all_formats():
+            comp = fmt.levels
+            assert Composition.from_dict(comp.to_dict()) == comp
+
+    def test_bad_dict_rejected(self):
+        with pytest.raises(LevelError):
+            Composition.from_dict({"name": "X", "levels": [
+                {"kind": "mystery", "dim": "i"}
+            ]})
+
+
+class TestAssembleInterpret:
+    @pytest.mark.parametrize("name", ["SCOO", "MCOO", "CSR", "CSC", "DIA",
+                                      "ELL", "BCSR", "BCSR3", "DCSR",
+                                      "BCSC", "BCSC3"])
+    def test_identity_2d(self, name):
+        comp = get_format(name).levels
+        env = comp.assemble(DENSE)
+        assert comp.interpret(env) == DENSE
+
+    @pytest.mark.parametrize("name", ["SCOO3D", "MCOO3", "CSF"])
+    def test_identity_3d(self, name):
+        dense = [[[0.0] * 3 for _ in range(2)] for _ in range(2)]
+        dense[0][1][2] = 1.5
+        dense[1][0][0] = -2.0
+        dense[1][1][1] = 3.0
+        comp = get_format(name).levels
+        assert comp.interpret(comp.assemble(dense)) == dense
+
+    def test_ell_pads_with_sentinel(self):
+        env = get_format("ELL").levels.assemble(DENSE)
+        assert PAD in env["ellcol"]
+
+    def test_random_compositions_round_trip(self):
+        rng = random.Random(11)
+        for case in range(40):
+            comp = random_composition(rng, name=f"T{case}")
+            if comp.rank == 2:
+                dense = DENSE
+            else:
+                dense = [[[0.0, 1.0], [2.0, 0.0]],
+                         [[0.0, 0.0], [0.0, 3.0]]]
+            assert comp.interpret(comp.assemble(dense)) == dense
+
+
+class TestRandomComposition:
+    def test_deterministic_per_seed(self):
+        a = [random_composition(random.Random(5), name=f"R{i}")
+             for i in range(10)]
+        b = [random_composition(random.Random(5), name=f"R{i}")
+             for i in range(10)]
+        assert a == b
+
+    def test_all_build(self):
+        rng = random.Random(3)
+        families = set()
+        for case in range(60):
+            comp = random_composition(rng, name=f"R{case}")
+            families.add(comp.family)
+            fmt = comp.build()
+            assert fmt.levels is comp
+        # The sampler reaches every family within a modest budget.
+        assert families == {"coord", "compressed", "offset", "padded",
+                            "blocked"}
+
+
+class TestRegistry:
+    def test_register_format_round_trip(self):
+        from repro.formats import register_format
+
+        fmt = compose(
+            "TESTFMT", [Dense("j"), Compressed("i")],
+            description="registered by a test",
+        )
+        register_format("TESTFMT", lambda: fmt)
+        try:
+            assert get_format("testfmt") is fmt
+            from repro.formats import all_formats
+
+            assert any(f.name == "TESTFMT" for f in all_formats())
+        finally:
+            from repro.formats.library import _BUILT, _FACTORIES
+
+            _FACTORIES.pop("TESTFMT", None)
+            _BUILT.pop("TESTFMT", None)
+
+    def test_unknown_format_error_lists_library(self):
+        with pytest.raises(KeyError) as err:
+            get_format("NOSUCH")
+        message = str(err.value)
+        assert "unknown format 'NOSUCH'" in message
+        assert "CSR" in message and "DCSR" in message
+
+    def test_parameterized_families_registered(self):
+        from repro.formats.library import parameterized_families
+
+        assert set(parameterized_families()) >= {"BCSR", "BCSC"}
+
+    def test_block2_aliases_share_the_default_instance(self):
+        assert get_format("BCSC2") is get_format("BCSC")
+        assert get_format("BCSR2") is get_format("BCSR")
+
+    def test_parameterized_lookup_builds_blocks(self):
+        assert get_format("BCSC3").name == "BCSC3"
+        assert get_format("BCSC3").levels.levels[0].block == 3

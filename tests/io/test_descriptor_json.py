@@ -106,3 +106,58 @@ class TestCliIntegration:
         save_descriptor(csr(), path)
         assert main(["synthesize", "SCOO", str(path)]) == 0
         assert "rowptr" in capsys.readouterr().out
+
+
+class TestComposedDescriptors:
+    """Composed formats serialize their level spec and rebuild from it."""
+
+    def test_levels_object_present(self):
+        data = descriptor_to_dict(csr())
+        assert data["levels"]["name"] == "CSR"
+        assert [lv["kind"] for lv in data["levels"]["levels"]] == \
+            ["dense", "compressed"]
+
+    def test_round_trip_rebuilds_the_composition(self):
+        fmt = mcoo()
+        again = descriptor_from_dict(descriptor_to_dict(fmt))
+        assert again.levels is not None
+        assert again.levels == fmt.levels
+        assert str(again.sparse_to_dense) == str(fmt.sparse_to_dense)
+
+    def test_levels_only_document_loads(self):
+        data = {"levels": descriptor_to_dict(csr())["levels"]}
+        fmt = descriptor_from_dict(data)
+        assert fmt.name == "CSR"
+        assert str(fmt.sparse_to_dense) == str(csr().sparse_to_dense)
+
+    def test_explicit_field_disagreeing_with_levels_rejected(self):
+        data = descriptor_to_dict(csr())
+        data["position_var"] = "zz"
+        with pytest.raises(DescriptorJSONError):
+            descriptor_from_dict(data)
+        data = descriptor_to_dict(csr())
+        data["name"] = "NOTCSR"
+        with pytest.raises(DescriptorJSONError):
+            descriptor_from_dict(data)
+
+    def test_invalid_composition_rejected(self):
+        with pytest.raises(DescriptorJSONError):
+            descriptor_from_dict(
+                {"levels": {"name": "X", "levels": [
+                    {"kind": "dense", "dim": "i"},
+                    {"kind": "singleton", "dim": "j"},
+                ]}}
+            )
+
+    def test_file_round_trip_synthesizes(self, tmp_path):
+        from repro.formats import parse_spec
+
+        fmt = parse_spec(
+            "dense(j), compressed(i)", name="MYCSC"
+        ).build()
+        path = tmp_path / "mycsc.json"
+        save_descriptor(fmt, str(path))
+        loaded = load_descriptor(str(path))
+        assert loaded.levels == fmt.levels
+        conv = synthesize(loaded, scoo())
+        assert conv.src_format == "MYCSC"

@@ -277,3 +277,78 @@ class TestTypedCheckErrors:
     def test_check_against_dense_tolerance(self):
         near = [[v + 1e-12 for v in row] for row in DENSE]
         CSRMatrix.from_dense(DENSE).check_against_dense(near, tol=1e-9)
+
+
+class TestDCSR:
+    def test_roundtrip(self):
+        from repro.runtime import DCSRMatrix
+
+        dcsr = DCSRMatrix.from_dense(DENSE)
+        dcsr.check()
+        assert dense_equal(dcsr.to_dense(), DENSE)
+
+    def test_empty_rows_elided(self):
+        from repro.runtime import DCSRMatrix
+
+        dcsr = DCSRMatrix.from_dense(DENSE)
+        # Row 1 of DENSE is empty and must not appear.
+        assert dcsr.rowidx == [0, 2, 3]
+        assert dcsr.ndrows == 3
+        assert dcsr.nnz == 6
+
+    def test_all_empty(self):
+        from repro.runtime import DCSRMatrix
+
+        dcsr = DCSRMatrix.from_dense([[0.0, 0.0], [0.0, 0.0]])
+        dcsr.check()
+        assert dcsr.rowidx == [] and dcsr.dptr == [0]
+        assert dense_equal(dcsr.to_dense(), [[0.0, 0.0], [0.0, 0.0]])
+
+    def test_check_rejects_unsorted_rowidx(self):
+        from repro.runtime import DCSRMatrix
+
+        bad = DCSRMatrix(3, 2, [1, 0], [0, 1, 2], [0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bad.check()
+
+    def test_check_rejects_empty_populated_row(self):
+        from repro.runtime import DCSRMatrix
+
+        bad = DCSRMatrix(3, 2, [0, 1], [0, 1, 1], [0], [1.0])
+        with pytest.raises(ValueError):
+            bad.check()
+
+
+class TestBCSC:
+    def test_roundtrip_block2(self):
+        from repro.runtime import BCSCMatrix
+
+        bcsc = BCSCMatrix.from_dense(DENSE, 2)
+        bcsc.check()
+        assert dense_equal(bcsc.to_dense(), DENSE)
+
+    def test_roundtrip_uneven_block(self):
+        from repro.runtime import BCSCMatrix
+
+        dense = [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]]
+        bcsc = BCSCMatrix.from_dense(dense, 2)
+        bcsc.check()
+        assert dense_equal(bcsc.to_dense(), dense)
+
+    def test_block_layout_mirrors_bcsr(self):
+        from repro.runtime import BCSCMatrix
+
+        bcsr = BCSRMatrix.from_dense(DENSE, bsize=2)
+        bcsc = BCSCMatrix.from_dense(DENSE, 2)
+        assert bcsc.nblocks == bcsr.nblocks
+        # Within-block data stays row-major in both layouts, so the same
+        # block holds the same 4 values in the same order.
+        assert sorted(map(tuple, zip(*[iter(bcsc.data)] * 4))) == \
+            sorted(map(tuple, zip(*[iter(bcsr.data)] * 4)))
+
+    def test_check_rejects_unsorted_block_rows(self):
+        from repro.runtime import BCSCMatrix
+
+        bad = BCSCMatrix(4, 2, 2, [0, 2], [1, 0], [1.0] * 8)
+        with pytest.raises(ValueError):
+            bad.check()

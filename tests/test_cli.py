@@ -18,8 +18,56 @@ class TestFormats:
     def test_lists_all(self, capsys):
         assert main(["formats"]) == 0
         out = capsys.readouterr().out
-        for name in ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA"):
+        for name in ("COO", "SCOO", "MCOO", "CSR", "CSC", "DIA", "DCSR",
+                     "BCSC"):
             assert name in out
+
+    def test_list_subcommand_matches_bare_formats(self, capsys):
+        assert main(["formats"]) == 0
+        bare = capsys.readouterr().out
+        assert main(["formats", "list"]) == 0
+        assert capsys.readouterr().out == bare
+
+    def test_list_levels_shows_specs(self, capsys):
+        assert main(["formats", "list", "--levels"]) == 0
+        out = capsys.readouterr().out
+        assert "dense(i), compressed(j)" in out
+        assert "singleton(i), singleton(j) @ morton" in out
+
+    def test_compose_prints_descriptor(self, capsys):
+        assert main([
+            "formats", "compose", "dense(j), compressed(i)",
+            "--name", "MYCSC",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MYCSC" in out
+        assert "colptr" in out
+
+    def test_compose_json(self, capsys):
+        import json
+
+        # --json emits the full descriptor document including the levels.
+        assert main([
+            "formats", "compose", "singleton(i), singleton(j) @ lex",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["levels"]["levels"][0]["kind"] == "singleton"
+
+    def test_compose_save_then_synthesize(self, tmp_path, capsys):
+        path = tmp_path / "fmt.json"
+        assert main([
+            "formats", "compose", "dense(i), compressed(j)",
+            "--name", "MYCSR", "--save", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["synthesize", str(path), "MCOO"]) == 0
+        assert "def mycsr_to_mcoo" in capsys.readouterr().out
+
+    def test_compose_bad_spec_is_a_friendly_error(self, capsys):
+        assert main(["formats", "compose", "mystery(i), dense(j)"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown level kind" in err
 
 
 class TestShow:

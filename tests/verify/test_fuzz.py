@@ -187,3 +187,76 @@ class TestReportRendering:
         assert status == 0
         payload = json.loads(path.read_text())
         assert payload["ok"] is True
+
+
+class TestRandomFormats:
+    """Differential fuzzing of randomly generated level compositions."""
+
+    def test_clean_smoke_run(self):
+        from repro.verify import fuzz_random_formats
+
+        report = fuzz_random_formats(
+            6, seed=1, backends=("python",), optimize_levels=(True,)
+        )
+        assert report.ok, report.summary()
+        assert report.cases_run == 6
+        assert report.conversions_checked >= 6
+
+    def test_deterministic_across_runs(self):
+        from repro.verify import fuzz_random_formats
+
+        first = fuzz_random_formats(
+            4, seed=9, backends=("python",), optimize_levels=(True,)
+        )
+        second = fuzz_random_formats(
+            4, seed=9, backends=("python",), optimize_levels=(True,)
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_dest_capable_compositions_fuzz_both_directions(self):
+        from repro.verify import fuzz_random_formats
+
+        report = fuzz_random_formats(
+            10, seed=1, backends=("python",), optimize_levels=(True,)
+        )
+        # With 10 compositions some must be dest-capable, so more
+        # conversions than one per case are checked.
+        assert report.conversions_checked > report.cases_run
+
+    def test_detects_broken_interpretation(self, monkeypatch):
+        """The oracle actually has teeth: corrupt outputs get flagged."""
+        import importlib
+
+        fuzz_mod = importlib.import_module("repro.verify.fuzz")
+
+        original = fuzz_mod._env_from_outputs
+
+        def corrupted(conversion, outputs, src_env):
+            env = original(conversion, outputs, src_env)
+            if env.get("Asrc"):
+                env["Asrc"] = list(env["Asrc"])
+                env["Asrc"][0] += 1.0
+            return env
+
+        monkeypatch.setattr(fuzz_mod, "_env_from_outputs", corrupted)
+        report = fuzz_mod.fuzz_random_formats(
+            6, seed=1, backends=("python",), optimize_levels=(True,)
+        )
+        assert not report.ok
+        assert any(f.stage == "dense" for f in report.failures)
+
+    def test_cli_random_formats(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "levels-report.json"
+        status = main([
+            "fuzz", "--random-formats", "--cases", "4", "--seed", "2",
+            "--backend", "python", "--optimize", "on",
+            "--report", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "OK" in out
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 4
